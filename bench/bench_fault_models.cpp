@@ -1,0 +1,56 @@
+// A4 (extension) — the wider fault-model set named in §V future work:
+// "expanding the fault injection testing framework, by applying, e.g., a
+// wider and customizable set of fault models".
+//
+// Runs the medium campaign under every implemented model and compares the
+// failure-mode mix. Stuck-at faults are far more damaging than single
+// flips (they rewrite all 32 bits), double-bit flips sit between.
+//
+//   $ ./bench_fault_models [runs_per_model]   (default 40)
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "core/campaign.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcs;
+  const auto runs =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 40;
+
+  std::cout << "A4 — failure-mode mix per fault model (medium plan "
+               "otherwise)\n";
+  std::cout << std::string(74, '=') << "\n";
+  std::cout << std::left << std::setw(22) << "model" << std::right
+            << std::setw(10) << "correct" << std::setw(12) << "panic-park"
+            << std::setw(10) << "cpu-park" << std::setw(12) << "invalid"
+            << "\n";
+  std::cout << std::string(74, '-') << "\n";
+
+  for (const auto kind :
+       {fi::FaultModelKind::SingleBitFlip, fi::FaultModelKind::DoubleBitFlip,
+        fi::FaultModelKind::StuckAtZero, fi::FaultModelKind::StuckAtOne,
+        fi::FaultModelKind::MultiRegisterFlip}) {
+    fi::TestPlan plan = fi::paper_medium_trap_plan();
+    plan.fault = kind;
+    plan.runs = runs;
+    plan.seed = 0xA4'00 + static_cast<std::uint64_t>(kind);
+    fi::Campaign campaign(plan);
+    campaign.set_probe_recovery(false);
+    const fi::CampaignResult result = campaign.execute();
+    const fi::OutcomeDistribution dist = result.distribution();
+    std::cout << std::left << std::setw(22) << fi::fault_model_kind_name(kind)
+              << std::right << std::fixed << std::setprecision(1)
+              << std::setw(9) << dist.fraction(fi::Outcome::Correct) * 100
+              << "%" << std::setw(11)
+              << dist.fraction(fi::Outcome::PanicPark) * 100 << "%"
+              << std::setw(9) << dist.fraction(fi::Outcome::CpuPark) * 100
+              << "%" << std::setw(11)
+              << dist.fraction(fi::Outcome::InvalidArguments) * 100 << "%\n";
+  }
+  std::cout << std::string(74, '-') << "\n";
+  std::cout << "note: stuck-at rewrites whole registers (always visible to "
+               "the handler),\nsingle-bit flips often land in dead bits — "
+               "the §V extension quantified\n";
+  return 0;
+}

@@ -1,0 +1,138 @@
+// E5 — testing-framework overhead (Figure 2's instrumentation).
+//
+// The paper adds "a dozen of lines of code" to Jailhouse; this
+// microbenchmark measures what the added hook costs on the hypervisor hot
+// paths: trap dispatch, hypercall dispatch and interrupt acknowledgement,
+// with no hook, with an armed-but-filtered hook, and with a firing
+// injector. Also measures whole-testbed tick throughput.
+#include <benchmark/benchmark.h>
+
+#include "core/campaign.hpp"
+
+namespace {
+
+using namespace mcs;
+
+// --- hypercall path -------------------------------------------------------
+
+void BM_HvcDispatch_NoHook(benchmark::State& state) {
+  platform::BananaPiBoard board;
+  jh::Hypervisor hv(board);
+  (void)hv.enable(jh::make_root_cell_config());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hv.guest_hypercall(
+        0, static_cast<std::uint32_t>(jh::Hypercall::HypervisorGetInfo)));
+  }
+}
+BENCHMARK(BM_HvcDispatch_NoHook);
+
+void BM_HvcDispatch_HookFiltered(benchmark::State& state) {
+  // The injector is attached but targets the IRQ path: every trap pays
+  // only the filter check — the steady-state cost of instrumentation.
+  platform::BananaPiBoard board;
+  jh::Hypervisor hv(board);
+  (void)hv.enable(jh::make_root_cell_config());
+  fi::TestPlan plan = fi::irq_vector_plan();
+  fi::Injector injector(plan, 1, board.clock());
+  injector.attach(hv);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hv.guest_hypercall(
+        0, static_cast<std::uint32_t>(jh::Hypercall::HypervisorGetInfo)));
+  }
+  injector.detach(hv);
+}
+BENCHMARK(BM_HvcDispatch_HookFiltered);
+
+void BM_HvcDispatch_InjectorArmed(benchmark::State& state) {
+  // Worst case: the hook matches the target and applies a (dead-register)
+  // flip on every single call.
+  platform::BananaPiBoard board;
+  jh::Hypervisor hv(board);
+  (void)hv.enable(jh::make_root_cell_config());
+  fi::TestPlan plan;
+  plan.target = jh::HookPoint::ArchHandleHvc;
+  plan.rate = 1;
+  plan.phase = 1;
+  plan.fault_registers = {arch::Reg::R7};  // dead: behaviour unchanged
+  fi::Injector injector(plan, 1, board.clock());
+  injector.attach(hv);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hv.guest_hypercall(
+        0, static_cast<std::uint32_t>(jh::Hypercall::HypervisorGetInfo)));
+  }
+  injector.detach(hv);
+}
+BENCHMARK(BM_HvcDispatch_InjectorArmed);
+
+// --- trap path (stage-2 MMIO emulation) ------------------------------------
+
+void BM_TrapMmioEmulation(benchmark::State& state) {
+  platform::BananaPiBoard board;
+  jh::Hypervisor hv(board);
+  (void)hv.enable(jh::make_root_cell_config());
+  // Root cell GICD read: full trap + emulation round trip.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hv.guest_data_abort(0, jh::kGicDistBase, 0, false));
+  }
+}
+BENCHMARK(BM_TrapMmioEmulation);
+
+// --- irqchip path -----------------------------------------------------------
+
+void BM_IrqAcknowledge(benchmark::State& state) {
+  platform::BananaPiBoard board;
+  jh::Hypervisor hv(board);
+  (void)hv.enable(jh::make_root_cell_config());
+  for (auto _ : state) {
+    (void)board.gic().raise_ppi(0, platform::kVirtualTimerPpi);
+    benchmark::DoNotOptimize(hv.irqchip_handle_irq(0));
+  }
+}
+BENCHMARK(BM_IrqAcknowledge);
+
+// --- whole-testbed throughput ------------------------------------------------
+
+void BM_TestbedTick_Golden(benchmark::State& state) {
+  fi::Testbed testbed;
+  (void)testbed.enable_hypervisor();
+  testbed.boot_freertos_cell();
+  for (auto _ : state) {
+    testbed.run(1);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TestbedTick_Golden);
+
+void BM_TestbedTick_UnderInjection(benchmark::State& state) {
+  fi::Testbed testbed;
+  (void)testbed.enable_hypervisor();
+  testbed.boot_freertos_cell();
+  fi::TestPlan plan = fi::paper_medium_trap_plan();
+  plan.fault_registers = {arch::Reg::R7};  // dead register: runs forever
+  plan.rate = 1;
+  plan.phase = 1;
+  fi::Injector injector(plan, 1, testbed.board().clock());
+  injector.attach(testbed.hypervisor());
+  for (auto _ : state) {
+    testbed.run(1);
+  }
+  injector.detach(testbed.hypervisor());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TestbedTick_UnderInjection);
+
+void BM_FullMediumRun(benchmark::State& state) {
+  // One complete Figure 3 run: boot, one simulated minute, classify.
+  fi::TestPlan plan = fi::paper_medium_trap_plan();
+  plan.runs = 1;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    fi::Campaign campaign(plan);
+    benchmark::DoNotOptimize(campaign.execute_one(seed++));
+  }
+}
+BENCHMARK(BM_FullMediumRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

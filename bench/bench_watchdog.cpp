@@ -1,0 +1,159 @@
+// Extension bench — watchdog detection coverage over the paper's failure
+// modes.
+//
+// Reruns the E3 (inconsistent cell) and a park-heavy medium campaign with
+// the cell liveness watchdog installed, and reports how many of the
+// failures the paper found *manually* (via a blank USART and a shell) the
+// watchdog detects automatically, and how fast.
+//
+//   $ ./bench_watchdog [runs]   (default 25)
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+
+#include "core/campaign.hpp"
+#include "hypervisor/watchdog.hpp"
+
+namespace {
+
+using namespace mcs;
+
+struct WatchdogTrial {
+  std::uint64_t failures = 0;
+  std::uint64_t detected = 0;
+  std::uint64_t remediated = 0;
+  double mean_latency = 0.0;
+};
+
+WatchdogTrial run_with_watchdog(const fi::TestPlan& plan, std::uint32_t runs,
+                                jh::RemediationPolicy policy) {
+  WatchdogTrial trial;
+  util::SplitMix64 seeder(plan.seed);
+  double latency_sum = 0.0;
+  for (std::uint32_t i = 0; i < runs; ++i) {
+    fi::Testbed testbed;
+    if (!testbed.enable_hypervisor().is_ok()) continue;
+    jh::CellWatchdog::Options options;
+    options.check_period = 100;
+    options.policy = policy;
+    jh::CellWatchdog watchdog(testbed.hypervisor(), options);
+    testbed.machine().install_watchdog(&watchdog);
+
+    fi::Injector injector(plan, seeder.next(), testbed.board().clock());
+    if (plan.inject_during_boot) {
+      injector.attach(testbed.hypervisor());
+      testbed.boot_freertos_cell();
+    } else {
+      testbed.boot_freertos_cell();
+      injector.attach(testbed.hypervisor());
+    }
+    testbed.run(plan.duration_ticks);
+    injector.set_armed(false);
+    testbed.run(300);  // give the watchdog a few check periods
+
+    const bool hv_alive = !testbed.hypervisor().is_panicked();
+    const auto& cpu1 = testbed.board().cpu(1);
+    // Under auto-shutdown the failed cell is already gone by the time we
+    // look, so a raised alarm is itself evidence of the failure.
+    const bool cell_failure =
+        hv_alive && (cpu1.is_parked() ||
+                     cpu1.power_state() == arch::PowerState::Failed ||
+                     watchdog.alarms() > 0);
+    if (cell_failure) {
+      ++trial.failures;
+      if (watchdog.alarms() > 0) {
+        ++trial.detected;
+        latency_sum += static_cast<double>(
+            watchdog.first_alarm_tick(testbed.freertos_cell_id()) -
+            injector.first_injection_tick());
+      }
+      trial.remediated += watchdog.remediations();
+    }
+    injector.detach(testbed.hypervisor());
+    testbed.machine().install_watchdog(nullptr);
+  }
+  trial.mean_latency =
+      trial.detected == 0 ? 0.0 : latency_sum / static_cast<double>(trial.detected);
+  return trial;
+}
+
+void print_row(const std::string& name, const WatchdogTrial& trial) {
+  std::cout << std::left << std::setw(34) << name << std::right << std::setw(9)
+            << trial.failures << std::setw(10) << trial.detected
+            << std::setw(12) << trial.remediated << std::setw(13) << std::fixed
+            << std::setprecision(0) << trial.mean_latency << "ms\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto runs =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 25;
+
+  std::cout << "Extension — cell liveness watchdog over the paper's failure "
+               "modes\n";
+  std::cout << std::string(78, '=') << "\n";
+  std::cout << std::left << std::setw(34) << "scenario" << std::right
+            << std::setw(9) << "failures" << std::setw(10) << "detected"
+            << std::setw(12) << "remediated" << std::setw(13)
+            << "mean latency" << "\n";
+  std::cout << std::string(78, '-') << "\n";
+
+  // E3: the inconsistent cell the paper could only find by staring at a
+  // blank USART.
+  fi::TestPlan inconsistent = fi::paper_high_nonroot_plan();
+  inconsistent.duration_ticks = 1'500;
+  print_row("inconsistent cell (report-only)",
+            run_with_watchdog(inconsistent, runs,
+                              jh::RemediationPolicy::ReportOnly));
+  print_row("inconsistent cell (auto-shutdown)",
+            run_with_watchdog(inconsistent, runs,
+                              jh::RemediationPolicy::AutoShutdown));
+
+  // CPU parks from a park-prone register campaign (fault address r2).
+  fi::TestPlan parks = fi::paper_medium_trap_plan();
+  parks.fault_registers = {arch::Reg::R2};
+  parks.rate = 5;
+  parks.phase = 1;
+  parks.duration_ticks = 10'000;
+  print_row("cpu park 0x24 (report-only)",
+            run_with_watchdog(parks, runs, jh::RemediationPolicy::ReportOnly));
+  print_row("cpu park 0x24 (auto-shutdown)",
+            run_with_watchdog(parks, runs, jh::RemediationPolicy::AutoShutdown));
+
+  std::cout << std::string(78, '-') << "\n";
+
+  // Ablation: detection latency vs check period for the inconsistent cell
+  // (the detection cost/latency trade the integrator tunes).
+  std::cout << "\ncheck-period ablation (inconsistent cell, single run each):\n";
+  std::cout << std::left << std::setw(14) << "period" << "fault->alarm\n";
+  for (const std::uint64_t period : {10ull, 50ull, 100ull, 250ull, 500ull}) {
+    fi::Testbed testbed;
+    if (!testbed.enable_hypervisor().is_ok()) continue;
+    jh::CellWatchdog::Options options;
+    options.check_period = period;
+    jh::CellWatchdog watchdog(testbed.hypervisor(), options);
+    testbed.machine().install_watchdog(&watchdog);
+    fi::TestPlan plan = fi::paper_high_nonroot_plan();
+    fi::Injector injector(plan, 7, testbed.board().clock());
+    injector.attach(testbed.hypervisor());
+    testbed.boot_freertos_cell();  // bring-up fails under injection
+    const std::uint64_t fault_tick = injector.first_injection_tick();
+    testbed.run(2 * period + 50);
+    const std::uint64_t alarm = watchdog.first_alarm_tick(testbed.freertos_cell_id());
+    std::cout << std::left << std::setw(14)
+              << (std::to_string(period) + "ms")
+              << (alarm > 0 ? std::to_string(alarm - fault_tick) + "ms"
+                            : std::string("not detected"))
+              << "\n";
+    injector.detach(testbed.hypervisor());
+    testbed.machine().install_watchdog(nullptr);
+  }
+
+  std::cout << "\nreading: the watchdog turns the paper's manual blank-USART "
+               "diagnosis into a\nbounded-latency detection (≈ one check "
+               "period), and auto-shutdown restores\nthe root cell's CPU "
+               "without operator action — the §V 'error detection/handling'\n"
+               "direction, measured\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// autosar_demo: an AUTOSAR-classic (OSEK) partition as the safety-critical
+// payload — the §IV landscape (MICROSAR, AUTOSAR OS) recreated on the
+// open-source partitioning hypervisor, then assessed with the same
+// fault-injection methodology to show it is guest-agnostic.
+//
+//   $ ./autosar_demo
+#include <iostream>
+
+#include "core/campaign.hpp"
+#include "guests/osek_image.hpp"
+#include "hypervisor/config_text.hpp"
+
+int main() {
+  using namespace mcs;
+
+  fi::Testbed testbed;
+  if (const util::Status status = testbed.enable_hypervisor(); !status.is_ok()) {
+    std::cerr << "enable failed: " << status << "\n";
+    return 1;
+  }
+
+  // The cell config as the text artefact a deployment would version.
+  std::cout << "== cell configuration (.cell text form) ==\n"
+            << jh::to_text(jh::make_freertos_cell_config()) << "\n";
+
+  // Boot the cell, then swap the payload to the OSEK image.
+  guest::OsekImage osek;
+  testbed.boot_freertos_cell();
+  testbed.machine().bind_guest(testbed.freertos_cell_id(), osek);
+  testbed.shutdown_freertos_cell();
+  testbed.linux_root().enqueue(
+      {jh::Hypercall::CellSetLoadable, testbed.freertos_cell_id()});
+  testbed.linux_root().cell_start(testbed.freertos_cell_id());
+  testbed.run(30);
+
+  std::cout << "== 5 seconds of AUTOSAR-style operation ==\n";
+  testbed.run(5'000);
+  std::cout << "brake-pressure samples : " << osek.brake_samples()
+            << " (10 ms task)\n";
+  std::cout << "frames transmitted     : " << osek.frames_sent()
+            << " (50 ms task)\n";
+  std::cout << "watchdog kicks         : " << osek.wdg_kicks()
+            << " (100 ms task)\n";
+  std::cout << "plausibility errors    : " << osek.data_errors() << "\n\n";
+
+  const auto lines = testbed.board().uart1().lines();
+  std::cout << "last USART lines:\n";
+  for (std::size_t i = lines.size() > 5 ? lines.size() - 5 : 0;
+       i < lines.size(); ++i) {
+    std::cout << "  | " << lines[i] << "\n";
+  }
+
+  // The same medium-intensity assessment, against the OSEK cell.
+  std::cout << "\n== medium-intensity injection against the OSEK cell ==\n";
+  fi::TestPlan plan = fi::paper_medium_trap_plan();
+  plan.rate = 20;
+  plan.phase = 1;
+  fi::Injector injector(plan, 2026, testbed.board().clock());
+  injector.attach(testbed.hypervisor());
+  testbed.run(10'000);
+  injector.detach(testbed.hypervisor());
+
+  const auto& cpu1 = testbed.board().cpu(1);
+  std::cout << "injections: " << injector.injections() << "\n";
+  if (testbed.hypervisor().is_panicked()) {
+    std::cout << "outcome: panic park — " << testbed.hypervisor().panic_reason()
+              << "\n";
+  } else if (cpu1.is_parked()) {
+    std::cout << "outcome: cpu park — " << cpu1.halt_reason() << "\n";
+  } else {
+    std::cout << "outcome: workload survived, " << osek.frames_sent()
+              << " frames total\n";
+  }
+  std::cout << "\nsame failure taxonomy as the FreeRTOS cell: the classes "
+               "belong to the\nhypervisor's entry paths, not to the guest OS\n";
+  return 0;
+}

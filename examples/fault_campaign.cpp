@@ -1,0 +1,36 @@
+// fault_campaign: configure and run a custom fault-injection campaign
+// against the hypervisor, then print the analytics — the full Figure 2
+// pipeline in ~40 lines of user code.
+//
+//   $ ./fault_campaign [runs] [rate] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/report.hpp"
+#include "core/campaign.hpp"
+
+int main(int argc, char** argv) {
+  using namespace mcs;
+
+  fi::TestPlan plan = fi::paper_medium_trap_plan();
+  plan.runs = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 40;
+  plan.rate = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2]))
+                       : fi::kMediumRate;
+  plan.seed = argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3]))
+                       : 0xC0FFEEULL;
+  // Paper-faithful 1-minute tests (60'000 board ticks).
+
+  std::cout << "campaign: " << plan.name << " — " << plan.runs
+            << " runs, inject 1/" << plan.rate << " calls, seed 0x" << std::hex
+            << plan.seed << std::dec << "\n\n";
+
+  fi::Campaign campaign(plan);
+  campaign.set_progress([](std::uint32_t index, const fi::RunResult& run) {
+    std::cout << fi::run_log_line(index, run) << "\n";
+  });
+  const fi::CampaignResult result = campaign.execute();
+
+  std::cout << "\n" << analysis::render_distribution_table(result) << "\n";
+  std::cout << analysis::render_latency_summary(result);
+  return 0;
+}

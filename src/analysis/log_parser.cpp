@@ -1,0 +1,106 @@
+#include "analysis/log_parser.hpp"
+
+#include <charconv>
+
+#include "util/strings.hpp"
+
+namespace mcs::analysis {
+namespace {
+
+util::Expected<util::Severity> parse_severity(std::string_view token) {
+  if (token == "DEBUG") return util::Severity::Debug;
+  if (token == "INFO") return util::Severity::Info;
+  if (token == "WARN") return util::Severity::Warning;
+  if (token == "ERROR") return util::Severity::Error;
+  if (token == "FATAL") return util::Severity::Fatal;
+  return util::invalid_argument("unknown severity token");
+}
+
+}  // namespace
+
+util::Expected<util::LogRecord> parse_log_line(std::string_view line) {
+  // "[<ticks>ms] <LEVEL> <component>[/cpuN]: <message>"
+  if (line.empty() || line.front() != '[') {
+    return util::invalid_argument("missing timestamp bracket");
+  }
+  const std::size_t close = line.find("ms]");
+  if (close == std::string_view::npos) {
+    return util::invalid_argument("missing 'ms]'");
+  }
+  util::LogRecord record;
+  {
+    const std::string_view digits = line.substr(1, close - 1);
+    std::uint64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(digits.data(), digits.data() + digits.size(), value);
+    if (ec != std::errc{} || ptr != digits.data() + digits.size()) {
+      return util::invalid_argument("bad timestamp");
+    }
+    record.timestamp = util::Ticks{value};
+  }
+  std::string_view rest = util::trim(line.substr(close + 3));
+
+  const std::size_t severity_end = rest.find(' ');
+  if (severity_end == std::string_view::npos) {
+    return util::invalid_argument("missing severity");
+  }
+  auto severity = parse_severity(rest.substr(0, severity_end));
+  if (!severity.is_ok()) return severity.status();
+  record.severity = severity.value();
+  rest = util::trim(rest.substr(severity_end + 1));
+
+  const std::size_t colon = rest.find(": ");
+  if (colon == std::string_view::npos) {
+    return util::invalid_argument("missing component separator");
+  }
+  std::string_view component = rest.substr(0, colon);
+  record.message = std::string(rest.substr(colon + 2));
+
+  const std::size_t slash = component.find("/cpu");
+  if (slash != std::string_view::npos) {
+    const std::string_view cpu_digits = component.substr(slash + 4);
+    int cpu = -1;
+    const auto [ptr, ec] = std::from_chars(
+        cpu_digits.data(), cpu_digits.data() + cpu_digits.size(), cpu);
+    if (ec == std::errc{} && ptr == cpu_digits.data() + cpu_digits.size()) {
+      record.cpu = cpu;
+      component = component.substr(0, slash);
+    }
+  }
+  record.component = std::string(component);
+  return record;
+}
+
+ParsedLog parse_log_text(std::string_view text) {
+  ParsedLog parsed;
+  for (const std::string& line : util::split(text, '\n')) {
+    if (util::trim(line).empty()) continue;
+    auto record = parse_log_line(line);
+    if (record.is_ok()) {
+      parsed.records.push_back(std::move(record).value());
+    } else {
+      ++parsed.malformed_lines;
+    }
+  }
+  return parsed;
+}
+
+std::vector<const util::LogRecord*> ParsedLog::select(
+    std::string_view component, util::Severity at_least) const {
+  std::vector<const util::LogRecord*> out;
+  for (const util::LogRecord& record : records) {
+    if (record.component == component && record.severity >= at_least) {
+      out.push_back(&record);
+    }
+  }
+  return out;
+}
+
+const util::LogRecord* ParsedLog::find_first(std::string_view needle) const {
+  for (const util::LogRecord& record : records) {
+    if (record.message.find(needle) != std::string::npos) return &record;
+  }
+  return nullptr;
+}
+
+}  // namespace mcs::analysis

@@ -1,0 +1,34 @@
+// Log-file round trip: the paper's framework writes results "into a log
+// file, which is further analyzed". EventLog::to_text() is that file;
+// this parser reads it back so analytics can run offline, detached from
+// the live testbed.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/log.hpp"
+#include "util/status.hpp"
+
+namespace mcs::analysis {
+
+/// Parse one "[123ms] LEVEL component/cpuN: message" line.
+[[nodiscard]] util::Expected<util::LogRecord> parse_log_line(std::string_view line);
+
+/// Parse a whole log file; malformed lines are skipped and counted.
+struct ParsedLog {
+  std::vector<util::LogRecord> records;
+  std::size_t malformed_lines = 0;
+
+  /// Records from a component, at or above a severity.
+  [[nodiscard]] std::vector<const util::LogRecord*> select(
+      std::string_view component, util::Severity at_least) const;
+
+  /// First record whose message contains the needle, or nullptr.
+  [[nodiscard]] const util::LogRecord* find_first(std::string_view needle) const;
+};
+
+[[nodiscard]] ParsedLog parse_log_text(std::string_view text);
+
+}  // namespace mcs::analysis

@@ -1,0 +1,91 @@
+#include "analysis/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "analysis/stats.hpp"
+
+namespace mcs::analysis {
+namespace {
+
+constexpr int kBarWidth = 46;
+
+std::string bar(double fraction) {
+  const int filled = static_cast<int>(fraction * kBarWidth + 0.5);
+  std::string out(static_cast<std::size_t>(filled), '#');
+  out.resize(kBarWidth, ' ');
+  return out;
+}
+
+}  // namespace
+
+std::string render_distribution_chart(const fi::CampaignResult& result,
+                                      const std::string& title) {
+  const fi::OutcomeDistribution dist = result.distribution();
+  std::ostringstream out;
+  out << title << "\n";
+  out << std::string(title.size(), '=') << "\n";
+  out << "plan: " << result.plan.name << ", runs: " << dist.total()
+      << ", injections: " << result.total_injections() << "\n\n";
+  for (std::size_t i = 0; i < fi::kNumOutcomes; ++i) {
+    const auto outcome = static_cast<fi::Outcome>(i);
+    const std::uint64_t count = dist.count(outcome);
+    if (count == 0) continue;
+    const double fraction = dist.fraction(outcome);
+    out << std::setw(18) << std::left << fi::outcome_name(outcome) << " |"
+        << bar(fraction) << "| " << std::setw(4) << std::right << count << "  "
+        << std::fixed << std::setprecision(1) << fraction * 100.0 << "%\n";
+  }
+  return out.str();
+}
+
+std::string render_distribution_table(const fi::CampaignResult& result) {
+  const fi::OutcomeDistribution dist = result.distribution();
+  std::ostringstream out;
+  out << std::left << std::setw(20) << "outcome" << std::right << std::setw(8)
+      << "count" << std::setw(9) << "share" << std::setw(20) << "95% Wilson CI"
+      << "\n";
+  out << std::string(57, '-') << "\n";
+  for (std::size_t i = 0; i < fi::kNumOutcomes; ++i) {
+    const auto outcome = static_cast<fi::Outcome>(i);
+    const std::uint64_t count = dist.count(outcome);
+    const Proportion ci = wilson_interval(count, dist.total());
+    out << std::left << std::setw(20) << fi::outcome_name(outcome) << std::right
+        << std::setw(8) << count << std::setw(8) << std::fixed
+        << std::setprecision(1) << ci.estimate * 100.0 << "%"
+        << "    [" << std::setw(5) << ci.lower * 100.0 << "%, " << std::setw(5)
+        << ci.upper * 100.0 << "%]\n";
+  }
+  out << std::string(57, '-') << "\n";
+  out << std::left << std::setw(20) << "total" << std::right << std::setw(8)
+      << dist.total() << "\n";
+  return out.str();
+}
+
+std::string render_run_log(const fi::CampaignResult& result) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    out << fi::run_log_line(static_cast<std::uint32_t>(i), result.runs[i])
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string render_latency_summary(const fi::CampaignResult& result) {
+  std::vector<double> latencies;
+  for (const fi::RunResult& run : result.runs) {
+    if (run.failure_detected()) {
+      latencies.push_back(static_cast<double>(run.detection_latency()));
+    }
+  }
+  const Summary summary = summarize(std::move(latencies));
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(1);
+  out << "failure detection latency (first injection -> first hypervisor "
+         "error): n="
+      << summary.n << ", mean=" << summary.mean << "ms, median="
+      << summary.median << "ms, max=" << summary.max << "ms\n";
+  return out.str();
+}
+
+}  // namespace mcs::analysis

@@ -1,0 +1,25 @@
+// Campaign reporting: the tables and the Figure-3-style chart the paper's
+// "analytics" stage produces from the collected log file.
+#pragma once
+
+#include <string>
+
+#include "core/campaign.hpp"
+
+namespace mcs::analysis {
+
+/// Figure 3 rendering: outcome distribution as an ASCII bar chart with
+/// Wilson 95 % intervals per class.
+[[nodiscard]] std::string render_distribution_chart(const fi::CampaignResult& result,
+                                                    const std::string& title);
+
+/// One row per outcome class: count, share, confidence interval.
+[[nodiscard]] std::string render_distribution_table(const fi::CampaignResult& result);
+
+/// Per-run detail listing (the campaign log file body).
+[[nodiscard]] std::string render_run_log(const fi::CampaignResult& result);
+
+/// Detection-latency summary paragraph.
+[[nodiscard]] std::string render_latency_summary(const fi::CampaignResult& result);
+
+}  // namespace mcs::analysis

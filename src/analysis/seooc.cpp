@@ -1,0 +1,142 @@
+#include "analysis/seooc.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace mcs::analysis {
+
+std::string_view claim_verdict_name(ClaimVerdict verdict) noexcept {
+  switch (verdict) {
+    case ClaimVerdict::Supported: return "SUPPORTED";
+    case ClaimVerdict::Refuted: return "REFUTED";
+    case ClaimVerdict::Inconclusive: return "INCONCLUSIVE";
+  }
+  return "?";
+}
+
+bool SeoocReport::all_supported() const noexcept {
+  for (const ClaimAssessment& claim : claims) {
+    if (claim.verdict != ClaimVerdict::Supported) return false;
+  }
+  return true;
+}
+
+std::string SeoocReport::to_text() const {
+  std::ostringstream out;
+  out << "ISO 26262 SEooC evidence assessment — Jailhouse-class partitioning "
+         "hypervisor\n";
+  out << std::string(76, '=') << "\n\n";
+  for (std::size_t i = 0; i < claims.size(); ++i) {
+    const ClaimAssessment& claim = claims[i];
+    out << "Claim " << i + 1 << ": " << claim.claim << "\n";
+    out << "  verdict:  " << claim_verdict_name(claim.verdict) << "\n";
+    out << "  evidence: " << claim.evidence << "\n\n";
+  }
+  out << "Residual risks (impact analysis required before integration):\n";
+  if (residual_risks.empty()) {
+    out << "  none identified by the executed campaigns\n";
+  }
+  for (const std::string& risk : residual_risks) {
+    out << "  * " << risk << "\n";
+  }
+  out << "\nOverall: "
+      << (all_supported()
+              ? "campaigns support the isolation claims tested"
+              : "open findings block an unconditional SEooC argument")
+      << "\n";
+  return out.str();
+}
+
+SeoocReport build_seooc_report(const fi::CampaignResult& medium_nonroot,
+                               const fi::CampaignResult& high_root,
+                               const fi::CampaignResult& high_nonroot) {
+  SeoocReport report;
+  const fi::OutcomeDistribution medium = medium_nonroot.distribution();
+  const fi::OutcomeDistribution root = high_root.distribution();
+  const fi::OutcomeDistribution nonroot = high_nonroot.distribution();
+
+  // Claim 1 — management fail-stop: corrupted management hypercalls are
+  // rejected with "invalid arguments" and never allocate a broken cell.
+  {
+    ClaimAssessment claim;
+    claim.claim =
+        "Corrupted management hypercalls fail stop (EINVAL) without "
+        "allocating the cell";
+    const std::uint64_t ok = root.count(fi::Outcome::InvalidArguments);
+    claim.verdict = (root.total() > 0 && ok == root.total())
+                        ? ClaimVerdict::Supported
+                        : (root.total() == 0 ? ClaimVerdict::Inconclusive
+                                             : ClaimVerdict::Refuted);
+    claim.evidence = std::to_string(ok) + "/" + std::to_string(root.total()) +
+                     " high-intensity root-context runs ended in "
+                     "invalid-arguments fail-stop";
+    report.claims.push_back(std::move(claim));
+  }
+
+  // Claim 2 — fault containment: non-root faults never corrupt the root
+  // cell silently; every system-level failure is an explicit detected
+  // panic, never silent root corruption.
+  {
+    ClaimAssessment claim;
+    claim.claim =
+        "Non-root faults are contained or detected (no silent root-cell "
+        "corruption)";
+    const std::uint64_t silent = medium.count(fi::Outcome::SilentHang);
+    claim.verdict = silent == 0 ? ClaimVerdict::Supported : ClaimVerdict::Refuted;
+    claim.evidence = "0 silent outcomes required, observed " +
+                     std::to_string(silent) + " in " +
+                     std::to_string(medium.total()) + " medium-intensity runs";
+    report.claims.push_back(std::move(claim));
+  }
+
+  // Claim 3 — recoverability: after a cell-level failure, `cell shutdown`
+  // reclaims the CPU and peripherals for the root cell.
+  {
+    ClaimAssessment claim;
+    claim.claim =
+        "After cell-level failure, shutdown returns CPU and peripherals to "
+        "the root cell";
+    std::uint64_t failed_runs = 0;
+    std::uint64_t reclaimed = 0;
+    for (const auto* campaign : {&medium_nonroot, &high_nonroot}) {
+      for (const fi::RunResult& run : campaign->runs) {
+        if (run.outcome == fi::Outcome::CpuPark ||
+            run.outcome == fi::Outcome::InconsistentCell) {
+          ++failed_runs;
+          if (run.shutdown_reclaimed) ++reclaimed;
+        }
+      }
+    }
+    claim.verdict = failed_runs == 0
+                        ? ClaimVerdict::Inconclusive
+                        : (reclaimed == failed_runs ? ClaimVerdict::Supported
+                                                    : ClaimVerdict::Refuted);
+    claim.evidence = std::to_string(reclaimed) + "/" +
+                     std::to_string(failed_runs) +
+                     " cell-level failures recovered by cell shutdown";
+    report.claims.push_back(std::move(claim));
+  }
+
+  // Residual risks from the campaigns — §III's findings verbatim.
+  const double panic_share = medium.fraction(fi::Outcome::PanicPark);
+  if (panic_share > 0.0) {
+    report.residual_risks.push_back(
+        "panic park: " +
+        util::percent(medium.count(fi::Outcome::PanicPark), medium.total()) +
+        " of medium-intensity non-root faults propagate to a whole-system "
+        "kernel panic — the root cell is NOT protected from them");
+  }
+  const std::uint64_t inconsistent =
+      nonroot.count(fi::Outcome::InconsistentCell);
+  if (inconsistent > 0) {
+    report.residual_risks.push_back(
+        "inconsistent cell state: " + std::to_string(inconsistent) + "/" +
+        std::to_string(nonroot.total()) +
+        " high-intensity non-root runs left a cell reported RUNNING while "
+        "broken and unusable; only destroy+recreate recovers");
+  }
+  return report;
+}
+
+}  // namespace mcs::analysis

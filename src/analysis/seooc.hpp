@@ -1,0 +1,47 @@
+// ISO 26262 SEooC evidence assembly.
+//
+// The paper's end goal: "we need to provide evidence about isolation
+// guarantees needed for treating a hypervisor as SEooC". This module turns
+// campaign results into that evidence: a claim-by-claim assessment with
+// the measured support and the residual risks (the inconsistent cell
+// state being the headline one).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+
+namespace mcs::analysis {
+
+/// Verdict for one safety claim.
+enum class ClaimVerdict : std::uint8_t {
+  Supported,       ///< evidence supports the claim
+  Refuted,         ///< evidence contradicts the claim
+  Inconclusive,    ///< not enough data
+};
+
+[[nodiscard]] std::string_view claim_verdict_name(ClaimVerdict verdict) noexcept;
+
+struct ClaimAssessment {
+  std::string claim;
+  ClaimVerdict verdict = ClaimVerdict::Inconclusive;
+  std::string evidence;
+};
+
+struct SeoocReport {
+  std::vector<ClaimAssessment> claims;
+  std::vector<std::string> residual_risks;
+
+  [[nodiscard]] bool all_supported() const noexcept;
+  [[nodiscard]] std::string to_text() const;
+};
+
+/// Build the SEooC assessment from the three paper campaigns:
+/// medium (Figure 3), high/root, high/non-root.
+[[nodiscard]] SeoocReport build_seooc_report(
+    const fi::CampaignResult& medium_nonroot,
+    const fi::CampaignResult& high_root,
+    const fi::CampaignResult& high_nonroot);
+
+}  // namespace mcs::analysis

@@ -1,0 +1,43 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcs::analysis {
+
+Proportion wilson_interval(std::uint64_t k, std::uint64_t n, double z) {
+  Proportion out;
+  if (n == 0) return out;
+  const double nn = static_cast<double>(n);
+  const double p = static_cast<double>(k) / nn;
+  out.estimate = p;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / nn;
+  const double centre = p + z2 / (2.0 * nn);
+  const double margin = z * std::sqrt(p * (1.0 - p) / nn + z2 / (4.0 * nn * nn));
+  out.lower = std::max(0.0, (centre - margin) / denom);
+  out.upper = std::min(1.0, (centre + margin) / denom);
+  return out;
+}
+
+Summary summarize(std::vector<double> values) {
+  Summary out;
+  out.n = values.size();
+  if (values.empty()) return out;
+  std::sort(values.begin(), values.end());
+  out.min = values.front();
+  out.max = values.back();
+  out.median = values.size() % 2 == 1
+                   ? values[values.size() / 2]
+                   : 0.5 * (values[values.size() / 2 - 1] +
+                            values[values.size() / 2]);
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  out.mean = sum / static_cast<double>(values.size());
+  double var = 0.0;
+  for (const double v : values) var += (v - out.mean) * (v - out.mean);
+  out.stddev = std::sqrt(var / static_cast<double>(values.size()));
+  return out;
+}
+
+}  // namespace mcs::analysis

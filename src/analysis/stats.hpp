@@ -1,0 +1,35 @@
+// Statistics for campaign analytics: proportions with Wilson confidence
+// intervals (the right interval for small-n fault-injection campaigns),
+// plus simple summary stats for latency series.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mcs::analysis {
+
+/// A proportion estimate with a confidence interval.
+struct Proportion {
+  double estimate = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// Wilson score interval for k successes in n trials at confidence given
+/// by `z` (1.96 → 95 %). n == 0 yields {0,0,0}.
+[[nodiscard]] Proportion wilson_interval(std::uint64_t k, std::uint64_t n,
+                                         double z = 1.96);
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  std::size_t n = 0;
+};
+
+/// Summary statistics of a sample (population stddev; empty → zeros).
+[[nodiscard]] Summary summarize(std::vector<double> values);
+
+}  // namespace mcs::analysis

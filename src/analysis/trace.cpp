@@ -1,0 +1,118 @@
+#include "analysis/trace.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace mcs::analysis {
+namespace {
+
+constexpr std::string_view kRunsHeader =
+    "run,outcome,injections,flipped_bits,first_injection_tick,failure_tick,"
+    "detection_latency_ms,uart1_bytes,led_toggles,traps,hvcs,irqs,"
+    "create_result,start_result,cell_exists,shutdown_reclaimed,detail";
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+std::string runs_to_csv(const fi::CampaignResult& result) {
+  std::ostringstream out;
+  out << kRunsHeader << "\n";
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    const fi::RunResult& run = result.runs[i];
+    out << i << ',' << fi::outcome_name(run.outcome) << ',' << run.injections
+        << ',' << run.flipped_bits << ',' << run.first_injection_tick << ','
+        << run.failure_tick << ',' << run.detection_latency() << ','
+        << run.uart1_bytes << ',' << run.led_toggles << ',' << run.traps << ','
+        << run.hvcs << ',' << run.irqs << ',' << run.create_result << ','
+        << run.start_result << ',' << (run.cell_exists ? 1 : 0) << ','
+        << (run.shutdown_reclaimed ? 1 : 0) << ',' << csv_escape(run.detail)
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string injections_to_csv(const std::vector<fi::InjectionRecord>& records) {
+  std::ostringstream out;
+  out << "tick,call_index,point,cpu,reg,bit,before,after\n";
+  for (const fi::InjectionRecord& record : records) {
+    for (const fi::FlipRecord& flip : record.flips) {
+      out << record.tick << ',' << record.call_index << ','
+          << jh::hook_point_name(record.point) << ',' << record.cpu << ','
+          << arch::reg_name(flip.reg) << ',' << flip.bit << ','
+          << util::hex(flip.before) << ',' << util::hex(flip.after) << "\n";
+    }
+  }
+  return out.str();
+}
+
+std::string campaign_manifest(const fi::CampaignResult& result) {
+  const fi::OutcomeDistribution dist = result.distribution();
+  std::ostringstream out;
+  out << "plan.name=" << result.plan.name << "\n";
+  out << "plan.target=" << jh::hook_point_name(result.plan.target) << "\n";
+  out << "plan.fault_model=" << fi::fault_model_kind_name(result.plan.fault)
+      << "\n";
+  out << "plan.rate=" << result.plan.rate << "\n";
+  out << "plan.phase=" << result.plan.phase << "\n";
+  out << "plan.cpu_filter=" << result.plan.cpu_filter << "\n";
+  out << "plan.duration_ticks=" << result.plan.duration_ticks << "\n";
+  out << "plan.runs=" << result.plan.runs << "\n";
+  out << "plan.seed=" << util::hex(result.plan.seed) << "\n";
+  out << "plan.inject_during_boot="
+      << (result.plan.inject_during_boot ? 1 : 0) << "\n";
+  out << "result.total_runs=" << dist.total() << "\n";
+  out << "result.total_injections=" << result.total_injections() << "\n";
+  for (std::size_t i = 0; i < fi::kNumOutcomes; ++i) {
+    const auto outcome = static_cast<fi::Outcome>(i);
+    out << "result.outcome." << fi::outcome_name(outcome) << "="
+        << dist.count(outcome) << "\n";
+  }
+  out << "result.mean_detection_latency_ms=" << result.mean_detection_latency()
+      << "\n";
+  return out.str();
+}
+
+ParsedRunsCsv parse_runs_csv(const std::string& csv) {
+  ParsedRunsCsv parsed;
+  bool header = true;
+  for (const std::string& line : util::split(csv, '\n')) {
+    if (util::trim(line).empty()) continue;
+    if (header) {
+      header = false;
+      continue;
+    }
+    const std::vector<std::string> fields = util::split(line, ',');
+    if (fields.size() < 2) {
+      ++parsed.malformed;
+      continue;
+    }
+    bool known = false;
+    for (std::size_t i = 0; i < fi::kNumOutcomes; ++i) {
+      const auto outcome = static_cast<fi::Outcome>(i);
+      if (fields[1] == fi::outcome_name(outcome)) {
+        parsed.distribution.add(outcome);
+        known = true;
+        break;
+      }
+    }
+    if (known) {
+      ++parsed.rows;
+    } else {
+      ++parsed.malformed;
+    }
+  }
+  return parsed;
+}
+
+}  // namespace mcs::analysis

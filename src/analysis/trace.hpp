@@ -1,0 +1,35 @@
+// Machine-readable campaign artefacts: CSV exports of run results and
+// injection records, and a flat key=value experiment manifest. These are
+// the files an assessor archives next to the ISO 26262 work products —
+// everything needed to re-analyse a campaign without re-running it.
+#pragma once
+
+#include <string>
+
+#include "core/campaign.hpp"
+#include "core/injector.hpp"
+
+namespace mcs::analysis {
+
+/// One CSV row per run: index, outcome, injections, flipped bits, ticks,
+/// observables, management results, recovery probe.
+[[nodiscard]] std::string runs_to_csv(const fi::CampaignResult& result);
+
+/// One CSV row per injection of a single run's injector records.
+[[nodiscard]] std::string injections_to_csv(
+    const std::vector<fi::InjectionRecord>& records);
+
+/// Flat manifest (key=value per line) capturing the plan and the
+/// aggregate outcome — the reproducibility header of a campaign archive.
+[[nodiscard]] std::string campaign_manifest(const fi::CampaignResult& result);
+
+/// Parse a runs CSV back into outcome counts (round-trip for archival
+/// integrity checks). Unknown outcome strings are counted as malformed.
+struct ParsedRunsCsv {
+  fi::OutcomeDistribution distribution;
+  std::size_t rows = 0;
+  std::size_t malformed = 0;
+};
+[[nodiscard]] ParsedRunsCsv parse_runs_csv(const std::string& csv);
+
+}  // namespace mcs::analysis

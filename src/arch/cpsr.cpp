@@ -1,0 +1,36 @@
+#include "arch/cpsr.hpp"
+
+namespace mcs::arch {
+
+std::string_view mode_name(Mode mode) noexcept {
+  switch (mode) {
+    case Mode::User: return "usr";
+    case Mode::Fiq: return "fiq";
+    case Mode::Irq: return "irq";
+    case Mode::Supervisor: return "svc";
+    case Mode::Monitor: return "mon";
+    case Mode::Abort: return "abt";
+    case Mode::Hyp: return "hyp";
+    case Mode::Undefined: return "und";
+    case Mode::System: return "sys";
+  }
+  return "invalid";
+}
+
+bool is_valid_mode(std::uint8_t bits) noexcept {
+  switch (static_cast<Mode>(bits)) {
+    case Mode::User:
+    case Mode::Fiq:
+    case Mode::Irq:
+    case Mode::Supervisor:
+    case Mode::Monitor:
+    case Mode::Abort:
+    case Mode::Hyp:
+    case Mode::Undefined:
+    case Mode::System:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace mcs::arch

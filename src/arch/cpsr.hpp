@@ -1,0 +1,77 @@
+// Current Program Status Register model (ARMv7-A).
+//
+// Only the fields the hypervisor and the fault classifier inspect are
+// modelled: processor mode (M[4:0]), the IRQ/FIQ mask bits and the NZCV
+// condition flags. Layout matches the architecture so bit flips injected
+// into the CPSR corrupt real fields.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/bitops.hpp"
+
+namespace mcs::arch {
+
+/// ARMv7 processor modes (CPSR.M values).
+enum class Mode : std::uint8_t {
+  User = 0b10000,
+  Fiq = 0b10001,
+  Irq = 0b10010,
+  Supervisor = 0b10011,
+  Monitor = 0b10110,
+  Abort = 0b10111,
+  Hyp = 0b11010,   ///< virtualization extensions — where Jailhouse runs
+  Undefined = 0b11011,
+  System = 0b11111,
+};
+
+[[nodiscard]] std::string_view mode_name(Mode mode) noexcept;
+
+/// True iff the 5-bit mode encoding is architecturally defined.
+[[nodiscard]] bool is_valid_mode(std::uint8_t bits) noexcept;
+
+/// CPSR value wrapper. Keeps the raw 32-bit word authoritative so injected
+/// bit flips hit real encoding bits.
+class Cpsr {
+ public:
+  Cpsr() noexcept = default;
+  explicit Cpsr(std::uint32_t raw) noexcept : raw_(raw) {}
+
+  [[nodiscard]] std::uint32_t raw() const noexcept { return raw_; }
+  void set_raw(std::uint32_t raw) noexcept { raw_ = raw; }
+
+  [[nodiscard]] std::uint8_t mode_bits() const noexcept {
+    return static_cast<std::uint8_t>(util::bits(raw_, 4u, 0u));
+  }
+  [[nodiscard]] Mode mode() const noexcept { return static_cast<Mode>(mode_bits()); }
+  void set_mode(Mode mode) noexcept {
+    raw_ = util::deposit_bits(raw_, 4u, 0u,
+                              static_cast<std::uint32_t>(mode));
+  }
+
+  /// I bit (7): IRQs masked when set.
+  [[nodiscard]] bool irq_masked() const noexcept { return util::test_bit(raw_, 7u); }
+  void set_irq_masked(bool masked) noexcept {
+    raw_ = masked ? util::set_bit(raw_, 7u) : util::clear_bit(raw_, 7u);
+  }
+
+  /// F bit (6): FIQs masked when set.
+  [[nodiscard]] bool fiq_masked() const noexcept { return util::test_bit(raw_, 6u); }
+  void set_fiq_masked(bool masked) noexcept {
+    raw_ = masked ? util::set_bit(raw_, 6u) : util::clear_bit(raw_, 6u);
+  }
+
+  // NZCV condition flags (31..28).
+  [[nodiscard]] bool n() const noexcept { return util::test_bit(raw_, 31u); }
+  [[nodiscard]] bool z() const noexcept { return util::test_bit(raw_, 30u); }
+  [[nodiscard]] bool c() const noexcept { return util::test_bit(raw_, 29u); }
+  [[nodiscard]] bool v() const noexcept { return util::test_bit(raw_, 28u); }
+
+  friend bool operator==(const Cpsr&, const Cpsr&) noexcept = default;
+
+ private:
+  std::uint32_t raw_ = static_cast<std::uint32_t>(Mode::Supervisor);
+};
+
+}  // namespace mcs::arch

@@ -1,0 +1,53 @@
+// PSCI (Power State Coordination Interface) constants — the firmware ABI
+// the hypervisor uses for CPU hot-plug. Jailhouse hands CPUs between Linux
+// and cells through exactly this interface ("the swap feature of the CPU
+// hot plug" in §III), so the bring-up failure mode the paper observes is a
+// PSCI CPU_ON that never reaches its entry gate.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mcs::arch::psci {
+
+/// SMC/HVC function identifiers (PSCI 0.2, 32-bit calling convention).
+inline constexpr std::uint32_t kPsciVersion = 0x8400'0000;
+inline constexpr std::uint32_t kCpuSuspend = 0x8400'0001;
+inline constexpr std::uint32_t kCpuOff = 0x8400'0002;
+inline constexpr std::uint32_t kCpuOn = 0x8400'0003;
+inline constexpr std::uint32_t kAffinityInfo = 0x8400'0004;
+inline constexpr std::uint32_t kSystemOff = 0x8400'0008;
+inline constexpr std::uint32_t kSystemReset = 0x8400'0009;
+
+/// PSCI return codes (negative values per the spec).
+enum class Result : std::int32_t {
+  Success = 0,
+  NotSupported = -1,
+  InvalidParameters = -2,
+  Denied = -3,
+  AlreadyOn = -4,
+  OnPending = -5,
+  InternalFailure = -6,
+  NotPresent = -7,
+  Disabled = -8,
+};
+
+[[nodiscard]] constexpr std::string_view result_name(Result r) noexcept {
+  switch (r) {
+    case Result::Success: return "SUCCESS";
+    case Result::NotSupported: return "NOT_SUPPORTED";
+    case Result::InvalidParameters: return "INVALID_PARAMETERS";
+    case Result::Denied: return "DENIED";
+    case Result::AlreadyOn: return "ALREADY_ON";
+    case Result::OnPending: return "ON_PENDING";
+    case Result::InternalFailure: return "INTERNAL_FAILURE";
+    case Result::NotPresent: return "NOT_PRESENT";
+    case Result::Disabled: return "DISABLED";
+  }
+  return "?";
+}
+
+/// AFFINITY_INFO states.
+enum class AffinityState : std::int32_t { On = 0, Off = 1, OnPending = 2 };
+
+}  // namespace mcs::arch::psci

@@ -1,0 +1,44 @@
+#include "arch/syndrome.hpp"
+
+namespace mcs::arch {
+
+std::string_view exception_class_name(ExceptionClass ec) noexcept {
+  switch (ec) {
+    case ExceptionClass::Unknown: return "unknown";
+    case ExceptionClass::Wfx: return "wfi/wfe";
+    case ExceptionClass::Cp15Access: return "cp15";
+    case ExceptionClass::Cp14Access: return "cp14";
+    case ExceptionClass::CpAccess: return "coproc";
+    case ExceptionClass::Cp10Access: return "fp/vmrs";
+    case ExceptionClass::Svc: return "svc";
+    case ExceptionClass::Hvc: return "hvc";
+    case ExceptionClass::Smc: return "smc";
+    case ExceptionClass::PrefetchAbortLower: return "iabt-lower";
+    case ExceptionClass::PrefetchAbortHyp: return "iabt-hyp";
+    case ExceptionClass::DataAbortLower: return "dabt-lower";
+    case ExceptionClass::DataAbortHyp: return "dabt-hyp";
+  }
+  return "undefined-class";
+}
+
+bool is_architected_class(std::uint8_t ec_bits) noexcept {
+  switch (static_cast<ExceptionClass>(ec_bits)) {
+    case ExceptionClass::Unknown:
+    case ExceptionClass::Wfx:
+    case ExceptionClass::Cp15Access:
+    case ExceptionClass::Cp14Access:
+    case ExceptionClass::CpAccess:
+    case ExceptionClass::Cp10Access:
+    case ExceptionClass::Svc:
+    case ExceptionClass::Hvc:
+    case ExceptionClass::Smc:
+    case ExceptionClass::PrefetchAbortLower:
+    case ExceptionClass::PrefetchAbortHyp:
+    case ExceptionClass::DataAbortLower:
+    case ExceptionClass::DataAbortHyp:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace mcs::arch

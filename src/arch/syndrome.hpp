@@ -1,0 +1,95 @@
+// Hyp Syndrome Register (HSR) model — ARMv7 virtualization extensions.
+//
+// When a guest traps into HYP mode the hardware reports *why* in the HSR:
+// bits [31:26] hold the Exception Class (EC), bit 25 the instruction-length
+// flag, bits [24:0] the instruction-specific syndrome (ISS).
+//
+// The paper's "error code 0x24" is the EC for a data abort taken from a
+// lower exception level; when Jailhouse's trap dispatcher has no handler
+// for the reported class it logs "unhandled trap exception", prints the EC
+// and parks the CPU. Our dispatcher reproduces exactly that path, so bit
+// flips that land in HSR[31:26] manufacture unknown classes and surface as
+// CPU parks, just as §III of the paper observes.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/bitops.hpp"
+
+namespace mcs::arch {
+
+/// HSR exception classes (subset the Cortex-A7 can generate; values from
+/// the ARMv7-A reference manual, B3.13.6).
+enum class ExceptionClass : std::uint8_t {
+  Unknown = 0x00,
+  Wfx = 0x01,              ///< trapped WFI/WFE
+  Cp15Access = 0x03,       ///< trapped CP15 MCR/MRC access
+  Cp14Access = 0x05,       ///< trapped CP14 access
+  CpAccess = 0x07,         ///< trapped coprocessor access (HCPTR)
+  Cp10Access = 0x08,       ///< trapped VMRS / FP access
+  Svc = 0x11,              ///< SVC taken to HYP
+  Hvc = 0x12,              ///< hypervisor call — arch_handle_hvc target
+  Smc = 0x13,              ///< secure monitor call
+  PrefetchAbortLower = 0x20,  ///< instruction abort from guest
+  PrefetchAbortHyp = 0x21,    ///< instruction abort within HYP itself
+  DataAbortLower = 0x24,      ///< data abort from guest — the 0x24 of §III
+  DataAbortHyp = 0x25,        ///< data abort within HYP itself
+};
+
+inline constexpr unsigned kEcHi = 31;
+inline constexpr unsigned kEcLo = 26;
+inline constexpr unsigned kIssHi = 24;
+inline constexpr unsigned kIssLo = 0;
+
+/// ISS layout for data aborts (subset): bit 24 ISV (syndrome valid),
+/// bits [19:16] SRT (register transferred), bit 6 WnR (write-not-read).
+inline constexpr unsigned kIssIsvBit = 24;
+inline constexpr unsigned kIssWnrBit = 6;
+
+[[nodiscard]] std::string_view exception_class_name(ExceptionClass ec) noexcept;
+
+/// True iff `ec_bits` names a class this CPU model can legitimately report.
+[[nodiscard]] bool is_architected_class(std::uint8_t ec_bits) noexcept;
+
+/// HSR value type. The raw word stays authoritative so injected flips land
+/// in architecture-defined fields.
+class Syndrome {
+ public:
+  Syndrome() noexcept = default;
+  explicit Syndrome(std::uint32_t raw) noexcept : raw_(raw) {}
+
+  static Syndrome make(ExceptionClass ec, std::uint32_t iss) noexcept {
+    std::uint32_t raw = 0;
+    raw = util::deposit_bits(raw, kEcHi, kEcLo, static_cast<std::uint32_t>(ec));
+    raw = util::deposit_bits(raw, kIssHi, kIssLo, iss);
+    return Syndrome{raw};
+  }
+
+  [[nodiscard]] std::uint32_t raw() const noexcept { return raw_; }
+  void set_raw(std::uint32_t raw) noexcept { raw_ = raw; }
+
+  [[nodiscard]] std::uint8_t ec_bits() const noexcept {
+    return static_cast<std::uint8_t>(util::bits(raw_, kEcHi, kEcLo));
+  }
+  [[nodiscard]] ExceptionClass ec() const noexcept {
+    return static_cast<ExceptionClass>(ec_bits());
+  }
+  [[nodiscard]] std::uint32_t iss() const noexcept {
+    return util::bits(raw_, kIssHi, kIssLo);
+  }
+
+  [[nodiscard]] bool data_abort_syndrome_valid() const noexcept {
+    return util::test_bit(raw_, kIssIsvBit);
+  }
+  [[nodiscard]] bool data_abort_is_write() const noexcept {
+    return util::test_bit(raw_, kIssWnrBit);
+  }
+
+  friend bool operator==(const Syndrome&, const Syndrome&) noexcept = default;
+
+ private:
+  std::uint32_t raw_ = 0;
+};
+
+}  // namespace mcs::arch

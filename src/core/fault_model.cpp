@@ -1,0 +1,151 @@
+#include "core/fault_model.hpp"
+
+#include "util/bitops.hpp"
+
+namespace mcs::fi {
+
+std::vector<arch::Reg> all_registers() {
+  std::vector<arch::Reg> regs;
+  regs.reserve(arch::kNumGeneralRegs);
+  for (std::size_t i = 0; i < arch::kNumGeneralRegs; ++i) {
+    regs.push_back(static_cast<arch::Reg>(i));
+  }
+  return regs;
+}
+
+std::vector<arch::Reg> argument_window() {
+  return {arch::Reg::R2, arch::Reg::R3, arch::Reg::R4};
+}
+
+namespace {
+
+FlipRecord flip_one_bit(util::Xoshiro256& rng, arch::RegisterBank& bank,
+                        arch::Reg reg) {
+  FlipRecord record;
+  record.reg = reg;
+  record.bit = static_cast<unsigned>(rng.below(arch::kWordBits));
+  record.before = bank[reg];
+  record.after = util::flip_bit(record.before, record.bit);
+  bank.set(reg, record.after);
+  return record;
+}
+
+}  // namespace
+
+SingleBitFlip::SingleBitFlip(std::vector<arch::Reg> candidates)
+    : candidates_(std::move(candidates)) {}
+
+std::vector<FlipRecord> SingleBitFlip::apply(util::Xoshiro256& rng,
+                                             arch::RegisterBank& bank) const {
+  if (candidates_.empty()) return {};
+  const arch::Reg reg = candidates_[rng.below(candidates_.size())];
+  return {flip_one_bit(rng, bank, reg)};
+}
+
+MultiRegisterFlip::MultiRegisterFlip(std::vector<arch::Reg> targets)
+    : targets_(std::move(targets)) {}
+
+std::vector<FlipRecord> MultiRegisterFlip::apply(util::Xoshiro256& rng,
+                                                 arch::RegisterBank& bank) const {
+  std::vector<FlipRecord> records;
+  records.reserve(targets_.size());
+  for (const arch::Reg reg : targets_) {
+    records.push_back(flip_one_bit(rng, bank, reg));
+  }
+  return records;
+}
+
+StuckAtModel::StuckAtModel(bool stuck_high, std::vector<arch::Reg> candidates)
+    : stuck_high_(stuck_high), candidates_(std::move(candidates)) {}
+
+std::vector<FlipRecord> StuckAtModel::apply(util::Xoshiro256& rng,
+                                            arch::RegisterBank& bank) const {
+  if (candidates_.empty()) return {};
+  const arch::Reg reg = candidates_[rng.below(candidates_.size())];
+  FlipRecord record;
+  record.reg = reg;
+  record.bit = kWholeRegister;
+  record.before = bank[reg];
+  record.after = stuck_high_ ? ~arch::Word{0} : arch::Word{0};
+  bank.set(reg, record.after);
+  return {record};
+}
+
+RandomMultiFlip::RandomMultiFlip(unsigned count, std::vector<arch::Reg> candidates)
+    : count_(count), candidates_(std::move(candidates)) {}
+
+std::vector<FlipRecord> RandomMultiFlip::apply(util::Xoshiro256& rng,
+                                               arch::RegisterBank& bank) const {
+  // Partial Fisher-Yates over a scratch copy: `count_` distinct registers.
+  std::vector<arch::Reg> pool = candidates_;
+  const std::size_t picks =
+      std::min<std::size_t>(count_, pool.size());
+  std::vector<FlipRecord> records;
+  records.reserve(picks);
+  for (std::size_t i = 0; i < picks; ++i) {
+    const std::size_t j = i + rng.below(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+    records.push_back(flip_one_bit(rng, bank, pool[i]));
+  }
+  return records;
+}
+
+DoubleBitFlip::DoubleBitFlip(std::vector<arch::Reg> candidates)
+    : candidates_(std::move(candidates)) {}
+
+std::vector<FlipRecord> DoubleBitFlip::apply(util::Xoshiro256& rng,
+                                             arch::RegisterBank& bank) const {
+  if (candidates_.empty()) return {};
+  const arch::Reg reg = candidates_[rng.below(candidates_.size())];
+  const auto first = static_cast<unsigned>(rng.below(arch::kWordBits));
+  unsigned second = static_cast<unsigned>(rng.below(arch::kWordBits - 1));
+  if (second >= first) ++second;  // distinct bits, uniform over pairs
+
+  FlipRecord record;
+  record.reg = reg;
+  record.bit = first;  // the second bit is recoverable from before/after
+  record.before = bank[reg];
+  record.after = util::flip_bit(util::flip_bit(record.before, first), second);
+  bank.set(reg, record.after);
+  return {record};
+}
+
+std::string_view fault_model_kind_name(FaultModelKind kind) noexcept {
+  switch (kind) {
+    case FaultModelKind::SingleBitFlip: return "single-bit-flip";
+    case FaultModelKind::MultiRegisterFlip: return "multi-register-flip";
+    case FaultModelKind::StuckAtZero: return "stuck-at-zero";
+    case FaultModelKind::StuckAtOne: return "stuck-at-one";
+    case FaultModelKind::DoubleBitFlip: return "double-bit-flip";
+    case FaultModelKind::RandomMultiFlip: return "random-multi-flip";
+  }
+  return "?";
+}
+
+std::unique_ptr<FaultModel> make_fault_model(FaultModelKind kind,
+                                             std::vector<arch::Reg> registers,
+                                             unsigned count) {
+  switch (kind) {
+    case FaultModelKind::SingleBitFlip:
+      return std::make_unique<SingleBitFlip>(
+          registers.empty() ? all_registers() : std::move(registers));
+    case FaultModelKind::MultiRegisterFlip:
+      return std::make_unique<MultiRegisterFlip>(
+          registers.empty() ? argument_window() : std::move(registers));
+    case FaultModelKind::StuckAtZero:
+      return std::make_unique<StuckAtModel>(
+          false, registers.empty() ? all_registers() : std::move(registers));
+    case FaultModelKind::StuckAtOne:
+      return std::make_unique<StuckAtModel>(
+          true, registers.empty() ? all_registers() : std::move(registers));
+    case FaultModelKind::DoubleBitFlip:
+      return std::make_unique<DoubleBitFlip>(
+          registers.empty() ? all_registers() : std::move(registers));
+    case FaultModelKind::RandomMultiFlip:
+      return std::make_unique<RandomMultiFlip>(
+          count, registers.empty() ? all_registers() : std::move(registers));
+  }
+  return nullptr;
+}
+
+}  // namespace mcs::fi

@@ -1,0 +1,39 @@
+#include "core/injector.hpp"
+
+namespace mcs::fi {
+
+Injector::Injector(const TestPlan& plan, std::uint64_t seed,
+                   const util::SimClock& clock)
+    : plan_(plan),
+      model_(make_fault_model(plan.fault, plan.fault_registers, plan.fault_count)),
+      rng_(seed),
+      clock_(&clock) {}
+
+void Injector::attach(jh::Hypervisor& hv) {
+  hv.set_entry_hook([this](jh::HookPoint point, arch::EntryFrame& frame) {
+    on_entry(point, frame);
+  });
+}
+
+void Injector::detach(jh::Hypervisor& hv) { hv.clear_entry_hook(); }
+
+void Injector::on_entry(jh::HookPoint point, arch::EntryFrame& frame) {
+  if (point != plan_.target) return;
+  if (plan_.cpu_filter >= 0 && frame.cpu != plan_.cpu_filter) return;
+  ++calls_;
+  if (!armed_) return;
+
+  // Inject on call numbers first, first+rate, first+2*rate, ...
+  const std::uint64_t first = plan_.first_injection_call();
+  if (calls_ < first || (calls_ - first) % plan_.rate != 0) return;
+
+  InjectionRecord record;
+  record.tick = clock_->now().value;
+  record.call_index = calls_;
+  record.point = point;
+  record.cpu = frame.cpu;
+  record.flips = model_->apply(rng_, frame.bank);
+  records_.push_back(std::move(record));
+}
+
+}  // namespace mcs::fi

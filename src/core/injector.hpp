@@ -1,0 +1,75 @@
+// The injector: the paper's "dozen of lines of code added to Jailhouse".
+//
+// Registers as the hypervisor's entry hook and, for every call of the
+// targeted function that passes the CPU filter, counts; every Nth call it
+// applies the fault model to the live register frame and records what it
+// did. The hypervisor handler then consumes the corrupted frame — outcome
+// classes *emerge* from handler semantics, never from the injector.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "arch/cpu.hpp"
+#include "core/fault_model.hpp"
+#include "core/plan.hpp"
+#include "hypervisor/hypervisor.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace mcs::fi {
+
+/// One injection event, as written to the campaign log.
+struct InjectionRecord {
+  std::uint64_t tick = 0;       ///< board time of the injection
+  std::uint64_t call_index = 0; ///< filtered-call counter value
+  jh::HookPoint point = jh::HookPoint::ArchHandleTrap;
+  int cpu = 0;
+  std::vector<FlipRecord> flips;
+};
+
+class Injector {
+ public:
+  /// `clock` must outlive the injector (it stamps records).
+  Injector(const TestPlan& plan, std::uint64_t seed, const util::SimClock& clock);
+
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  /// Install as `hv`'s entry hook. The injector must outlive the
+  /// hypervisor's use of the hook (detach() or destroy the hv first).
+  void attach(jh::Hypervisor& hv);
+  void detach(jh::Hypervisor& hv);
+
+  /// The hook body (public so tests can drive it directly).
+  void on_entry(jh::HookPoint point, arch::EntryFrame& frame);
+
+  /// Pause/resume injection without losing counters (campaigns disarm
+  /// the injector during the observation-only epilogue).
+  void set_armed(bool armed) noexcept { armed_ = armed; }
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+
+  // --- statistics ---------------------------------------------------------
+  [[nodiscard]] std::uint64_t filtered_calls() const noexcept { return calls_; }
+  [[nodiscard]] std::uint64_t injections() const noexcept {
+    return records_.size();
+  }
+  [[nodiscard]] const std::vector<InjectionRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t first_injection_tick() const noexcept {
+    return records_.empty() ? 0 : records_.front().tick;
+  }
+
+ private:
+  TestPlan plan_;
+  std::unique_ptr<FaultModel> model_;
+  util::Xoshiro256 rng_;
+  const util::SimClock* clock_;
+  bool armed_ = true;
+  std::uint64_t calls_ = 0;
+  std::vector<InjectionRecord> records_;
+};
+
+}  // namespace mcs::fi

@@ -1,0 +1,24 @@
+#include "core/memory_injector.hpp"
+
+#include "util/bitops.hpp"
+
+namespace mcs::fi {
+
+MemoryFaultRecord MemoryFaultInjector::inject_one(std::uint64_t tick) {
+  MemoryFaultRecord record;
+  record.tick = tick;
+  record.addr = base_ + rng_.below(size_);
+  record.bit = static_cast<unsigned>(rng_.below(8));
+  const auto before = memory_->read_u8(record.addr);
+  record.before = before.is_ok() ? before.value() : 0;
+  record.after = util::flip_bit(record.before, record.bit);
+  (void)memory_->write_u8(record.addr, record.after);
+  records_.push_back(record);
+  return record;
+}
+
+void MemoryFaultInjector::inject_burst(std::uint64_t tick, unsigned count) {
+  for (unsigned i = 0; i < count; ++i) (void)inject_one(tick);
+}
+
+}  // namespace mcs::fi

@@ -1,0 +1,58 @@
+// Memory fault injection — DRAM bit flips underneath the stage-2.
+//
+// The register campaigns of the paper attack the hypervisor's control
+// flow; this extension attacks the *data plane*: transient single-bit
+// faults in the physical DRAM backing a cell, injected directly into the
+// memory model (as a particle strike would be, below any permission
+// check). The observable is the application's own error detection — the
+// workload's dual-stored hash chains and checksummed message stream —
+// giving the silent-data-corruption picture the register campaigns cannot.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/phys_mem.hpp"
+#include "util/rng.hpp"
+
+namespace mcs::fi {
+
+struct MemoryFaultRecord {
+  std::uint64_t tick = 0;
+  mem::PhysAddr addr = 0;
+  unsigned bit = 0;          ///< bit within the byte
+  std::uint8_t before = 0;
+  std::uint8_t after = 0;
+};
+
+class MemoryFaultInjector {
+ public:
+  /// Faults are confined to [base, base+size) — typically the target
+  /// cell's RAM region. The memory must outlive the injector.
+  MemoryFaultInjector(mem::PhysicalMemory& memory, mem::PhysAddr base,
+                      std::uint64_t size, std::uint64_t seed) noexcept
+      : memory_(&memory), base_(base), size_(size), rng_(seed) {}
+
+  /// Flip one random bit of one random byte in the window. Returns the
+  /// record (also kept internally).
+  MemoryFaultRecord inject_one(std::uint64_t tick);
+
+  /// Flip `count` random bits (burst fault).
+  void inject_burst(std::uint64_t tick, unsigned count);
+
+  [[nodiscard]] const std::vector<MemoryFaultRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t injections() const noexcept {
+    return records_.size();
+  }
+
+ private:
+  mem::PhysicalMemory* memory_;
+  mem::PhysAddr base_;
+  std::uint64_t size_;
+  util::Xoshiro256 rng_;
+  std::vector<MemoryFaultRecord> records_;
+};
+
+}  // namespace mcs::fi

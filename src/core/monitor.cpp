@@ -1,0 +1,112 @@
+#include "core/monitor.hpp"
+
+namespace mcs::fi {
+
+void RunMonitor::begin(Testbed& testbed) {
+  uart1_mark_ = testbed.board().uart1().total_bytes();
+  led_mark_ = testbed.board().gpio().led_toggles();
+  validated_mark_ = testbed.freertos().messages_validated();
+}
+
+RunResult RunMonitor::finish(Testbed& testbed) const {
+  RunResult result;
+  platform::BananaPiBoard& board = testbed.board();
+  jh::Hypervisor& hv = testbed.hypervisor();
+
+  result.uart1_bytes = board.uart1().bytes_since(uart1_mark_);
+  result.led_toggles = board.gpio().led_toggles() - led_mark_;
+  result.traps = hv.counters().traps;
+  result.hvcs = hv.counters().hvcs;
+  result.irqs = hv.counters().irqs;
+  result.create_result = testbed.linux_root().last_result(jh::Hypercall::CellCreate);
+  result.start_result = testbed.linux_root().last_result(jh::Hypercall::CellStart);
+
+  // Failure-detection timestamp: first hypervisor ERROR/FATAL record.
+  for (const util::LogRecord& record : board.log().records()) {
+    if (record.component == "hypervisor" &&
+        record.severity >= util::Severity::Error) {
+      result.failure_tick = record.timestamp.value;
+      break;
+    }
+  }
+
+  // 1. Panic park dominates: the fault propagated to the whole system.
+  if (hv.is_panicked()) {
+    result.outcome = Outcome::PanicPark;
+    result.detail = hv.panic_reason();
+    return result;
+  }
+
+  // 2. Cell never allocated: the management path failed. Expected
+  //    fail-stop when the failure reads "invalid arguments".
+  jh::Cell* cell = testbed.freertos_cell();
+  result.cell_exists = cell != nullptr;
+  if (cell == nullptr) {
+    if (jh::is_invalid_arguments(result.create_result) ||
+        jh::is_invalid_arguments(result.start_result)) {
+      result.outcome = Outcome::InvalidArguments;
+      result.detail = "management hypercall rejected, cell not allocated";
+    } else {
+      result.outcome = Outcome::SilentHang;
+      result.detail = "cell absent without a recorded EINVAL";
+    }
+    return result;
+  }
+
+  const arch::Cpu& cpu1 = board.cpu(Testbed::kFreeRtosCpu);
+  switch (cpu1.power_state()) {
+    case arch::PowerState::Parked:
+      result.outcome = Outcome::CpuPark;
+      result.detail = cpu1.halt_reason();
+      return result;
+    case arch::PowerState::Failed:
+    case arch::PowerState::Booting:
+      // "The CPU fails to come online as per the swap feature of the CPU
+      // hot plug or the cell is left in a non-executable state" — while
+      // Jailhouse still reports the cell running.
+      result.outcome = Outcome::InconsistentCell;
+      result.detail = "cell '" + cell->name() + "' state=" +
+                      std::string(jh::cell_state_name(cell->state())) +
+                      " but CPU " + std::string(arch::power_state_name(
+                                        cpu1.power_state()));
+      return result;
+    case arch::PowerState::Off:
+      if (cell->state() == jh::CellState::Running) {
+        result.outcome = Outcome::InconsistentCell;
+        result.detail = "cell marked running with its CPU powered off";
+        return result;
+      }
+      result.outcome = Outcome::Correct;  // cleanly shut down
+      result.detail = "cell shut down";
+      return result;
+    case arch::PowerState::On:
+      break;
+  }
+
+  // 3. CPU online, cell running: the USART decides.
+  if (result.uart1_bytes >= kLiveOutputThreshold) {
+    result.outcome = Outcome::Correct;
+    result.detail = "workload live (" + std::to_string(result.uart1_bytes) +
+                    " USART bytes)";
+  } else {
+    result.outcome = Outcome::SilentHang;
+    result.detail = "CPU online but USART silent";
+  }
+  return result;
+}
+
+bool probe_shutdown_reclaims(Testbed& testbed) {
+  jh::Hypervisor& hv = testbed.hypervisor();
+  if (hv.is_panicked()) return false;  // nothing left to manage
+  const jh::CellId id = testbed.freertos_cell_id();
+  if (id == 0 || hv.find_cell(id) == nullptr) return false;
+
+  testbed.shutdown_freertos_cell();
+  const jh::Cell* cell = hv.find_cell(id);
+  const bool state_ok =
+      cell != nullptr && cell->state() == jh::CellState::ShutDown;
+  const bool cpu_back = hv.cpu_owner(Testbed::kFreeRtosCpu) == jh::kRootCellId;
+  return state_ok && cpu_back && !hv.is_panicked();
+}
+
+}  // namespace mcs::fi

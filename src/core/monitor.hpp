@@ -1,0 +1,40 @@
+// Run monitor: watches the §III observables and classifies the outcome.
+//
+// Observables, exactly as the paper's analysts had them: the non-root
+// USART byte stream (blank output = dead cell), the on-board LED, the
+// hypervisor's cell bookkeeping, the physical CPU power states, the
+// management-command results and the hypervisor event log.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/outcome.hpp"
+#include "core/testbed.hpp"
+
+namespace mcs::fi {
+
+class RunMonitor {
+ public:
+  /// Snapshot the observation baseline (call when the watch window opens).
+  void begin(Testbed& testbed);
+
+  /// Classify at window close. Fills outcome/detail/observable fields of
+  /// a RunResult (the campaign adds injection bookkeeping on top).
+  [[nodiscard]] RunResult finish(Testbed& testbed) const;
+
+  /// Minimum USART bytes in the window for the cell to count as live.
+  static constexpr std::uint64_t kLiveOutputThreshold = 8;
+
+ private:
+  std::uint64_t uart1_mark_ = 0;
+  std::uint64_t led_mark_ = 0;
+  std::uint64_t validated_mark_ = 0;
+};
+
+/// Post-mortem probe for §III's recovery claims: issue `jailhouse cell
+/// shutdown` on the (possibly broken) cell and report whether the CPU and
+/// peripherals actually returned to the root cell. Mutates the testbed.
+[[nodiscard]] bool probe_shutdown_reclaims(Testbed& testbed);
+
+}  // namespace mcs::fi

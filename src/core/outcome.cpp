@@ -1,0 +1,22 @@
+#include "core/outcome.hpp"
+
+namespace mcs::fi {
+
+std::string_view outcome_name(Outcome outcome) noexcept {
+  switch (outcome) {
+    case Outcome::Correct: return "correct";
+    case Outcome::InvalidArguments: return "invalid-arguments";
+    case Outcome::InconsistentCell: return "inconsistent-cell";
+    case Outcome::PanicPark: return "panic-park";
+    case Outcome::CpuPark: return "cpu-park";
+    case Outcome::SilentHang: return "silent-hang";
+  }
+  return "?";
+}
+
+bool is_figure3_bucket(Outcome outcome) noexcept {
+  return outcome == Outcome::Correct || outcome == Outcome::PanicPark ||
+         outcome == Outcome::CpuPark;
+}
+
+}  // namespace mcs::fi

@@ -1,0 +1,106 @@
+// Run outcomes: the failure-mode taxonomy of §III.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hypervisor/hypercall.hpp"
+
+namespace mcs::fi {
+
+/// How one fault-injection run ended.
+enum class Outcome : std::uint8_t {
+  /// "The cell behaves correctly in the majority of cases."
+  Correct = 0,
+  /// "High level intensity faults always return an 'invalid arguments'
+  /// [...]; thus, the [non-root] cell will be not allocated at all, which
+  /// is a correct (and expected) behavior." Fail-stop.
+  InvalidArguments,
+  /// "The cell is allocated but [...] the non-root cell doesn't do
+  /// anything [...]. Nonetheless, it is considered running by Jailhouse."
+  InconsistentCell,
+  /// "A panic park happens, i.e., the fault propagates to the whole
+  /// system bringing the system itself to a kernel panic."
+  PanicPark,
+  /// "Error code 0x24, the unhandled trap exception [...] the cpu_park()
+  /// function is called and the non-root cell stops working."
+  CpuPark,
+  /// Cell claims to run, CPU is online, but nothing reaches the USART and
+  /// no failure was signalled — a hang the taxonomy above cannot explain.
+  SilentHang,
+};
+
+inline constexpr std::size_t kNumOutcomes = 6;
+
+[[nodiscard]] std::string_view outcome_name(Outcome outcome) noexcept;
+
+/// Figure 3 buckets Correct / PanicPark / CpuPark; helper for that view.
+[[nodiscard]] bool is_figure3_bucket(Outcome outcome) noexcept;
+
+/// Everything measured in one run.
+struct RunResult {
+  Outcome outcome = Outcome::Correct;
+  std::string detail;  ///< human-readable cause (panic reason, park class…)
+
+  std::uint64_t injections = 0;
+  std::uint64_t flipped_bits = 0;
+  std::uint64_t first_injection_tick = 0;
+  std::uint64_t failure_tick = 0;  ///< 0 when no failure was detected
+
+  std::uint64_t uart1_bytes = 0;  ///< non-root USART output in the window
+  std::uint64_t led_toggles = 0;
+  std::uint64_t traps = 0;
+  std::uint64_t hvcs = 0;
+  std::uint64_t irqs = 0;
+
+  jh::HvcResult create_result = 0;
+  jh::HvcResult start_result = 0;
+  bool cell_exists = false;
+  bool shutdown_reclaimed = false;  ///< post-mortem shutdown gave CPU back
+
+  /// True when a failure was detected after (or in the same tick as) the
+  /// first injection.
+  [[nodiscard]] bool failure_detected() const noexcept {
+    return failure_tick >= first_injection_tick && first_injection_tick > 0 &&
+           failure_tick > 0;
+  }
+
+  /// Detection latency: first injection → first detected failure, in
+  /// ticks (ms). Same-tick detection — the common case, the handler
+  /// consumes the corrupted register immediately — reads as 0.
+  [[nodiscard]] std::uint64_t detection_latency() const noexcept {
+    return failure_detected() ? failure_tick - first_injection_tick : 0;
+  }
+};
+
+/// Counts per outcome; the unit Figure 3 and every table aggregate.
+class OutcomeDistribution {
+ public:
+  void add(Outcome outcome) noexcept {
+    ++counts_[static_cast<std::size_t>(outcome)];
+    ++total_;
+  }
+  void merge(const OutcomeDistribution& other) noexcept {
+    for (std::size_t i = 0; i < kNumOutcomes; ++i) counts_[i] += other.counts_[i];
+    total_ += other.total_;
+  }
+
+  [[nodiscard]] std::uint64_t count(Outcome outcome) const noexcept {
+    return counts_[static_cast<std::size_t>(outcome)];
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] double fraction(Outcome outcome) const noexcept {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(count(outcome)) /
+                             static_cast<double>(total_);
+  }
+
+ private:
+  std::array<std::uint64_t, kNumOutcomes> counts_{};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace mcs::fi

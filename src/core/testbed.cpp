@@ -1,0 +1,65 @@
+#include "core/testbed.hpp"
+
+#include "hypervisor/cell_config.hpp"
+
+namespace mcs::fi {
+
+Testbed::Testbed() : hv_(board_), machine_(board_, hv_) {}
+
+util::Status Testbed::enable_hypervisor() {
+  if (enabled_) return util::ok_status();
+  MCS_RETURN_IF_ERROR(hv_.enable(jh::make_root_cell_config()));
+  machine_.bind_guest(jh::kRootCellId, linux_);
+  hv_.register_config(kFreeRtosConfigAddr, jh::make_freertos_cell_config());
+  enabled_ = true;
+  return util::ok_status();
+}
+
+void Testbed::boot_freertos_cell() {
+  // The driver issues create, the shell reads back the id, then start.
+  linux_.cell_create(kFreeRtosConfigAddr);
+  run(5);  // a few ms for the ioctl round-trip
+  cell_id_ = linux_.last_created_cell();
+  if (cell_id_ != 0) {
+    machine_.bind_guest(cell_id_, freertos_);
+    linux_.set_monitored_cell(cell_id_);
+    linux_.cell_start(cell_id_);
+  } else {
+    // Create failed (e.g. under injection): still attempt a start so the
+    // failure is recorded the way the real shell script would.
+    linux_.cell_start(0);
+  }
+  run(20);  // ioctl + CPU hot-plug bring-up window
+}
+
+void Testbed::shutdown_freertos_cell() {
+  if (cell_id_ == 0) return;
+  linux_.cell_shutdown(cell_id_);
+  run(10);
+}
+
+void Testbed::destroy_freertos_cell() {
+  if (cell_id_ == 0) return;
+  linux_.cell_destroy(cell_id_);
+  run(10);
+  machine_.unbind_guest(cell_id_);
+}
+
+void Testbed::run(std::uint64_t ticks) { machine_.run_ticks(ticks); }
+
+Testbed::GoldenProfile Testbed::profile_golden(std::uint64_t ticks) {
+  const jh::Counters before = hv_.counters();
+  const std::uint64_t cpu0_before = board_.cpu(0).trap_entries;
+  const std::uint64_t cpu1_before = board_.cpu(1).trap_entries;
+  run(ticks);
+  const jh::Counters& after = hv_.counters();
+  GoldenProfile profile;
+  profile.irqchip_entries = after.irqs - before.irqs;
+  profile.trap_entries = after.traps - before.traps;
+  profile.hvc_entries = after.hvcs - before.hvcs;
+  profile.per_cpu_traps[0] = board_.cpu(0).trap_entries - cpu0_before;
+  profile.per_cpu_traps[1] = board_.cpu(1).trap_entries - cpu1_before;
+  return profile;
+}
+
+}  // namespace mcs::fi

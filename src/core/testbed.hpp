@@ -1,0 +1,89 @@
+// Testbed: the paper's hardware/software setup in one object.
+//
+// "The tested hardware comprises a Banana PI [...]. We evaluated Jailhouse
+// v0.12 with Linux Kernel v5.10 [...]. The test plan was executed by
+// exercising a workload consisting of a root cell where the general-
+// purpose Linux was running and a non-root cell in which we run FreeRTOS
+// [...]. We statically assigned the board CPU core 0 to the root cell and
+// the CPU core 1 to the non-root cell."
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "guests/freertos_image.hpp"
+#include "guests/linux_root.hpp"
+#include "hypervisor/hypervisor.hpp"
+#include "hypervisor/machine.hpp"
+#include "platform/board.hpp"
+#include "util/status.hpp"
+
+namespace mcs::fi {
+
+/// Where the root driver "copies" the FreeRTOS cell config (an address in
+/// root RAM passed to the create hypercall).
+inline constexpr std::uint64_t kFreeRtosConfigAddr = 0x4800'0000;
+
+class Testbed {
+ public:
+  Testbed();
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  /// Enable the hypervisor with the root cell and bind the Linux image.
+  /// Idempotent per instance; returns an error status on config problems.
+  util::Status enable_hypervisor();
+
+  /// Drive the root driver through `jailhouse cell create && cell start`
+  /// for the FreeRTOS cell and wait for the bring-up to settle (or fail —
+  /// under injection every failure mode of §III can surface here, which
+  /// is the point; the caller classifies afterwards).
+  void boot_freertos_cell();
+
+  /// Management operations from the root shell, post-boot.
+  void shutdown_freertos_cell();
+  void destroy_freertos_cell();
+
+  /// Run the whole machine for `ticks` board ticks.
+  void run(std::uint64_t ticks);
+
+  /// Golden-run profiling (§III): run fault-free and report how often
+  /// each candidate hypervisor function was entered.
+  struct GoldenProfile {
+    std::uint64_t irqchip_entries = 0;
+    std::uint64_t trap_entries = 0;
+    std::uint64_t hvc_entries = 0;
+    std::uint64_t per_cpu_traps[2] = {0, 0};
+  };
+  GoldenProfile profile_golden(std::uint64_t ticks);
+
+  // --- accessors ----------------------------------------------------------
+  [[nodiscard]] platform::BananaPiBoard& board() noexcept { return board_; }
+  [[nodiscard]] jh::Hypervisor& hypervisor() noexcept { return hv_; }
+  [[nodiscard]] jh::Machine& machine() noexcept { return machine_; }
+  [[nodiscard]] guest::LinuxRootImage& linux_root() noexcept { return linux_; }
+  [[nodiscard]] guest::FreeRtosImage& freertos() noexcept { return freertos_; }
+
+  /// Cell id of the FreeRTOS cell (0 while not created).
+  [[nodiscard]] jh::CellId freertos_cell_id() const noexcept { return cell_id_; }
+  [[nodiscard]] jh::Cell* freertos_cell() noexcept {
+    return cell_id_ == 0 ? nullptr : hv_.find_cell(cell_id_);
+  }
+
+  /// The CPU statically assigned to the non-root cell.
+  static constexpr int kFreeRtosCpu = 1;
+  static constexpr int kRootCpu = 0;
+
+ private:
+  platform::BananaPiBoard board_;
+  jh::Hypervisor hv_;
+  jh::Machine machine_;
+  guest::LinuxRootImage linux_;
+  guest::FreeRtosImage freertos_;
+  jh::CellId cell_id_ = 0;
+  bool enabled_ = false;
+};
+
+}  // namespace mcs::fi

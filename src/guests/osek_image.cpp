@@ -1,0 +1,81 @@
+#include "guests/osek_image.hpp"
+
+#include "hypervisor/hypercall.hpp"
+#include "hypervisor/hypervisor.hpp"
+
+namespace mcs::guest {
+
+void OsekImage::on_start(jh::GuestContext& ctx) {
+  ctx.console_puts("AUTOSAR-classic OS (OSEK BCC1) up in cell '" +
+                   std::string(ctx.cell().name()) + "'\n");
+  ctx.start_periodic_timer(1);
+  if (configured_) return;
+  declare_workload();
+  configured_ = true;
+  ctx.console_puts("OSEK: " + std::to_string(os_.task_count()) +
+                   " tasks declared\n");
+}
+
+void OsekImage::declare_workload() {
+  // 10 ms brake-pressure acquisition: sample, range-check, filter.
+  const osek::TaskId brake = os_.declare_task(
+      "BrakeAcq", 4, [this](osek::TaskContext&) {
+        // Triangle-wave "ADC" with a plausibility check (ISO 26262 E/E
+        // mitigation at the application level).
+        pressure_raw_ = (pressure_raw_ + 0x31) & 0xfff;
+        if (pressure_raw_ > 0xfff) ++errors_;  // cannot happen unless corrupted
+        ++samples_;
+      });
+
+  // 50 ms frame transmit: length-checked line on the cell console.
+  const osek::TaskId frame = os_.declare_task(
+      "FrameTx", 3, [this](osek::TaskContext&) {
+        ++frame_seq_;
+        ++frames_;
+        pending_frame_ = true;
+      });
+
+  // 100 ms alive supervision: the classical external-watchdog kick.
+  const osek::TaskId wdg = os_.declare_task(
+      "WdgKick", 2, [this](osek::TaskContext&) { ++kicks_; });
+
+  // Idle-level self-test task, chained from the watchdog every 10th kick.
+  const osek::TaskId self_test = os_.declare_task(
+      "SelfTest", 1, [this](osek::TaskContext&) {
+        if ((pressure_raw_ & 0xfff) != pressure_raw_) ++errors_;
+      });
+  (void)self_test;
+
+  (void)os_.set_rel_alarm(os_.declare_alarm("AlBrake", brake), 10, 10);
+  (void)os_.set_rel_alarm(os_.declare_alarm("AlFrame", frame), 50, 50);
+  (void)os_.set_rel_alarm(os_.declare_alarm("AlWdg", wdg), 100, 100);
+}
+
+void OsekImage::run_quantum(jh::GuestContext& ctx) {
+  ++quantum_counter_;
+  // Run all pending activations to completion (OSEK tasks are short).
+  for (int i = 0; i < 4; ++i) {
+    if (!os_.dispatch().has_value()) break;
+  }
+  // Console output happens at quantum level so a parked CPU stops
+  // transmitting exactly like the FreeRTOS cell does.
+  if (pending_frame_) {
+    pending_frame_ = false;
+    ctx.console_puts("frame " + std::to_string(frame_seq_) + " len=8 ok\n");
+  }
+  if (quantum_counter_ % 750 == 0) {
+    (void)ctx.hypercall(
+        static_cast<std::uint32_t>(jh::Hypercall::DebugConsolePutc),
+        static_cast<std::uint32_t>('*'));
+  }
+  if (quantum_counter_ % 1500 == 500) {
+    (void)ctx.mmio_read_u32(jh::kGicDistBase + 0x104);
+  }
+}
+
+void OsekImage::on_timer(jh::GuestContext& ctx) {
+  (void)ctx;
+  os_.on_counter_tick();
+}
+
+}  // namespace mcs::guest

@@ -1,0 +1,49 @@
+// AUTOSAR-classic-style guest image: the OSEK OS running an automotive
+// task set (brake-pressure sampling, CAN-ish frame exchange over the cell
+// console, and a watchdog-kick task). An alternative non-root payload that
+// shows the fault-injection methodology is guest-agnostic — the hypervisor
+// entry points, not the guest, define the failure modes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "guests/osek/os.hpp"
+#include "hypervisor/guest.hpp"
+
+namespace mcs::guest {
+
+class OsekImage final : public jh::GuestImage {
+ public:
+  OsekImage() = default;
+
+  [[nodiscard]] std::string_view name() const override { return "autosar-osek"; }
+  void on_start(jh::GuestContext& ctx) override;
+  void run_quantum(jh::GuestContext& ctx) override;
+  void on_timer(jh::GuestContext& ctx) override;
+
+  [[nodiscard]] osek::Os& os() noexcept { return os_; }
+
+  // --- workload health ----------------------------------------------------
+  [[nodiscard]] std::uint64_t brake_samples() const noexcept { return samples_; }
+  [[nodiscard]] std::uint64_t frames_sent() const noexcept { return frames_; }
+  [[nodiscard]] std::uint64_t wdg_kicks() const noexcept { return kicks_; }
+  [[nodiscard]] std::uint64_t data_errors() const noexcept { return errors_; }
+
+ private:
+  void declare_workload();
+
+  osek::Os os_;
+  bool configured_ = false;
+
+  std::uint64_t samples_ = 0;
+  std::uint64_t frames_ = 0;
+  std::uint64_t kicks_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint32_t pressure_raw_ = 0x800;  ///< simulated ADC mid-scale
+  std::uint32_t frame_seq_ = 0;
+  bool pending_frame_ = false;
+  std::uint64_t quantum_counter_ = 0;
+};
+
+}  // namespace mcs::guest

@@ -1,0 +1,127 @@
+#include "guests/rtos/kernel.hpp"
+
+#include <algorithm>
+
+namespace mcs::guest::rtos {
+
+TaskId Kernel::add_task(std::string name, unsigned priority, TaskStep step) {
+  Task task;
+  task.name = std::move(name);
+  task.priority = priority;
+  task.step = std::move(step);
+  tasks_.push_back(std::move(task));
+  return tasks_.size() - 1;
+}
+
+void Kernel::delay(TaskId task, std::uint64_t ticks) {
+  Task& t = tasks_.at(task);
+  t.state = TaskState::BlockedOnDelay;
+  t.wake_at = util::Ticks{tick_count_ + ticks};
+}
+
+void Kernel::suspend(TaskId task) { tasks_.at(task).state = TaskState::Suspended; }
+
+void Kernel::resume(TaskId task) {
+  Task& t = tasks_.at(task);
+  if (t.state == TaskState::Suspended) t.state = TaskState::Ready;
+}
+
+QueueId Kernel::create_queue(std::size_t capacity) {
+  queues_.push_back(std::make_unique<MessageQueue>(capacity));
+  return queues_.size() - 1;
+}
+
+bool Kernel::queue_send(TaskId task, QueueId queue, std::uint32_t item) {
+  MessageQueue& q = *queues_.at(queue);
+  if (q.try_send(item)) {
+    wake_queue_waiters(queue, /*for_space=*/false);  // data available
+    return true;
+  }
+  Task& t = tasks_.at(task);
+  t.state = TaskState::BlockedOnQueue;
+  t.waiting_queue = queue;
+  t.waiting_for_space = true;
+  return false;
+}
+
+std::optional<std::uint32_t> Kernel::queue_receive(TaskId task, QueueId queue) {
+  MessageQueue& q = *queues_.at(queue);
+  if (auto item = q.try_receive()) {
+    wake_queue_waiters(queue, /*for_space=*/true);  // space available
+    return item;
+  }
+  Task& t = tasks_.at(task);
+  t.state = TaskState::BlockedOnQueue;
+  t.waiting_queue = queue;
+  t.waiting_for_space = false;
+  return std::nullopt;
+}
+
+void Kernel::wake_queue_waiters(QueueId queue, bool for_space) {
+  for (Task& t : tasks_) {
+    if (t.state == TaskState::BlockedOnQueue && t.waiting_queue == queue &&
+        t.waiting_for_space == for_space) {
+      t.state = TaskState::Ready;
+    }
+  }
+}
+
+void Kernel::on_tick() {
+  ++tick_count_;
+  for (Task& t : tasks_) {
+    if (t.state == TaskState::BlockedOnDelay &&
+        t.wake_at.value <= tick_count_) {
+      t.state = TaskState::Ready;
+    }
+  }
+}
+
+std::optional<TaskId> Kernel::run_slice(jh::GuestContext& guest) {
+  // Highest priority wins; round-robin among equals, starting after the
+  // previously dispatched task so equal-priority tasks share fairly.
+  unsigned best_priority = 0;
+  bool found = false;
+  for (const Task& t : tasks_) {
+    if (t.state == TaskState::Ready && (!found || t.priority > best_priority)) {
+      best_priority = t.priority;
+      found = true;
+    }
+  }
+  if (!found) return std::nullopt;
+
+  const std::size_t n = tasks_.size();
+  for (std::size_t offset = 1; offset <= n; ++offset) {
+    const std::size_t index = (rr_cursor_ + offset) % n;
+    Task& t = tasks_[index];
+    if (t.state != TaskState::Ready || t.priority != best_priority) continue;
+    rr_cursor_ = index;
+    t.state = TaskState::Running;
+    ++t.dispatches;
+    ++dispatches_;
+    TaskContext ctx{*this, guest, index};
+    t.step(ctx);
+    // A step may have blocked/suspended itself; otherwise it yields.
+    if (t.state == TaskState::Running) t.state = TaskState::Ready;
+    return index;
+  }
+  return std::nullopt;
+}
+
+std::optional<TaskId> Kernel::find_task(std::string_view name) const {
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (tasks_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+bool Kernel::invariants_hold() const noexcept {
+  for (const Task& t : tasks_) {
+    if (t.state == TaskState::Running) return false;  // residue between slices
+    if (t.state == TaskState::BlockedOnQueue && t.waiting_queue >= queues_.size()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mcs::guest::rtos

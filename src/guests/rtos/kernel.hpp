@@ -1,0 +1,91 @@
+// Mini-RTOS kernel: priority-preemptive scheduler with delays and
+// blocking queues — the FreeRTOS stand-in for the non-root cell.
+//
+// The kernel is deliberately a *functional* model: one `run_slice()` call
+// dispatches one task step, and `on_tick()` is the tick-interrupt hook.
+// That is all the paper's workload needs ("several tasks to be managed,
+// including a task to blink an onboard led, a couple of send/receive
+// tasks, two floating-point arithmetic tasks, and fifteen integer ones",
+// §III) while keeping every scheduling decision deterministic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "guests/rtos/queue.hpp"
+#include "guests/rtos/task.hpp"
+#include "hypervisor/guest.hpp"
+#include "util/clock.hpp"
+
+namespace mcs::guest::rtos {
+
+/// Services available to a running task step.
+struct TaskContext {
+  Kernel& kernel;
+  jh::GuestContext& guest;  ///< the vCPU window (console, LED, hypercalls)
+  TaskId self;
+};
+
+class Kernel {
+ public:
+  Kernel() = default;
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // --- task API (xTaskCreate / vTaskDelay analogues) ---------------------
+  TaskId add_task(std::string name, unsigned priority, TaskStep step);
+
+  /// Block the calling task for `ticks` tick-interrupts.
+  void delay(TaskId task, std::uint64_t ticks);
+
+  void suspend(TaskId task);
+  void resume(TaskId task);
+
+  // --- queue API (xQueueCreate / Send / Receive analogues) ---------------
+  QueueId create_queue(std::size_t capacity);
+
+  /// Send, blocking the caller when the queue is full.
+  bool queue_send(TaskId task, QueueId queue, std::uint32_t item);
+
+  /// Receive; blocks the caller (and returns nullopt) when empty.
+  std::optional<std::uint32_t> queue_receive(TaskId task, QueueId queue);
+
+  // --- scheduler ---------------------------------------------------------
+  /// Tick interrupt: advances kernel time, wakes expired delays.
+  void on_tick();
+
+  /// Dispatch the highest-priority ready task for one step.
+  /// Returns the task dispatched, or nullopt when all tasks are idle.
+  std::optional<TaskId> run_slice(jh::GuestContext& guest);
+
+  // --- introspection ------------------------------------------------------
+  [[nodiscard]] const Task& task(TaskId id) const { return tasks_.at(id); }
+  [[nodiscard]] Task& task(TaskId id) { return tasks_.at(id); }
+  [[nodiscard]] std::size_t task_count() const noexcept { return tasks_.size(); }
+  [[nodiscard]] const MessageQueue& queue(QueueId id) const { return *queues_.at(id); }
+  [[nodiscard]] std::uint64_t ticks() const noexcept { return tick_count_; }
+  [[nodiscard]] std::uint64_t dispatches() const noexcept { return dispatches_; }
+  [[nodiscard]] std::optional<TaskId> find_task(std::string_view name) const;
+
+  /// Scheduler invariant checks (used by the property tests): no Running
+  /// residue between slices; blocked tasks have a wake reason.
+  [[nodiscard]] bool invariants_hold() const noexcept;
+
+ private:
+  /// Wake every task blocked on `queue` (space or data became available).
+  void wake_queue_waiters(QueueId queue, bool for_space);
+
+  std::vector<Task> tasks_;
+  std::vector<std::unique_ptr<MessageQueue>> queues_;
+  std::uint64_t tick_count_ = 0;
+  std::uint64_t dispatches_ = 0;
+  /// Round-robin cursor within equal priority; starts "before task 0" so
+  /// the first dispatch is task 0 (unsigned wrap makes cursor+1 == 0).
+  std::size_t rr_cursor_ = static_cast<std::size_t>(-1);
+};
+
+}  // namespace mcs::guest::rtos

@@ -1,0 +1,23 @@
+#include "guests/rtos/queue.hpp"
+
+namespace mcs::guest::rtos {
+
+bool MessageQueue::try_send(std::uint32_t item) {
+  if (full()) {
+    ++send_failures;
+    return false;
+  }
+  items_.push_back(item);
+  ++sends;
+  return true;
+}
+
+std::optional<std::uint32_t> MessageQueue::try_receive() {
+  if (items_.empty()) return std::nullopt;
+  const std::uint32_t item = items_.front();
+  items_.erase(items_.begin());
+  ++receives;
+  return item;
+}
+
+}  // namespace mcs::guest::rtos

@@ -1,0 +1,35 @@
+#include "hypervisor/cell.hpp"
+
+#include <algorithm>
+
+namespace mcs::jh {
+
+std::string_view cell_state_name(CellState state) noexcept {
+  switch (state) {
+    case CellState::Created: return "created";
+    case CellState::Running: return "running";
+    case CellState::ShutDown: return "shut down";
+    case CellState::Failed: return "failed";
+  }
+  return "?";
+}
+
+Cell::Cell(CellId id, CellConfig config, mem::PhysicalMemory& dram)
+    : id_(id), config_(std::move(config)), space_(map_, dram) {
+  for (const mem::MemRegion& region : config_.mem_regions) {
+    // Config validation ran before construction; overlaps cannot happen.
+    (void)map_.add_region(region);
+  }
+}
+
+bool Cell::owns_cpu(int cpu) const noexcept {
+  return std::find(config_.cpus.begin(), config_.cpus.end(), cpu) !=
+         config_.cpus.end();
+}
+
+bool Cell::owns_irq(irq::IrqId irq) const noexcept {
+  return std::find(config_.irqs.begin(), config_.irqs.end(), irq) !=
+         config_.irqs.end();
+}
+
+}  // namespace mcs::jh

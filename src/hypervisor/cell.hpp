@@ -1,0 +1,75 @@
+// Cell: one partition, its state machine and resources.
+//
+// The paper's headline finding is a *divergence* between the hypervisor's
+// bookkeeping ("it is considered running by Jailhouse") and the physical
+// truth (the CPU never came online, the cell is "completely broken and
+// unusable"). The model therefore keeps the two separate on purpose:
+// Cell::state() is bookkeeping the hypervisor maintains; the CPUs' power
+// states are ground truth owned by arch::Cpu. The run monitor compares
+// them to detect the inconsistent state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hypervisor/cell_config.hpp"
+#include "mem/address_space.hpp"
+#include "mem/memory_map.hpp"
+#include "util/status.hpp"
+
+namespace mcs::jh {
+
+/// Jailhouse cell states (JAILHOUSE_CELL_*).
+enum class CellState : std::uint8_t {
+  Created,   ///< config accepted, memory loaned, not started ("shut down")
+  Running,   ///< started; bookkeeping only — CPUs may disagree
+  ShutDown,  ///< shut down after running; resources returned to root
+  Failed,    ///< hypervisor marked the cell failed (panic in cell context)
+};
+
+[[nodiscard]] std::string_view cell_state_name(CellState state) noexcept;
+
+class Cell {
+ public:
+  Cell(CellId id, CellConfig config, mem::PhysicalMemory& dram);
+
+  Cell(const Cell&) = delete;
+  Cell& operator=(const Cell&) = delete;
+
+  [[nodiscard]] CellId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return config_.name; }
+  [[nodiscard]] const CellConfig& config() const noexcept { return config_; }
+
+  [[nodiscard]] CellState state() const noexcept { return state_; }
+  void set_state(CellState state) noexcept { state_ = state; }
+
+  [[nodiscard]] bool owns_cpu(int cpu) const noexcept;
+  [[nodiscard]] bool owns_irq(irq::IrqId irq) const noexcept;
+
+  [[nodiscard]] mem::MemoryMap& memory_map() noexcept { return map_; }
+  [[nodiscard]] const mem::MemoryMap& memory_map() const noexcept { return map_; }
+  [[nodiscard]] mem::AddressSpace& address_space() noexcept { return space_; }
+
+  /// Regions carved out of the root cell at create time, to be restored at
+  /// destroy time.
+  [[nodiscard]] std::vector<mem::MemRegion>& loaned_regions() noexcept {
+    return loaned_;
+  }
+
+  // --- statistics the profiler and monitor read -------------------------
+  std::uint64_t console_bytes = 0;   ///< bytes emitted through the console path
+  std::uint64_t hypercalls = 0;      ///< hypercalls issued by this cell
+  std::uint64_t stage2_faults = 0;   ///< trapped MMIO accesses
+
+ private:
+  CellId id_;
+  CellConfig config_;
+  mem::MemoryMap map_;
+  mem::AddressSpace space_;
+  CellState state_ = CellState::Created;
+  std::vector<mem::MemRegion> loaned_;
+};
+
+}  // namespace mcs::jh

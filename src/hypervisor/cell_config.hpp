@@ -1,0 +1,69 @@
+// Static cell configurations — the Jailhouse "config source file" model.
+//
+// "Jailhouse allows creating a static configuration for a cell by writing a
+// source file according to special C structures, where each field is filled
+// according to the customer needs (assigned CPU cores, memory areas and
+// access permissions, IRQ enabled, etc.)" (§II-A). CellConfig mirrors those
+// structures; factory functions build the paper's two-cell deployment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/registers.hpp"
+#include "irq/gic.hpp"
+#include "mem/memory_map.hpp"
+#include "util/status.hpp"
+
+namespace mcs::jh {
+
+using CellId = std::uint32_t;
+inline constexpr CellId kRootCellId = 0;
+
+/// Console routing for a cell: through a passthrough UART window, through
+/// the hypervisor's trapped-MMIO UART emulation, or none.
+enum class ConsoleKind : std::uint8_t {
+  None,
+  Passthrough,  ///< UART window mapped into the cell (no trap on access)
+  Trapped,      ///< UART window NOT mapped: every access is a stage-2 trap
+};
+
+struct ConsoleConfig {
+  ConsoleKind kind = ConsoleKind::None;
+  std::uint64_t uart_base = 0;  ///< physical UART window the console uses
+};
+
+struct CellConfig {
+  std::string name;
+  std::vector<int> cpus;                     ///< statically assigned cores
+  std::vector<mem::MemRegion> mem_regions;   ///< guest view, with permissions
+  std::vector<irq::IrqId> irqs;              ///< owned SPI lines
+  ConsoleConfig console;
+  arch::Word entry_point = 0;                ///< guest reset vector
+
+  /// Structural validation (what Jailhouse's config parser rejects).
+  [[nodiscard]] util::Status validate(int board_cpus) const;
+};
+
+// ---------------------------------------------------------------------------
+// The paper's deployment (§III): root cell with general-purpose Linux on
+// CPU 0, FreeRTOS non-root cell on CPU 1.
+// ---------------------------------------------------------------------------
+
+/// Guest-physical load addresses for the FreeRTOS cell (within the loaned
+/// DRAM slice, identity-mapped like Jailhouse inmate demos).
+inline constexpr std::uint64_t kFreeRtosRamBase = 0x7800'0000;
+inline constexpr std::uint64_t kFreeRtosRamSize = 0x0100'0000;  // 16 MiB
+inline constexpr arch::Word kFreeRtosEntry = 0x7800'0000;
+
+/// Root cell: all of DRAM below the hypervisor reservation, both CPUs at
+/// boot, UART0 console passthrough, all SPIs initially owned.
+[[nodiscard]] CellConfig make_root_cell_config();
+
+/// FreeRTOS non-root cell: CPU 1, a 16 MiB DRAM slice, UART1 console routed
+/// through trapped MMIO (hypervisor-emulated, as for Jailhouse's hypervisor
+/// console), GIC distributor accesses trapped and virtualised.
+[[nodiscard]] CellConfig make_freertos_cell_config();
+
+}  // namespace mcs::jh

@@ -1,0 +1,43 @@
+// Cell-config text format: serialize/parse CellConfig.
+//
+// Real Jailhouse configs are C source files compiled into binary blobs the
+// driver copies to the hypervisor. This module provides the equivalent
+// artefact for the model: a line-based text form that round-trips through
+// CellConfig, so deployments can be written by hand, versioned, diffed and
+// fuzz-tested. Format:
+//
+//   cell "freertos-cell"
+//   cpus 1
+//   entry 0x78000000
+//   console trapped 0x1c28400
+//   region ram phys=0x78000000 virt=0x78000000 size=0x1000000 flags=rwxl
+//   region gpio phys=0x1c20800 virt=0x1c20800 size=0x100 flags=rwi
+//   irq 34
+//   end
+//
+// Flags: r=read w=write x=execute d=dma i=io c=comm-region s=root-shared
+// l=loadable.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "hypervisor/cell_config.hpp"
+#include "util/status.hpp"
+
+namespace mcs::jh {
+
+/// Render a config to its text form (always parseable back).
+[[nodiscard]] std::string to_text(const CellConfig& config);
+
+/// Parse a text config. Returns EINVAL with a line-numbered message on
+/// any malformed input; never crashes on garbage (fuzz-tested).
+[[nodiscard]] util::Expected<CellConfig> parse_cell_config(std::string_view text);
+
+/// Render region flags as the compact letter form ("rwxl").
+[[nodiscard]] std::string flags_to_letters(std::uint32_t flags);
+
+/// Parse the compact letter form; EINVAL on unknown letters.
+[[nodiscard]] util::Expected<std::uint32_t> letters_to_flags(std::string_view letters);
+
+}  // namespace mcs::jh

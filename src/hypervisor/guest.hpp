@@ -1,0 +1,94 @@
+// Guest execution interface.
+//
+// Guests are functional models (C++ code), not instruction streams; they
+// interact with the platform exclusively through a GuestContext, which
+// routes every access the way the hardware would: stage-2 translation
+// decides between passthrough (straight to the bus) and a trap into the
+// hypervisor. That keeps the hypervisor entry points on the hot path
+// exactly as on the real board — which is what the fault-injection
+// experiments need.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "hypervisor/hypercall.hpp"
+#include "mem/memory_map.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace mcs::jh {
+
+class Hypervisor;
+class Cell;
+
+/// Per-vCPU window a guest uses to touch the world. Lives on the stack of
+/// Machine::run_tick(); guests must not retain it across quanta.
+class GuestContext {
+ public:
+  GuestContext(Hypervisor& hv, Cell& cell, int cpu) noexcept
+      : hv_(&hv), cell_(&cell), cpu_(cpu) {}
+
+  [[nodiscard]] int cpu() const noexcept { return cpu_; }
+  [[nodiscard]] Cell& cell() noexcept { return *cell_; }
+  [[nodiscard]] util::Ticks now() const noexcept;
+
+  /// MMIO / memory access with full stage-2 semantics: mapped regions go
+  /// to the bus or DRAM; unmapped or forbidden accesses raise a stage-2
+  /// data abort and enter the hypervisor trap path.
+  util::Status mmio_write_u32(std::uint64_t addr, std::uint32_t value);
+  [[nodiscard]] util::Expected<std::uint32_t> mmio_read_u32(std::uint64_t addr);
+
+  /// Plain RAM access (stage-2 checked; a fault here is a guest bug in the
+  /// model, reported as a status rather than a trap).
+  util::Status ram_write_u32(std::uint64_t addr, std::uint32_t value);
+  [[nodiscard]] util::Expected<std::uint32_t> ram_read_u32(std::uint64_t addr);
+
+  /// Issue a hypercall (HVC #0): enters arch_handle_trap → arch_handle_hvc.
+  HvcResult hypercall(std::uint32_t code, std::uint32_t arg0 = 0,
+                      std::uint32_t arg1 = 0);
+
+  /// Console byte through the cell's configured console path: passthrough
+  /// writes the UART register directly; trapped consoles take the stage-2
+  /// trap path (one arch_handle_trap entry per byte).
+  void console_putc(char c);
+  void console_puts(std::string_view text);
+
+  /// Toggle the board LED through the GPIO block (blink task).
+  void set_led(bool on);
+
+  /// Program this vCPU's virtual timer (generic-timer system registers:
+  /// no MMIO, no trap — architecturally a CNTV_* access).
+  void start_periodic_timer(std::uint32_t period_ticks);
+  void stop_periodic_timer();
+
+ private:
+  Hypervisor* hv_;
+  Cell* cell_;
+  int cpu_;
+};
+
+/// A guest OS image bound to a cell.
+class GuestImage {
+ public:
+  virtual ~GuestImage() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Called once when the cell's vCPU comes online.
+  virtual void on_start(GuestContext& ctx) = 0;
+
+  /// One scheduling quantum (one board tick) of vCPU time.
+  virtual void run_quantum(GuestContext& ctx) = 0;
+
+  /// Timer PPI delivered to this vCPU.
+  virtual void on_timer(GuestContext& ctx) { (void)ctx; }
+
+  /// A peripheral interrupt owned by the cell was delivered.
+  virtual void on_irq(GuestContext& ctx, std::uint32_t irq) {
+    (void)ctx;
+    (void)irq;
+  }
+};
+
+}  // namespace mcs::jh

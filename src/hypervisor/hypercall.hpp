@@ -1,0 +1,65 @@
+// Hypercall ABI between cells and the hypervisor.
+//
+// Codes follow the Jailhouse JAILHOUSE_HC_* numbering; results are 0/positive
+// on success, negative errno on failure. The root-cell driver renders
+// -EINVAL as "Invalid argument" — the string the paper's §III reports for
+// every high-intensity root-context injection.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace mcs::jh {
+
+enum class Hypercall : std::uint32_t {
+  Disable = 0,            ///< JAILHOUSE_HC_DISABLE
+  CellCreate = 1,         ///< JAILHOUSE_HC_CELL_CREATE
+  CellStart = 2,          ///< JAILHOUSE_HC_CELL_START
+  CellSetLoadable = 3,    ///< JAILHOUSE_HC_CELL_SET_LOADABLE
+  CellDestroy = 4,        ///< JAILHOUSE_HC_CELL_DESTROY
+  HypervisorGetInfo = 5,  ///< JAILHOUSE_HC_HYPERVISOR_GET_INFO
+  CellGetState = 6,       ///< JAILHOUSE_HC_CELL_GET_STATE
+  CpuGetInfo = 7,         ///< JAILHOUSE_HC_CPU_GET_INFO
+  DebugConsolePutc = 8,   ///< JAILHOUSE_HC_DEBUG_CONSOLE_PUTC
+  CellShutdown = 9,       ///< driver-level shutdown, modelled as a hypercall
+};
+
+inline constexpr std::uint32_t kNumHypercalls = 10;
+
+[[nodiscard]] constexpr bool is_valid_hypercall(std::uint32_t code) noexcept {
+  return code < kNumHypercalls;
+}
+
+[[nodiscard]] constexpr std::string_view hypercall_name(Hypercall hc) noexcept {
+  switch (hc) {
+    case Hypercall::Disable: return "disable";
+    case Hypercall::CellCreate: return "cell_create";
+    case Hypercall::CellStart: return "cell_start";
+    case Hypercall::CellSetLoadable: return "cell_set_loadable";
+    case Hypercall::CellDestroy: return "cell_destroy";
+    case Hypercall::HypervisorGetInfo: return "hypervisor_get_info";
+    case Hypercall::CellGetState: return "cell_get_state";
+    case Hypercall::CpuGetInfo: return "cpu_get_info";
+    case Hypercall::DebugConsolePutc: return "debug_console_putc";
+    case Hypercall::CellShutdown: return "cell_shutdown";
+  }
+  return "unknown";
+}
+
+/// Hypercall result: >= 0 success (value), < 0 negative errno.
+using HvcResult = std::int32_t;
+
+inline constexpr HvcResult kHvcEPerm = -1;
+inline constexpr HvcResult kHvcENoEnt = -2;
+inline constexpr HvcResult kHvcEBusy = -16;
+inline constexpr HvcResult kHvcEExist = -17;
+inline constexpr HvcResult kHvcEInval = -22;
+inline constexpr HvcResult kHvcENoSys = -38;
+
+/// What the root-cell driver prints for a failed management ioctl; both
+/// EINVAL and ENOSYS surface as the paper's "invalid arguments".
+[[nodiscard]] constexpr bool is_invalid_arguments(HvcResult r) noexcept {
+  return r == kHvcEInval || r == kHvcENoSys || r == kHvcENoEnt;
+}
+
+}  // namespace mcs::jh

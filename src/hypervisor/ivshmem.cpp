@@ -1,0 +1,120 @@
+#include "hypervisor/ivshmem.hpp"
+
+namespace mcs::jh {
+
+mem::MemRegion make_ivshmem_region(std::uint64_t base, std::uint64_t size) {
+  mem::MemRegion region;
+  region.name = "ivshmem";
+  region.phys_start = base;
+  region.virt_start = base;
+  region.size = size;
+  region.flags = mem::kMemRead | mem::kMemWrite | mem::kMemRootShared;
+  return region;
+}
+
+util::Expected<std::uint32_t> IvshmemChannel::read_cursor(std::uint64_t offset) {
+  return space_->read_u32(base_ + offset);
+}
+
+util::Status IvshmemChannel::write_cursor(std::uint64_t offset,
+                                          std::uint32_t value) {
+  return space_->write_u32(base_ + offset, value);
+}
+
+util::Status IvshmemChannel::init() {
+  MCS_RETURN_IF_ERROR(write_cursor(kHeadOff, 0));
+  MCS_RETURN_IF_ERROR(write_cursor(kTailOff, 0));
+  return write_cursor(kCapOff, capacity_);
+}
+
+util::Status IvshmemChannel::send(std::span<const std::uint8_t> payload) {
+  if (payload.size() > 0xffff) {
+    return util::invalid_argument("ivshmem message too large");
+  }
+  auto head = read_cursor(kHeadOff);
+  if (!head.is_ok()) return head.status();
+  auto tail = read_cursor(kTailOff);
+  if (!tail.is_ok()) return tail.status();
+
+  const std::uint32_t used = tail.value() - head.value();
+  const std::uint32_t needed = static_cast<std::uint32_t>(payload.size()) + 4;
+  if (used + needed > capacity_) return util::busy("ivshmem ring full");
+
+  // Length prefix, then payload, byte by byte through the checked space.
+  std::uint32_t cursor = tail.value();
+  const auto put = [&](std::uint8_t byte) -> util::Status {
+    const std::uint64_t addr = base_ + kDataOff + cursor % capacity_;
+    ++cursor;
+    std::uint8_t buf[1] = {byte};
+    return space_->write_block(addr, buf);
+  };
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (unsigned i = 0; i < 4; ++i) {
+    MCS_RETURN_IF_ERROR(put(static_cast<std::uint8_t>(len >> (8 * i))));
+  }
+  for (const std::uint8_t byte : payload) MCS_RETURN_IF_ERROR(put(byte));
+  return write_cursor(kTailOff, cursor);
+}
+
+util::Status IvshmemChannel::send_text(const std::string& text) {
+  return send(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+util::Expected<std::vector<std::uint8_t>> IvshmemChannel::receive() {
+  auto head = read_cursor(kHeadOff);
+  if (!head.is_ok()) return head.status();
+  auto tail = read_cursor(kTailOff);
+  if (!tail.is_ok()) return tail.status();
+  if (head.value() == tail.value()) {
+    return util::Status(util::Code::EBusy, "ivshmem ring empty");
+  }
+
+  std::uint32_t cursor = head.value();
+  const auto get = [&]() -> util::Expected<std::uint8_t> {
+    const std::uint64_t addr = base_ + kDataOff + cursor % capacity_;
+    ++cursor;
+    std::uint8_t buf[1] = {0};
+    MCS_RETURN_IF_ERROR(space_->read_block(addr, buf));
+    return buf[0];
+  };
+  std::uint32_t len = 0;
+  for (unsigned i = 0; i < 4; ++i) {
+    auto byte = get();
+    if (!byte.is_ok()) return byte.status();
+    len |= static_cast<std::uint32_t>(byte.value()) << (8 * i);
+  }
+  if (len > capacity_) {
+    return util::fault("ivshmem ring corrupted (length " + std::to_string(len) + ")");
+  }
+  std::vector<std::uint8_t> payload;
+  payload.reserve(len);
+  for (std::uint32_t i = 0; i < len; ++i) {
+    auto byte = get();
+    if (!byte.is_ok()) return byte.status();
+    payload.push_back(byte.value());
+  }
+  MCS_RETURN_IF_ERROR(write_cursor(kHeadOff, cursor));
+  return payload;
+}
+
+util::Expected<std::string> IvshmemChannel::receive_text() {
+  auto bytes = receive();
+  if (!bytes.is_ok()) return bytes.status();
+  return std::string(bytes.value().begin(), bytes.value().end());
+}
+
+util::Expected<std::uint32_t> IvshmemChannel::pending_bytes() {
+  auto head = read_cursor(kHeadOff);
+  if (!head.is_ok()) return head.status();
+  auto tail = read_cursor(kTailOff);
+  if (!tail.is_ok()) return tail.status();
+  return tail.value() - head.value();
+}
+
+util::Status IvshmemChannel::ring_doorbell(irq::Gic& gic, int from_cpu,
+                                           int to_cpu) {
+  return gic.send_sgi(from_cpu, to_cpu, kIvshmemDoorbellSgi);
+}
+
+}  // namespace mcs::jh

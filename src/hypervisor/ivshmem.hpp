@@ -1,0 +1,81 @@
+// ivshmem: Jailhouse's inter-cell communication device model.
+//
+// "Despite the main objective being partitioning resources, inter-cell
+// communication is allowed through the ivshmem device model" (§II-A).
+// Model: a shared-memory window declared JAILHOUSE_MEM_ROOTSHARED in both
+// cells' configs, carrying a single-producer single-consumer byte ring,
+// plus a doorbell (SGI) to wake the peer. All accesses go through the
+// cells' stage-2-checked address spaces, so the channel cannot be used to
+// escape the partition.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "irq/gic.hpp"
+#include "mem/address_space.hpp"
+#include "mem/memory_map.hpp"
+#include "util/status.hpp"
+
+namespace mcs::jh {
+
+/// Default shared window inside the root's loanable pool.
+inline constexpr std::uint64_t kIvshmemBase = 0x7a00'0000;
+inline constexpr std::uint64_t kIvshmemSize = 0x1'0000;  // 64 KiB
+
+/// Doorbell SGI id (software-generated interrupt 14).
+inline constexpr irq::IrqId kIvshmemDoorbellSgi = 14;
+
+/// Build the memory region both cell configs must contain to share the
+/// window. Both sides map the same physical range read-write.
+[[nodiscard]] mem::MemRegion make_ivshmem_region(
+    std::uint64_t base = kIvshmemBase, std::uint64_t size = kIvshmemSize);
+
+/// One directed SPSC byte ring inside a shared window.
+///
+/// Layout: [0]=head (consumer cursor), [4]=tail (producer cursor),
+/// [8]=capacity, [16..16+capacity) data. Cursors are free-running and
+/// wrap modulo capacity.
+class IvshmemChannel {
+ public:
+  /// `space` is the *accessing cell's* address space; `base` the guest
+  /// address of the directed ring inside the shared window.
+  IvshmemChannel(mem::AddressSpace& space, std::uint64_t base,
+                 std::uint32_t capacity) noexcept
+      : space_(&space), base_(base), capacity_(capacity) {}
+
+  /// Producer side: format the ring header. Call once.
+  util::Status init();
+
+  /// Append a message (length-prefixed). EBUSY when the ring lacks space.
+  util::Status send(std::span<const std::uint8_t> payload);
+  util::Status send_text(const std::string& text);
+
+  /// Consumer side: pop one message if available.
+  [[nodiscard]] util::Expected<std::vector<std::uint8_t>> receive();
+  [[nodiscard]] util::Expected<std::string> receive_text();
+
+  /// Bytes queued but not yet consumed.
+  [[nodiscard]] util::Expected<std::uint32_t> pending_bytes();
+
+  /// Ring a doorbell SGI at the peer CPU.
+  util::Status ring_doorbell(irq::Gic& gic, int from_cpu, int to_cpu);
+
+ private:
+  static constexpr std::uint64_t kHeadOff = 0;
+  static constexpr std::uint64_t kTailOff = 4;
+  static constexpr std::uint64_t kCapOff = 8;
+  static constexpr std::uint64_t kDataOff = 16;
+
+  util::Expected<std::uint32_t> read_cursor(std::uint64_t offset);
+  util::Status write_cursor(std::uint64_t offset, std::uint32_t value);
+
+  mem::AddressSpace* space_;
+  std::uint64_t base_;
+  std::uint32_t capacity_;
+};
+
+}  // namespace mcs::jh

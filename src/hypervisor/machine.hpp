@@ -1,0 +1,59 @@
+// Machine: the whole-testbed orchestrator.
+//
+// Drives the board tick by tick, delivering the hardware events of each
+// quantum in the order the silicon would: device ticks raise interrupt
+// lines → cores in bring-up take their first HYP entry → pending IRQs
+// enter irqchip_handle_irq → online vCPUs run their guest quantum.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "hypervisor/guest.hpp"
+#include "hypervisor/hypervisor.hpp"
+#include "platform/board.hpp"
+
+namespace mcs::jh {
+
+class CellWatchdog;
+
+class Machine {
+ public:
+  /// Board and hypervisor must outlive the machine.
+  Machine(platform::BananaPiBoard& board, Hypervisor& hv) noexcept
+      : board_(&board), hv_(&hv) {}
+
+  /// Bind a guest image to a cell. Images are owned by the caller and
+  /// must outlive the machine. Re-binding replaces the previous image.
+  void bind_guest(CellId cell, GuestImage& image);
+  void unbind_guest(CellId cell);
+  [[nodiscard]] GuestImage* guest_for(CellId cell) noexcept;
+
+  /// Install the cell liveness watchdog (nullptr to remove). The watchdog
+  /// is owned by the caller and ticks after each board tick.
+  void install_watchdog(CellWatchdog* watchdog) noexcept { watchdog_ = watchdog; }
+
+  /// One board tick: devices, bring-up entries, IRQ routing, quanta.
+  void run_tick();
+
+  /// Convenience: run `n` ticks (stops early only at hypervisor panic —
+  /// time itself keeps flowing, but nothing executes on a dead machine).
+  void run_ticks(std::uint64_t n);
+
+  [[nodiscard]] platform::BananaPiBoard& board() noexcept { return *board_; }
+  [[nodiscard]] Hypervisor& hypervisor() noexcept { return *hv_; }
+
+ private:
+  static constexpr int kMaxIrqsPerTick = 8;  ///< livelock guard
+
+  void deliver_irqs(int cpu);
+  void run_guest_quantum(int cpu);
+
+  platform::BananaPiBoard* board_;
+  Hypervisor* hv_;
+  CellWatchdog* watchdog_ = nullptr;
+  std::array<GuestImage*, 16> images_{};         // by cell id, small & flat
+  std::array<bool, irq::kMaxCpus> started_{};    // on_start() issued per cpu
+};
+
+}  // namespace mcs::jh

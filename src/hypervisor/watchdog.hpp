@@ -1,0 +1,101 @@
+// Cell liveness watchdog — the §V "right direction" mechanism.
+//
+// The paper's most dangerous finding is the *inconsistent cell*: Jailhouse
+// reports a cell RUNNING while its CPU never came online and the USART is
+// blank; "the Jailhouse user assumed that the allocated non-root cell is
+// running, but instead, it is completely broken and unusable". ISO 26262
+// prescribes error *detection* mechanisms; this watchdog is one: it
+// cross-checks, per cell and per check period,
+//
+//   1. bookkeeping vs physical truth  — cell RUNNING but its CPUs Failed,
+//      stuck in bring-up, parked, or off;
+//   2. liveness progress              — cell RUNNING but no console bytes
+//      and no hypervisor entries for `silence_threshold` checks.
+//
+// Alarms are logged and counted; an optional remediation policy performs
+// the §III manual recovery automatically (cell shutdown, reclaiming the
+// CPU for the root cell).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hypervisor/hypervisor.hpp"
+
+namespace mcs::jh {
+
+enum class WatchdogAlarm : std::uint8_t {
+  CpuDead,        ///< cell RUNNING, a CPU Failed / stuck Booting / Off
+  CpuParked,      ///< cell RUNNING, a CPU parked by the hypervisor
+  NoProgress,     ///< cell RUNNING, CPUs online, but no observable output
+};
+
+[[nodiscard]] std::string_view watchdog_alarm_name(WatchdogAlarm alarm) noexcept;
+
+/// What the watchdog does once it has raised an alarm for a cell.
+enum class RemediationPolicy : std::uint8_t {
+  ReportOnly,       ///< log and count; leave the cell alone
+  AutoShutdown,     ///< shut the cell down, reclaiming CPUs for the root
+};
+
+struct WatchdogEvent {
+  std::uint64_t tick = 0;
+  CellId cell = 0;
+  WatchdogAlarm alarm = WatchdogAlarm::CpuDead;
+  std::string detail;
+  bool remediated = false;
+};
+
+class CellWatchdog {
+ public:
+  struct Options {
+    std::uint64_t check_period = 100;     ///< ticks between checks (100 ms)
+    std::uint32_t silence_threshold = 5;  ///< silent checks before NoProgress
+    RemediationPolicy policy = RemediationPolicy::ReportOnly;
+  };
+
+  /// The hypervisor must outlive the watchdog.
+  CellWatchdog(Hypervisor& hv, Options options) noexcept
+      : hv_(&hv), options_(options) {}
+
+  /// Call once per board tick (the Machine does this when the watchdog is
+  /// installed); cheap no-op between check periods.
+  void on_tick();
+
+  /// Force one check round immediately (tests).
+  void check_now();
+
+  [[nodiscard]] const std::vector<WatchdogEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::uint64_t alarms() const noexcept { return events_.size(); }
+  [[nodiscard]] std::uint64_t remediations() const noexcept {
+    return remediations_;
+  }
+
+  /// Detection latency for a cell: ticks from its start being observed to
+  /// the first alarm (0 if no alarm yet).
+  [[nodiscard]] std::uint64_t first_alarm_tick(CellId cell) const noexcept;
+
+ private:
+  struct Tracked {
+    std::uint64_t last_console_bytes = 0;
+    std::uint64_t last_entries = 0;   ///< hypercalls + stage-2 faults
+    std::uint32_t silent_checks = 0;
+    bool alarmed = false;  ///< one alarm per cell per incident
+  };
+
+  void check_cell(Cell& cell);
+  void raise(Cell& cell, WatchdogAlarm alarm, std::string detail);
+
+  Hypervisor* hv_;
+  Options options_;
+  std::uint64_t ticks_ = 0;
+  std::map<CellId, Tracked> tracked_;
+  std::vector<WatchdogEvent> events_;
+  std::uint64_t remediations_ = 0;
+};
+
+}  // namespace mcs::jh

@@ -1,0 +1,177 @@
+#include "irq/gic.hpp"
+
+#include <algorithm>
+
+namespace mcs::irq {
+
+Gic::Gic(int num_cpus) : num_cpus_(std::clamp(num_cpus, 1, kMaxCpus)) {
+  priority_mask_.fill(kIdlePriority);  // everything unmasked by default
+  // Banked per-CPU lines (SGIs and PPIs) come out of reset enabled at a
+  // mid-range priority — the state Linux/Jailhouse leave them in before
+  // any guest runs, folded into reset for the functional model.
+  for (IrqId irq = 0; irq < kFirstSpi; ++irq) {
+    lines_[irq].enabled = true;
+    lines_[irq].priority = kDefaultPriority;
+  }
+}
+
+util::Status Gic::check_irq(IrqId irq) const {
+  if (irq >= kNumIrqs) {
+    return util::invalid_argument("irq id out of range: " + std::to_string(irq));
+  }
+  return util::ok_status();
+}
+
+util::Status Gic::check_cpu(int cpu) const {
+  if (cpu < 0 || cpu >= num_cpus_) {
+    return util::invalid_argument("cpu out of range: " + std::to_string(cpu));
+  }
+  return util::ok_status();
+}
+
+util::Status Gic::enable(IrqId irq) {
+  MCS_RETURN_IF_ERROR(check_irq(irq));
+  lines_[irq].enabled = true;
+  // A line enabled while still at the idle priority would be deliverable
+  // never; give it the reset default (guests may override via IPRIORITYR).
+  if (lines_[irq].priority == kIdlePriority) {
+    lines_[irq].priority = kDefaultPriority;
+  }
+  return util::ok_status();
+}
+
+util::Status Gic::disable(IrqId irq) {
+  MCS_RETURN_IF_ERROR(check_irq(irq));
+  lines_[irq].enabled = false;
+  return util::ok_status();
+}
+
+bool Gic::is_enabled(IrqId irq) const noexcept {
+  return irq < kNumIrqs && lines_[irq].enabled;
+}
+
+util::Status Gic::set_priority(IrqId irq, std::uint8_t priority) {
+  MCS_RETURN_IF_ERROR(check_irq(irq));
+  lines_[irq].priority = priority;
+  return util::ok_status();
+}
+
+std::uint8_t Gic::priority(IrqId irq) const noexcept {
+  return irq < kNumIrqs ? lines_[irq].priority : kIdlePriority;
+}
+
+util::Status Gic::set_target(IrqId irq, int cpu) {
+  MCS_RETURN_IF_ERROR(check_irq(irq));
+  MCS_RETURN_IF_ERROR(check_cpu(cpu));
+  if (!is_spi(irq)) {
+    return util::invalid_argument("only SPIs are routable");
+  }
+  lines_[irq].target = cpu;
+  return util::ok_status();
+}
+
+int Gic::target(IrqId irq) const noexcept {
+  return irq < kNumIrqs ? lines_[irq].target : 0;
+}
+
+util::Status Gic::raise_spi(IrqId irq) {
+  MCS_RETURN_IF_ERROR(check_irq(irq));
+  if (!is_spi(irq)) return util::invalid_argument("not an SPI");
+  Line& line = lines_[irq];
+  line.pending[static_cast<std::size_t>(line.target)] = true;
+  return util::ok_status();
+}
+
+util::Status Gic::raise_ppi(int cpu, IrqId irq) {
+  MCS_RETURN_IF_ERROR(check_irq(irq));
+  MCS_RETURN_IF_ERROR(check_cpu(cpu));
+  if (!is_ppi(irq)) return util::invalid_argument("not a PPI");
+  lines_[irq].pending[static_cast<std::size_t>(cpu)] = true;
+  return util::ok_status();
+}
+
+util::Status Gic::send_sgi(int source_cpu, int target_cpu, IrqId irq) {
+  MCS_RETURN_IF_ERROR(check_cpu(source_cpu));
+  MCS_RETURN_IF_ERROR(check_cpu(target_cpu));
+  if (!is_sgi(irq)) return util::invalid_argument("not an SGI");
+  lines_[irq].pending[static_cast<std::size_t>(target_cpu)] = true;
+  return util::ok_status();
+}
+
+void Gic::set_priority_mask(int cpu, std::uint8_t mask) noexcept {
+  if (cpu >= 0 && cpu < num_cpus_) {
+    priority_mask_[static_cast<std::size_t>(cpu)] = mask;
+  }
+}
+
+std::uint8_t Gic::priority_mask(int cpu) const noexcept {
+  return (cpu >= 0 && cpu < num_cpus_)
+             ? priority_mask_[static_cast<std::size_t>(cpu)]
+             : kIdlePriority;
+}
+
+IrqId Gic::peek(int cpu) const noexcept {
+  if (cpu < 0 || cpu >= num_cpus_) return kSpuriousIrq;
+  const auto cpu_index = static_cast<std::size_t>(cpu);
+  IrqId best = kSpuriousIrq;
+  std::uint8_t best_priority = kIdlePriority;
+  for (IrqId irq = 0; irq < kNumIrqs; ++irq) {
+    const Line& line = lines_[irq];
+    if (!line.enabled || !line.pending[cpu_index] || line.active[cpu_index]) continue;
+    if (line.priority >= priority_mask_[cpu_index]) continue;  // masked
+    if (line.priority < best_priority ||
+        (line.priority == best_priority && irq < best)) {
+      best = irq;
+      best_priority = line.priority;
+    }
+  }
+  return best;
+}
+
+IrqId Gic::acknowledge(int cpu) noexcept {
+  const IrqId irq = peek(cpu);
+  if (irq == kSpuriousIrq) return kSpuriousIrq;
+  const auto cpu_index = static_cast<std::size_t>(cpu);
+  Line& line = lines_[irq];
+  line.pending[cpu_index] = false;
+  line.active[cpu_index] = true;
+  ++line.delivered;
+  return irq;
+}
+
+util::Status Gic::end_of_interrupt(int cpu, IrqId irq) {
+  MCS_RETURN_IF_ERROR(check_irq(irq));
+  MCS_RETURN_IF_ERROR(check_cpu(cpu));
+  Line& line = lines_[irq];
+  const auto cpu_index = static_cast<std::size_t>(cpu);
+  if (!line.active[cpu_index]) {
+    return util::invalid_argument("EOI for non-active irq " + std::to_string(irq));
+  }
+  line.active[cpu_index] = false;
+  return util::ok_status();
+}
+
+bool Gic::is_pending(IrqId irq, int cpu) const noexcept {
+  return irq < kNumIrqs && cpu >= 0 && cpu < num_cpus_ &&
+         lines_[irq].pending[static_cast<std::size_t>(cpu)];
+}
+
+bool Gic::is_active(IrqId irq, int cpu) const noexcept {
+  return irq < kNumIrqs && cpu >= 0 && cpu < num_cpus_ &&
+         lines_[irq].active[static_cast<std::size_t>(cpu)];
+}
+
+void Gic::reset_cpu(int cpu) noexcept {
+  if (cpu < 0 || cpu >= num_cpus_) return;
+  const auto cpu_index = static_cast<std::size_t>(cpu);
+  for (Line& line : lines_) {
+    line.pending[cpu_index] = false;
+    line.active[cpu_index] = false;
+  }
+}
+
+std::uint64_t Gic::delivered(IrqId irq) const noexcept {
+  return irq < kNumIrqs ? lines_[irq].delivered : 0;
+}
+
+}  // namespace mcs::irq

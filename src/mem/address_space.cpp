@@ -1,0 +1,51 @@
+#include "mem/address_space.hpp"
+
+namespace mcs::mem {
+
+template <typename Op>
+auto AddressSpace::guarded(GuestAddr addr, Access access, std::uint64_t len, Op op)
+    -> decltype(op(PhysAddr{})) {
+  auto walk = map_->translate(addr, access, len);
+  if (!walk.is_ok()) {
+    ++faults_;
+    return walk.status();
+  }
+  return op(walk.value().phys);
+}
+
+util::Expected<std::uint32_t> AddressSpace::read_u32(GuestAddr addr) {
+  return guarded(addr, Access::Read, 4,
+                 [this](PhysAddr phys) { return phys_->read_u32(phys); });
+}
+
+util::Expected<std::uint64_t> AddressSpace::read_u64(GuestAddr addr) {
+  return guarded(addr, Access::Read, 8,
+                 [this](PhysAddr phys) { return phys_->read_u64(phys); });
+}
+
+util::Status AddressSpace::write_u32(GuestAddr addr, std::uint32_t value) {
+  return guarded(addr, Access::Write, 4, [this, value](PhysAddr phys) {
+    return phys_->write_u32(phys, value);
+  });
+}
+
+util::Status AddressSpace::write_u64(GuestAddr addr, std::uint64_t value) {
+  return guarded(addr, Access::Write, 8, [this, value](PhysAddr phys) {
+    return phys_->write_u64(phys, value);
+  });
+}
+
+util::Status AddressSpace::read_block(GuestAddr addr, std::span<std::uint8_t> out) {
+  return guarded(addr, Access::Read, out.size(), [this, out](PhysAddr phys) {
+    return phys_->read_block(phys, out);
+  });
+}
+
+util::Status AddressSpace::write_block(GuestAddr addr,
+                                       std::span<const std::uint8_t> data) {
+  return guarded(addr, Access::Write, data.size(), [this, data](PhysAddr phys) {
+    return phys_->write_block(phys, data);
+  });
+}
+
+}  // namespace mcs::mem

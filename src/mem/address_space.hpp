@@ -1,0 +1,49 @@
+// AddressSpace: a cell's guarded view onto physical memory.
+//
+// Every guest access goes through the cell's MemoryMap first; permission or
+// mapping failures are reported as stage-2 faults (and counted), successful
+// walks hit the shared PhysicalMemory. This is the mechanism the isolation
+// invariant rests on: two cells whose maps don't share physical ranges
+// cannot observe each other's writes, which the property tests assert
+// under random fault sweeps.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "mem/memory_map.hpp"
+#include "mem/phys_mem.hpp"
+#include "util/status.hpp"
+
+namespace mcs::mem {
+
+class AddressSpace {
+ public:
+  /// Both references must outlive the AddressSpace (the board owns them).
+  AddressSpace(MemoryMap& map, PhysicalMemory& phys) noexcept
+      : map_(&map), phys_(&phys) {}
+
+  [[nodiscard]] const MemoryMap& map() const noexcept { return *map_; }
+  [[nodiscard]] MemoryMap& map() noexcept { return *map_; }
+
+  [[nodiscard]] util::Expected<std::uint32_t> read_u32(GuestAddr addr);
+  [[nodiscard]] util::Expected<std::uint64_t> read_u64(GuestAddr addr);
+  util::Status write_u32(GuestAddr addr, std::uint32_t value);
+  util::Status write_u64(GuestAddr addr, std::uint64_t value);
+  util::Status read_block(GuestAddr addr, std::span<std::uint8_t> out);
+  util::Status write_block(GuestAddr addr, std::span<const std::uint8_t> data);
+
+  /// Stage-2 faults taken through this address space since construction.
+  [[nodiscard]] std::uint64_t fault_count() const noexcept { return faults_; }
+
+ private:
+  template <typename Op>
+  auto guarded(GuestAddr addr, Access access, std::uint64_t len, Op op)
+      -> decltype(op(PhysAddr{}));
+
+  MemoryMap* map_;
+  PhysicalMemory* phys_;
+  std::uint64_t faults_ = 0;
+};
+
+}  // namespace mcs::mem

@@ -1,0 +1,116 @@
+#include "mem/memory_map.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace mcs::mem {
+
+util::Status MemoryMap::add_region(MemRegion region) {
+  if (region.size == 0) {
+    return util::invalid_argument("zero-sized memory region '" + region.name + "'");
+  }
+  for (const MemRegion& existing : regions_) {
+    if (existing.overlaps_guest(region)) {
+      return util::invalid_argument("region '" + region.name +
+                                    "' overlaps '" + existing.name +
+                                    "' in guest space");
+    }
+  }
+  regions_.push_back(std::move(region));
+  return util::ok_status();
+}
+
+std::size_t MemoryMap::remove_regions_named(const std::string& name) {
+  const auto before = regions_.size();
+  std::erase_if(regions_, [&](const MemRegion& r) { return r.name == name; });
+  return before - regions_.size();
+}
+
+std::vector<MemRegion> MemoryMap::carve_out_phys(PhysAddr start, std::uint64_t size) {
+  std::vector<MemRegion> removed;
+  std::vector<MemRegion> rebuilt;
+  const PhysAddr end = start + size;
+  for (MemRegion& region : regions_) {
+    const PhysAddr r_start = region.phys_start;
+    const PhysAddr r_end = region.phys_start + region.size;
+    if (r_end <= start || end <= r_start) {  // no overlap
+      rebuilt.push_back(std::move(region));
+      continue;
+    }
+    const PhysAddr cut_start = std::max(start, r_start);
+    const PhysAddr cut_end = std::min(end, r_end);
+
+    // Identity between guest offset and phys offset within one region.
+    const auto to_virt = [&region, r_start](PhysAddr p) {
+      return region.virt_start + (p - r_start);
+    };
+
+    MemRegion cut = region;
+    cut.phys_start = cut_start;
+    cut.virt_start = to_virt(cut_start);
+    cut.size = cut_end - cut_start;
+    removed.push_back(cut);
+
+    if (cut_start > r_start) {  // left remainder
+      MemRegion left = region;
+      left.size = cut_start - r_start;
+      rebuilt.push_back(left);
+    }
+    if (cut_end < r_end) {  // right remainder
+      MemRegion right = region;
+      right.phys_start = cut_end;
+      right.virt_start = to_virt(cut_end);
+      right.size = r_end - cut_end;
+      rebuilt.push_back(right);
+    }
+  }
+  regions_ = std::move(rebuilt);
+  return removed;
+}
+
+bool MemoryMap::covers_phys(PhysAddr start, std::uint64_t size) const noexcept {
+  // Walk forward through the range, extending coverage region by region.
+  PhysAddr cursor = start;
+  const PhysAddr end = start + size;
+  bool progressed = true;
+  while (cursor < end && progressed) {
+    progressed = false;
+    for (const MemRegion& region : regions_) {
+      if (region.phys_start <= cursor && cursor < region.phys_start + region.size) {
+        cursor = region.phys_start + region.size;
+        progressed = true;
+        break;
+      }
+    }
+  }
+  return cursor >= end;
+}
+
+util::Expected<Translation> MemoryMap::translate(GuestAddr addr, Access access,
+                                                 std::uint64_t len) const {
+  for (const MemRegion& region : regions_) {
+    if (!region.contains(addr, len)) continue;
+    if (!region.allows(access)) {
+      last_fault_ = Stage2Fault{addr, access, FaultKind::Permission};
+      return util::perm("stage-2 permission fault at " + util::hex(addr) +
+                        " in region '" + region.name + "'");
+    }
+    last_fault_.reset();
+    return Translation{region.phys_start + (addr - region.virt_start), &region};
+  }
+  last_fault_ = Stage2Fault{addr, access, FaultKind::NoMapping};
+  return util::fault("stage-2 translation fault at " + util::hex(addr));
+}
+
+bool MemoryMap::maps_phys(PhysAddr phys, std::uint64_t len) const noexcept {
+  for (const MemRegion& region : regions_) {
+    if (phys < region.phys_start + region.size &&
+        region.phys_start < phys + len) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace mcs::mem

@@ -1,0 +1,129 @@
+// Per-cell memory map: the stage-2 view Jailhouse programs for each cell.
+//
+// A cell config lists memory regions with Jailhouse-style access flags;
+// the hypervisor turns them into stage-2 mappings. Any guest access outside
+// its regions (or violating permissions) raises a stage-2 data abort with
+// EC 0x24 — the very trap class the paper's experiments exercise.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace mcs::mem {
+
+using PhysAddr = std::uint64_t;
+using GuestAddr = std::uint64_t;
+
+/// Jailhouse memory-region flags (names follow the cell-config macros).
+enum MemFlags : std::uint32_t {
+  kMemRead = 1u << 0,      // JAILHOUSE_MEM_READ
+  kMemWrite = 1u << 1,     // JAILHOUSE_MEM_WRITE
+  kMemExecute = 1u << 2,   // JAILHOUSE_MEM_EXECUTE
+  kMemDma = 1u << 3,       // JAILHOUSE_MEM_DMA
+  kMemIo = 1u << 4,        // JAILHOUSE_MEM_IO (device window)
+  kMemCommRegion = 1u << 5,// JAILHOUSE_MEM_COMM_REGION
+  kMemRootShared = 1u << 6,// JAILHOUSE_MEM_ROOTSHARED (ivshmem backing)
+  kMemLoadable = 1u << 7,  // JAILHOUSE_MEM_LOADABLE
+};
+
+/// Type of access being checked.
+enum class Access : std::uint8_t { Read, Write, Execute };
+
+/// One contiguous mapping: guest window [virt_start, virt_start+size) →
+/// physical [phys_start, phys_start+size), with access flags.
+struct MemRegion {
+  PhysAddr phys_start = 0;
+  GuestAddr virt_start = 0;
+  std::uint64_t size = 0;
+  std::uint32_t flags = 0;
+  std::string name;  ///< for logs/reports ("ram", "uart", "ivshmem", ...)
+
+  [[nodiscard]] bool contains(GuestAddr addr, std::uint64_t len = 1) const noexcept {
+    return addr >= virt_start && len <= size && addr - virt_start <= size - len;
+  }
+  [[nodiscard]] bool overlaps_guest(const MemRegion& other) const noexcept {
+    return virt_start < other.virt_start + other.size &&
+           other.virt_start < virt_start + size;
+  }
+  [[nodiscard]] bool overlaps_phys(const MemRegion& other) const noexcept {
+    return phys_start < other.phys_start + other.size &&
+           other.phys_start < phys_start + size;
+  }
+  [[nodiscard]] bool allows(Access access) const noexcept {
+    switch (access) {
+      case Access::Read: return (flags & kMemRead) != 0;
+      case Access::Write: return (flags & kMemWrite) != 0;
+      case Access::Execute: return (flags & kMemExecute) != 0;
+    }
+    return false;
+  }
+};
+
+/// Result of a successful stage-2 walk.
+struct Translation {
+  PhysAddr phys = 0;
+  const MemRegion* region = nullptr;
+};
+
+/// Reason a stage-2 walk failed; becomes the ISS of the data abort.
+enum class FaultKind : std::uint8_t { NoMapping, Permission };
+
+struct Stage2Fault {
+  GuestAddr addr = 0;
+  Access access = Access::Read;
+  FaultKind kind = FaultKind::NoMapping;
+};
+
+/// Ordered collection of regions forming one cell's guest-physical view.
+class MemoryMap {
+ public:
+  /// Add a region; rejects zero-sized or guest-overlapping regions.
+  util::Status add_region(MemRegion region);
+
+  /// Remove all regions whose name matches (used by cell destroy).
+  std::size_t remove_regions_named(const std::string& name);
+
+  /// Carve the physical range [start, start+size) out of this map — the
+  /// Jailhouse "root cell shrink" at cell create: the root loses access to
+  /// memory loaned to a new cell. Overlapping regions are split; the
+  /// removed intersections are returned (with their original flags and
+  /// names) so cell destroy can hand them back verbatim.
+  std::vector<MemRegion> carve_out_phys(PhysAddr start, std::uint64_t size);
+
+  /// True iff every byte of the physical range is covered by some region
+  /// of this map (Jailhouse requires cell memory to be backed by root
+  /// memory).
+  [[nodiscard]] bool covers_phys(PhysAddr start, std::uint64_t size) const noexcept;
+
+  [[nodiscard]] const std::vector<MemRegion>& regions() const noexcept {
+    return regions_;
+  }
+
+  /// Walk: guest address + access type → physical address or fault.
+  [[nodiscard]] util::Expected<Translation> translate(GuestAddr addr, Access access,
+                                                      std::uint64_t len = 1) const;
+
+  /// Last failed walk, for syndrome construction. Cleared by translate()
+  /// on success.
+  [[nodiscard]] const std::optional<Stage2Fault>& last_fault() const noexcept {
+    return last_fault_;
+  }
+
+  /// True iff any region maps (any part of) the given physical range.
+  [[nodiscard]] bool maps_phys(PhysAddr phys, std::uint64_t len = 1) const noexcept;
+
+  void clear() noexcept {
+    regions_.clear();
+    last_fault_.reset();
+  }
+
+ private:
+  std::vector<MemRegion> regions_;
+  mutable std::optional<Stage2Fault> last_fault_;
+};
+
+}  // namespace mcs::mem

@@ -1,0 +1,127 @@
+#include "mem/phys_mem.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/strings.hpp"
+
+namespace mcs::mem {
+namespace {
+
+util::Status out_of_range(PhysAddr addr) {
+  return util::fault("physical access outside DRAM at " + util::hex(addr));
+}
+
+}  // namespace
+
+const PhysicalMemory::Page* PhysicalMemory::find_page(PhysAddr addr) const noexcept {
+  const auto it = pages_.find((addr - base_) / kPageSize);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+PhysicalMemory::Page& PhysicalMemory::touch_page(PhysAddr addr) {
+  Page& page = pages_[(addr - base_) / kPageSize];
+  if (page.empty()) page.assign(kPageSize, 0);
+  return page;
+}
+
+util::Status PhysicalMemory::write_u8(PhysAddr addr, std::uint8_t value) {
+  if (!contains(addr)) return out_of_range(addr);
+  touch_page(addr)[(addr - base_) % kPageSize] = value;
+  return util::ok_status();
+}
+
+util::Status PhysicalMemory::write_u32(PhysAddr addr, std::uint32_t value) {
+  std::uint8_t bytes[4];
+  std::memcpy(bytes, &value, sizeof bytes);
+  return write_block(addr, bytes);
+}
+
+util::Status PhysicalMemory::write_u64(PhysAddr addr, std::uint64_t value) {
+  std::uint8_t bytes[8];
+  std::memcpy(bytes, &value, sizeof bytes);
+  return write_block(addr, bytes);
+}
+
+util::Status PhysicalMemory::write_block(PhysAddr addr,
+                                         std::span<const std::uint8_t> data) {
+  if (!contains(addr, data.size())) return out_of_range(addr);
+  std::uint64_t offset = addr - base_;
+  std::size_t written = 0;
+  while (written < data.size()) {
+    Page& page = touch_page(base_ + offset);
+    const std::uint64_t in_page = offset % kPageSize;
+    const std::size_t chunk =
+        std::min<std::size_t>(data.size() - written,
+                              static_cast<std::size_t>(kPageSize - in_page));
+    std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(written), chunk,
+                page.begin() + static_cast<std::ptrdiff_t>(in_page));
+    written += chunk;
+    offset += chunk;
+  }
+  return util::ok_status();
+}
+
+util::Expected<std::uint8_t> PhysicalMemory::read_u8(PhysAddr addr) const {
+  if (!contains(addr)) return out_of_range(addr);
+  const Page* page = find_page(addr);
+  if (page == nullptr) return std::uint8_t{0};
+  return (*page)[(addr - base_) % kPageSize];
+}
+
+util::Expected<std::uint32_t> PhysicalMemory::read_u32(PhysAddr addr) const {
+  std::uint8_t bytes[4]{};
+  MCS_RETURN_IF_ERROR(read_block(addr, bytes));
+  std::uint32_t value = 0;
+  std::memcpy(&value, bytes, sizeof value);
+  return value;
+}
+
+util::Expected<std::uint64_t> PhysicalMemory::read_u64(PhysAddr addr) const {
+  std::uint8_t bytes[8]{};
+  MCS_RETURN_IF_ERROR(read_block(addr, bytes));
+  std::uint64_t value = 0;
+  std::memcpy(&value, bytes, sizeof value);
+  return value;
+}
+
+util::Status PhysicalMemory::read_block(PhysAddr addr,
+                                        std::span<std::uint8_t> out) const {
+  if (!contains(addr, out.size())) return out_of_range(addr);
+  std::uint64_t offset = addr - base_;
+  std::size_t read = 0;
+  while (read < out.size()) {
+    const std::uint64_t in_page = offset % kPageSize;
+    const std::size_t chunk =
+        std::min<std::size_t>(out.size() - read,
+                              static_cast<std::size_t>(kPageSize - in_page));
+    const Page* page = find_page(base_ + offset);
+    if (page == nullptr) {
+      std::fill_n(out.begin() + static_cast<std::ptrdiff_t>(read), chunk,
+                  std::uint8_t{0});
+    } else {
+      std::copy_n(page->begin() + static_cast<std::ptrdiff_t>(in_page), chunk,
+                  out.begin() + static_cast<std::ptrdiff_t>(read));
+    }
+    read += chunk;
+    offset += chunk;
+  }
+  return util::ok_status();
+}
+
+util::Status PhysicalMemory::fill(PhysAddr addr, std::uint64_t len,
+                                  std::uint8_t value) {
+  if (!contains(addr, len)) return out_of_range(addr);
+  std::uint64_t offset = 0;
+  while (offset < len) {
+    const std::uint64_t in_page = (addr + offset - base_) % kPageSize;
+    const std::uint64_t chunk = std::min(kPageSize - in_page, len - offset);
+    Page& page = touch_page(addr + offset);
+    std::fill_n(page.begin() + static_cast<std::ptrdiff_t>(in_page),
+                static_cast<std::ptrdiff_t>(chunk), value);
+    offset += chunk;
+  }
+  return util::ok_status();
+}
+
+}  // namespace mcs::mem

@@ -1,0 +1,69 @@
+// Sparse physical memory model for the Banana Pi's 1 GB of DRAM.
+//
+// Backed by 4 KiB pages allocated on first touch so a full-board model
+// costs only what the workload actually dirties. All accesses are bounds
+// checked against the DRAM window; device windows live *outside* DRAM and
+// are handled by the board's MMIO dispatch, not here.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace mcs::mem {
+
+using PhysAddr = std::uint64_t;
+
+/// Banana Pi (Allwinner A20) DRAM window.
+inline constexpr PhysAddr kDramBase = 0x4000'0000;
+inline constexpr std::uint64_t kDramSize = 1ULL << 30;  // 1 GiB
+inline constexpr std::uint64_t kPageSize = 4096;
+
+class PhysicalMemory {
+ public:
+  PhysicalMemory() noexcept = default;
+  PhysicalMemory(PhysAddr base, std::uint64_t size) noexcept
+      : base_(base), size_(size) {}
+
+  [[nodiscard]] PhysAddr base() const noexcept { return base_; }
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+
+  [[nodiscard]] bool contains(PhysAddr addr, std::uint64_t len = 1) const noexcept {
+    return addr >= base_ && len <= size_ && addr - base_ <= size_ - len;
+  }
+
+  util::Status write_u8(PhysAddr addr, std::uint8_t value);
+  util::Status write_u32(PhysAddr addr, std::uint32_t value);
+  util::Status write_u64(PhysAddr addr, std::uint64_t value);
+  util::Status write_block(PhysAddr addr, std::span<const std::uint8_t> data);
+
+  [[nodiscard]] util::Expected<std::uint8_t> read_u8(PhysAddr addr) const;
+  [[nodiscard]] util::Expected<std::uint32_t> read_u32(PhysAddr addr) const;
+  [[nodiscard]] util::Expected<std::uint64_t> read_u64(PhysAddr addr) const;
+  util::Status read_block(PhysAddr addr, std::span<std::uint8_t> out) const;
+
+  /// Fill [addr, addr+len) with `value`.
+  util::Status fill(PhysAddr addr, std::uint64_t len, std::uint8_t value);
+
+  /// Number of 4 KiB pages materialised so far.
+  [[nodiscard]] std::size_t resident_pages() const noexcept { return pages_.size(); }
+
+  /// Drop all contents (cold reset).
+  void clear() noexcept { pages_.clear(); }
+
+ private:
+  using Page = std::vector<std::uint8_t>;
+
+  [[nodiscard]] const Page* find_page(PhysAddr addr) const noexcept;
+  Page& touch_page(PhysAddr addr);
+
+  PhysAddr base_ = kDramBase;
+  std::uint64_t size_ = kDramSize;
+  std::unordered_map<std::uint64_t, Page> pages_;
+};
+
+}  // namespace mcs::mem

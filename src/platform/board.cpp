@@ -1,0 +1,44 @@
+#include "platform/board.hpp"
+
+namespace mcs::platform {
+
+BananaPiBoard::BananaPiBoard()
+    : dram_(mem::kDramBase, mem::kDramSize),
+      gic_(kNumCpus),
+      bus_(dram_),
+      uart0_("uart0", kUart0Base, &gic_, kUart0Irq),
+      uart1_("uart1", kUart1Base, &gic_, kUart1Irq),
+      timer_("timer", kTimerBase, gic_, kNumCpus),
+      gpio_("gpio", kGpioBase) {
+  for (int i = 0; i < kNumCpus; ++i) {
+    cpus_[static_cast<std::size_t>(i)] = std::make_unique<arch::Cpu>(i);
+  }
+  // Window overlaps are a wiring bug, not a runtime condition.
+  (void)bus_.attach(uart0_);
+  (void)bus_.attach(uart1_);
+  (void)bus_.attach(timer_);
+  (void)bus_.attach(gpio_);
+}
+
+void BananaPiBoard::tick() {
+  clock_.tick();
+  uart0_.tick(clock_.now());
+  uart1_.tick(clock_.now());
+  timer_.tick(clock_.now());
+  gpio_.tick(clock_.now());
+}
+
+void BananaPiBoard::run_ticks(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) tick();
+}
+
+void BananaPiBoard::reset() {
+  for (auto& cpu : cpus_) cpu->reset();
+  uart0_.reset();
+  uart1_.reset();
+  timer_.reset();
+  gpio_.reset();
+  for (int i = 0; i < kNumCpus; ++i) gic_.reset_cpu(i);
+}
+
+}  // namespace mcs::platform

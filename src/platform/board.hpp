@@ -1,0 +1,86 @@
+// Banana Pi board model: the paper's testbed.
+//
+// "The tested hardware comprises a Banana PI, which is a dual-core
+// Cortex-A7 board, equipped with 1 GB of RAM" (§III). Device windows use
+// the real Allwinner A20 physical addresses so cell configs read like the
+// genuine Jailhouse ones.
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "arch/cpu.hpp"
+#include "irq/gic.hpp"
+#include "mem/phys_mem.hpp"
+#include "platform/bus.hpp"
+#include "platform/gpio.hpp"
+#include "platform/timer.hpp"
+#include "platform/uart.hpp"
+#include "util/clock.hpp"
+#include "util/log.hpp"
+
+namespace mcs::platform {
+
+/// Allwinner A20 peripheral window addresses.
+inline constexpr PhysAddr kUart0Base = 0x01c2'8000;  ///< root-cell console
+inline constexpr PhysAddr kUart1Base = 0x01c2'8400;  ///< non-root USART
+inline constexpr PhysAddr kGpioBase = 0x01c2'0800;   ///< PIO controller
+inline constexpr PhysAddr kTimerBase = 0x01c2'0c00;  ///< timer block
+
+/// SPI lines for the UARTs (GIC id = 32 + A20 interrupt source).
+inline constexpr irq::IrqId kUart0Irq = 33;
+inline constexpr irq::IrqId kUart1Irq = 34;
+
+inline constexpr int kNumCpus = 2;
+
+/// The composed board. Owns every hardware model; higher layers hold
+/// references. Copying a board is meaningless — moved/copied never.
+class BananaPiBoard {
+ public:
+  BananaPiBoard();
+
+  BananaPiBoard(const BananaPiBoard&) = delete;
+  BananaPiBoard& operator=(const BananaPiBoard&) = delete;
+
+  [[nodiscard]] util::SimClock& clock() noexcept { return clock_; }
+  [[nodiscard]] util::Ticks now() const noexcept { return clock_.now(); }
+
+  [[nodiscard]] arch::Cpu& cpu(int index) noexcept { return *cpus_[static_cast<std::size_t>(index)]; }
+  [[nodiscard]] const arch::Cpu& cpu(int index) const noexcept {
+    return *cpus_[static_cast<std::size_t>(index)];
+  }
+  [[nodiscard]] static constexpr int num_cpus() noexcept { return kNumCpus; }
+
+  [[nodiscard]] mem::PhysicalMemory& dram() noexcept { return dram_; }
+  [[nodiscard]] irq::Gic& gic() noexcept { return gic_; }
+  [[nodiscard]] Bus& bus() noexcept { return bus_; }
+  [[nodiscard]] Uart& uart0() noexcept { return uart0_; }
+  [[nodiscard]] Uart& uart1() noexcept { return uart1_; }
+  [[nodiscard]] PeriodicTimer& timer() noexcept { return timer_; }
+  [[nodiscard]] Gpio& gpio() noexcept { return gpio_; }
+  [[nodiscard]] util::EventLog& log() noexcept { return log_; }
+
+  /// Advance board time by one tick: clock, then every device.
+  void tick();
+
+  /// Advance by `n` ticks.
+  void run_ticks(std::uint64_t n);
+
+  /// Cold reset: CPUs, devices, interrupt state. DRAM contents survive
+  /// (warm reboot semantics); the event log survives (it is the record).
+  void reset();
+
+ private:
+  util::SimClock clock_;
+  util::EventLog log_;
+  mem::PhysicalMemory dram_;
+  irq::Gic gic_;
+  Bus bus_;
+  Uart uart0_;
+  Uart uart1_;
+  PeriodicTimer timer_;
+  Gpio gpio_;
+  std::array<std::unique_ptr<arch::Cpu>, kNumCpus> cpus_;
+};
+
+}  // namespace mcs::platform

@@ -1,0 +1,41 @@
+#include "platform/bus.hpp"
+
+#include "util/strings.hpp"
+
+namespace mcs::platform {
+
+util::Status Bus::attach(Device& device) {
+  for (const Device* existing : devices_) {
+    const bool overlap = device.base() < existing->base() + existing->size() &&
+                         existing->base() < device.base() + device.size();
+    if (overlap) {
+      return util::invalid_argument("device window '" + device.name() +
+                                    "' overlaps '" + existing->name() + "'");
+    }
+  }
+  devices_.push_back(&device);
+  return util::ok_status();
+}
+
+Device* Bus::find_device(PhysAddr addr) noexcept {
+  for (Device* device : devices_) {
+    if (device->contains(addr)) return device;
+  }
+  return nullptr;
+}
+
+util::Expected<std::uint32_t> Bus::read_u32(PhysAddr addr) {
+  if (Device* device = find_device(addr)) {
+    return device->mmio_read(addr - device->base());
+  }
+  return dram_->read_u32(addr);
+}
+
+util::Status Bus::write_u32(PhysAddr addr, std::uint32_t value) {
+  if (Device* device = find_device(addr)) {
+    return device->mmio_write(addr - device->base(), value);
+  }
+  return dram_->write_u32(addr, value);
+}
+
+}  // namespace mcs::platform

@@ -1,0 +1,38 @@
+// Physical bus: routes physical addresses either to DRAM or to an MMIO
+// device window. Cells reach it only through their AddressSpace (stage-2
+// checked); the hypervisor reaches it directly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/phys_mem.hpp"
+#include "platform/device.hpp"
+#include "util/status.hpp"
+
+namespace mcs::platform {
+
+class Bus {
+ public:
+  explicit Bus(mem::PhysicalMemory& dram) noexcept : dram_(&dram) {}
+
+  /// Register a device window. Devices are owned by the board; the bus
+  /// only routes. Rejects overlapping windows.
+  util::Status attach(Device& device);
+
+  [[nodiscard]] Device* find_device(PhysAddr addr) noexcept;
+  [[nodiscard]] const std::vector<Device*>& devices() const noexcept {
+    return devices_;
+  }
+
+  [[nodiscard]] util::Expected<std::uint32_t> read_u32(PhysAddr addr);
+  util::Status write_u32(PhysAddr addr, std::uint32_t value);
+
+  [[nodiscard]] mem::PhysicalMemory& dram() noexcept { return *dram_; }
+
+ private:
+  mem::PhysicalMemory* dram_;
+  std::vector<Device*> devices_;
+};
+
+}  // namespace mcs::platform

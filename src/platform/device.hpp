@@ -1,0 +1,51 @@
+// MMIO device interface. Devices live in the Allwinner A20 peripheral
+// window (below DRAM); the bus routes physical accesses by range.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace mcs::platform {
+
+using PhysAddr = std::uint64_t;
+
+class Device {
+ public:
+  Device(std::string name, PhysAddr base, std::uint64_t size)
+      : name_(std::move(name)), base_(base), size_(size) {}
+  virtual ~Device() = default;
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] PhysAddr base() const noexcept { return base_; }
+  [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
+
+  [[nodiscard]] bool contains(PhysAddr addr) const noexcept {
+    return addr >= base_ && addr - base_ < size_;
+  }
+
+  /// Register read at byte offset from base.
+  [[nodiscard]] virtual util::Expected<std::uint32_t> mmio_read(std::uint64_t offset) = 0;
+
+  /// Register write at byte offset from base.
+  virtual util::Status mmio_write(std::uint64_t offset, std::uint32_t value) = 0;
+
+  /// Advance device time by one board tick (default: nothing to do).
+  virtual void tick(util::Ticks /*now*/) {}
+
+  /// Cold reset.
+  virtual void reset() {}
+
+ private:
+  std::string name_;
+  PhysAddr base_;
+  std::uint64_t size_;
+};
+
+}  // namespace mcs::platform

@@ -1,0 +1,91 @@
+#include "platform/timer.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace mcs::platform {
+
+PeriodicTimer::PeriodicTimer(std::string name, PhysAddr base, irq::Gic& gic,
+                             int num_cpus)
+    : Device(std::move(name), base,
+             kTimerStride * static_cast<std::uint64_t>(irq::kMaxCpus)),
+      gic_(&gic),
+      num_cpus_(std::clamp(num_cpus, 1, irq::kMaxCpus)) {}
+
+util::Expected<std::uint32_t> PeriodicTimer::mmio_read(std::uint64_t offset) {
+  const auto cpu = static_cast<int>(offset / kTimerStride);
+  const std::uint64_t reg = offset % kTimerStride;
+  if (cpu >= num_cpus_) {
+    return util::invalid_argument("timer read for absent cpu");
+  }
+  const PerCpu& state = cpus_[static_cast<std::size_t>(cpu)];
+  switch (reg) {
+    case kTimerCtl: return static_cast<std::uint32_t>(state.enabled ? 1 : 0);
+    case kTimerInterval: return state.interval;
+    case kTimerCount: return state.remaining;
+    default:
+      return util::invalid_argument("timer read at bad offset " + util::hex(offset));
+  }
+}
+
+util::Status PeriodicTimer::mmio_write(std::uint64_t offset, std::uint32_t value) {
+  const auto cpu = static_cast<int>(offset / kTimerStride);
+  const std::uint64_t reg = offset % kTimerStride;
+  if (cpu >= num_cpus_) {
+    return util::invalid_argument("timer write for absent cpu");
+  }
+  PerCpu& state = cpus_[static_cast<std::size_t>(cpu)];
+  switch (reg) {
+    case kTimerCtl:
+      state.enabled = (value & 1) != 0;
+      if (state.enabled && state.remaining == 0) state.remaining = state.interval;
+      return util::ok_status();
+    case kTimerInterval:
+      state.interval = value;
+      state.remaining = value;
+      return util::ok_status();
+    default:
+      return util::invalid_argument("timer write at bad offset " + util::hex(offset));
+  }
+}
+
+void PeriodicTimer::tick(util::Ticks /*now*/) {
+  for (int cpu = 0; cpu < num_cpus_; ++cpu) {
+    PerCpu& state = cpus_[static_cast<std::size_t>(cpu)];
+    if (!state.enabled || state.interval == 0) continue;
+    if (--state.remaining == 0) {
+      state.remaining = state.interval;
+      ++state.fires;
+      (void)gic_->raise_ppi(cpu, kVirtualTimerPpi);
+    }
+  }
+}
+
+void PeriodicTimer::reset() { cpus_.fill(PerCpu{}); }
+
+void PeriodicTimer::start(int cpu, std::uint32_t period_ticks) {
+  if (cpu < 0 || cpu >= num_cpus_ || period_ticks == 0) return;
+  PerCpu& state = cpus_[static_cast<std::size_t>(cpu)];
+  state.enabled = true;
+  state.interval = period_ticks;
+  state.remaining = period_ticks;
+}
+
+void PeriodicTimer::stop(int cpu) {
+  if (cpu < 0 || cpu >= num_cpus_) return;
+  cpus_[static_cast<std::size_t>(cpu)].enabled = false;
+}
+
+bool PeriodicTimer::is_running(int cpu) const noexcept {
+  return cpu >= 0 && cpu < num_cpus_ &&
+         cpus_[static_cast<std::size_t>(cpu)].enabled;
+}
+
+std::uint64_t PeriodicTimer::fires(int cpu) const noexcept {
+  return (cpu >= 0 && cpu < num_cpus_)
+             ? cpus_[static_cast<std::size_t>(cpu)].fires
+             : 0;
+}
+
+}  // namespace mcs::platform

@@ -1,0 +1,52 @@
+// Per-CPU periodic timer (models the Cortex-A7 generic timer's virtual
+// timer PPI). Drives both guests' schedulers: FreeRTOS's tick interrupt
+// and the root cell's jiffy tick.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "irq/gic.hpp"
+#include "platform/device.hpp"
+
+namespace mcs::platform {
+
+/// Virtual timer PPI line (architectural: PPI 27).
+inline constexpr irq::IrqId kVirtualTimerPpi = 27;
+
+/// Register offsets (simplified control block per CPU, stride 0x10).
+inline constexpr std::uint64_t kTimerCtl = 0x0;     ///< bit0 enable
+inline constexpr std::uint64_t kTimerInterval = 0x4;  ///< period in ticks
+inline constexpr std::uint64_t kTimerCount = 0x8;   ///< ticks until fire (RO)
+inline constexpr std::uint64_t kTimerStride = 0x10;
+
+class PeriodicTimer final : public Device {
+ public:
+  PeriodicTimer(std::string name, PhysAddr base, irq::Gic& gic, int num_cpus);
+
+  [[nodiscard]] util::Expected<std::uint32_t> mmio_read(std::uint64_t offset) override;
+  util::Status mmio_write(std::uint64_t offset, std::uint32_t value) override;
+  void tick(util::Ticks now) override;
+  void reset() override;
+
+  /// Convenience for guests that program the timer directly (the usual
+  /// path in the simulation; MMIO exists for device-model completeness).
+  void start(int cpu, std::uint32_t period_ticks);
+  void stop(int cpu);
+  [[nodiscard]] bool is_running(int cpu) const noexcept;
+  [[nodiscard]] std::uint64_t fires(int cpu) const noexcept;
+
+ private:
+  struct PerCpu {
+    bool enabled = false;
+    std::uint32_t interval = 0;
+    std::uint32_t remaining = 0;
+    std::uint64_t fires = 0;
+  };
+
+  irq::Gic* gic_;
+  int num_cpus_;
+  std::array<PerCpu, irq::kMaxCpus> cpus_{};
+};
+
+}  // namespace mcs::platform

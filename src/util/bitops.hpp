@@ -1,0 +1,81 @@
+// Bit-manipulation helpers shared by the fault models and the architecture
+// model. All operate on explicit-width unsigned types; signed arithmetic is
+// never used for register values (Core Guidelines ES.101).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace mcs::util {
+
+/// Flip bit `bit` (0 = LSB) of `value`. Involution: flipping twice restores.
+template <typename U>
+[[nodiscard]] constexpr U flip_bit(U value, unsigned bit) noexcept {
+  static_assert(std::is_unsigned_v<U>);
+  return value ^ (U{1} << bit);
+}
+
+/// Test bit `bit` of `value`.
+template <typename U>
+[[nodiscard]] constexpr bool test_bit(U value, unsigned bit) noexcept {
+  static_assert(std::is_unsigned_v<U>);
+  return (value >> bit) & U{1};
+}
+
+/// Set bit `bit` of `value`.
+template <typename U>
+[[nodiscard]] constexpr U set_bit(U value, unsigned bit) noexcept {
+  static_assert(std::is_unsigned_v<U>);
+  return value | (U{1} << bit);
+}
+
+/// Clear bit `bit` of `value`.
+template <typename U>
+[[nodiscard]] constexpr U clear_bit(U value, unsigned bit) noexcept {
+  static_assert(std::is_unsigned_v<U>);
+  return value & ~(U{1} << bit);
+}
+
+/// Extract bits [hi:lo] (inclusive, ARM reference-manual style).
+template <typename U>
+[[nodiscard]] constexpr U bits(U value, unsigned hi, unsigned lo) noexcept {
+  static_assert(std::is_unsigned_v<U>);
+  const unsigned width = hi - lo + 1;
+  const U mask = width >= sizeof(U) * 8 ? ~U{0} : (U{1} << width) - 1;
+  return (value >> lo) & mask;
+}
+
+/// Deposit `field` into bits [hi:lo] of `value`.
+template <typename U>
+[[nodiscard]] constexpr U deposit_bits(U value, unsigned hi, unsigned lo, U field) noexcept {
+  static_assert(std::is_unsigned_v<U>);
+  const unsigned width = hi - lo + 1;
+  const U mask = width >= sizeof(U) * 8 ? ~U{0} : (U{1} << width) - 1;
+  return (value & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/// Number of set bits.
+template <typename U>
+[[nodiscard]] constexpr int popcount(U value) noexcept {
+  static_assert(std::is_unsigned_v<U>);
+  return std::popcount(value);
+}
+
+/// True iff `value` is aligned to `alignment` (power of two).
+[[nodiscard]] constexpr bool is_aligned(std::uint64_t value, std::uint64_t alignment) noexcept {
+  return (value & (alignment - 1)) == 0;
+}
+
+/// Round `value` down to a multiple of `alignment` (power of two).
+[[nodiscard]] constexpr std::uint64_t align_down(std::uint64_t value,
+                                                 std::uint64_t alignment) noexcept {
+  return value & ~(alignment - 1);
+}
+
+/// Round `value` up to a multiple of `alignment` (power of two).
+[[nodiscard]] constexpr std::uint64_t align_up(std::uint64_t value,
+                                               std::uint64_t alignment) noexcept {
+  return (value + alignment - 1) & ~(alignment - 1);
+}
+
+}  // namespace mcs::util

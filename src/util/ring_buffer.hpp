@@ -1,0 +1,64 @@
+// Fixed-capacity ring buffer. Used for UART FIFOs and inter-task queues in
+// the mini-RTOS; overwrite semantics are explicit (push fails when full —
+// devices decide whether to drop or overwrite).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <optional>
+
+namespace mcs::util {
+
+template <typename T, std::size_t Capacity>
+class RingBuffer {
+  static_assert(Capacity > 0, "ring buffer needs a positive capacity");
+
+ public:
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == Capacity; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] static constexpr std::size_t capacity() noexcept { return Capacity; }
+
+  /// Append; returns false (and drops the element) when full.
+  bool push(T value) noexcept {
+    if (full()) return false;
+    items_[(head_ + size_) % Capacity] = std::move(value);
+    ++size_;
+    return true;
+  }
+
+  /// Append, evicting the oldest element when full.
+  void push_overwrite(T value) noexcept {
+    if (full()) {
+      items_[head_] = std::move(value);
+      head_ = (head_ + 1) % Capacity;
+    } else {
+      push(std::move(value));
+    }
+  }
+
+  /// Remove and return the oldest element.
+  std::optional<T> pop() noexcept {
+    if (empty()) return std::nullopt;
+    T out = std::move(items_[head_]);
+    head_ = (head_ + 1) % Capacity;
+    --size_;
+    return out;
+  }
+
+  [[nodiscard]] const T* peek() const noexcept {
+    return empty() ? nullptr : &items_[head_];
+  }
+
+  void clear() noexcept {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::array<T, Capacity> items_{};
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mcs::util

@@ -1,0 +1,30 @@
+#include "util/rng.hpp"
+
+namespace mcs::util {
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) noexcept {
+  if (bound == 0) return 0;  // degenerate; callers must not rely on this
+#if defined(__SIZEOF_INT128__)
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+#else
+  // Portable rejection sampling fallback.
+  const std::uint64_t limit = max() - max() % bound;
+  std::uint64_t x = next();
+  while (x >= limit) x = next();
+  return x % bound;
+#endif
+}
+
+}  // namespace mcs::util

@@ -1,0 +1,37 @@
+#include "util/status.hpp"
+
+namespace mcs::util {
+
+std::string_view code_name(Code code) noexcept {
+  switch (code) {
+    case Code::Ok: return "OK";
+    case Code::EPerm: return "EPERM";
+    case Code::ENoEnt: return "ENOENT";
+    case Code::EIo: return "EIO";
+    case Code::ENoMem: return "ENOMEM";
+    case Code::EFault: return "EFAULT";
+    case Code::EBusy: return "EBUSY";
+    case Code::EExist: return "EEXIST";
+    case Code::EInval: return "EINVAL";
+    case Code::ERange: return "ERANGE";
+    case Code::ENoSys: return "ENOSYS";
+    case Code::ETimedOut: return "ETIMEDOUT";
+    case Code::Internal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  std::string out{code_name(code_)};
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.to_string();
+}
+
+}  // namespace mcs::util

@@ -1,0 +1,116 @@
+// Status and Expected<T>: lightweight error propagation for the simulator.
+//
+// The hypervisor ABI surfaces POSIX-style negative error codes (Jailhouse
+// returns -EINVAL and friends to its root-cell driver); Status mirrors that
+// so hypercall results can be reported exactly the way the paper observes
+// them ("invalid arguments").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mcs::util {
+
+/// Error categories used across the simulator. Values of the E* members
+/// match the Linux errno the Jailhouse driver would surface.
+enum class Code : std::int32_t {
+  Ok = 0,
+  EPerm = 1,         ///< operation not permitted
+  ENoEnt = 2,        ///< no such cell / object
+  EIo = 5,           ///< device I/O error
+  ENoMem = 12,       ///< out of memory / no free region
+  EFault = 14,       ///< bad address (wild pointer dereference)
+  EBusy = 16,        ///< resource busy (cell running, CPU assigned...)
+  EExist = 17,       ///< cell id already allocated
+  EInval = 22,       ///< invalid arguments — the paper's headline error
+  ERange = 34,       ///< value out of representable range
+  ENoSys = 38,       ///< unknown hypercall number
+  ETimedOut = 110,   ///< simulated operation deadline expired
+  Internal = 1000,   ///< simulator bug (never expected in a passing run)
+};
+
+/// Human-readable name for an error category ("EINVAL", "OK", ...).
+std::string_view code_name(Code code) noexcept;
+
+/// A success/error result with an optional context message.
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept = default;
+  Status(Code code, std::string message) : code_(code), message_(std::move(message)) {}
+  explicit Status(Code code) : code_(code) {}
+
+  static Status ok() noexcept { return Status{}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == Code::Ok; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] Code code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// Jailhouse-style negative errno (0 on success); what the root-cell
+  /// driver prints, e.g. -22 → "invalid arguments".
+  [[nodiscard]] std::int32_t errno_value() const noexcept {
+    return is_ok() ? 0 : -static_cast<std::int32_t>(code_);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Code code_ = Code::Ok;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+inline Status ok_status() { return Status::ok(); }
+inline Status invalid_argument(std::string msg) { return {Code::EInval, std::move(msg)}; }
+inline Status not_found(std::string msg) { return {Code::ENoEnt, std::move(msg)}; }
+inline Status already_exists(std::string msg) { return {Code::EExist, std::move(msg)}; }
+inline Status busy(std::string msg) { return {Code::EBusy, std::move(msg)}; }
+inline Status fault(std::string msg) { return {Code::EFault, std::move(msg)}; }
+inline Status no_mem(std::string msg) { return {Code::ENoMem, std::move(msg)}; }
+inline Status perm(std::string msg) { return {Code::EPerm, std::move(msg)}; }
+inline Status nosys(std::string msg) { return {Code::ENoSys, std::move(msg)}; }
+inline Status internal(std::string msg) { return {Code::Internal, std::move(msg)}; }
+
+/// Minimal expected-or-status: value on success, Status on failure.
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Expected(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  [[nodiscard]] bool is_ok() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] const T& value() const& { return *value_; }
+  [[nodiscard]] T& value() & { return *value_; }
+  [[nodiscard]] T&& value() && { return std::move(*value_); }
+
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return is_ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace mcs::util
+
+/// Propagate a non-OK Status to the caller.
+#define MCS_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::mcs::util::Status mcs_status_ = (expr);       \
+    if (!mcs_status_.is_ok()) return mcs_status_;   \
+  } while (false)

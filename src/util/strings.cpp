@@ -1,0 +1,62 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cstdint>
+#include <sstream>
+
+namespace mcs::util {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      return parts;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) noexcept {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+std::string hex(std::uint64_t value) {
+  std::ostringstream out;
+  out << "0x" << std::hex << value;
+  return out.str();
+}
+
+std::string hex(std::uint64_t value, int digits) {
+  std::ostringstream out;
+  out << std::hex << value;
+  std::string body = out.str();
+  while (static_cast<int>(body.size()) < digits) body.insert(body.begin(), '0');
+  return "0x" + body;
+}
+
+std::string percent(std::size_t numerator, std::size_t denominator) {
+  if (denominator == 0) return "n/a";
+  const double pct = 100.0 * static_cast<double>(numerator) /
+                     static_cast<double>(denominator);
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(1);
+  out << pct << '%';
+  return out.str();
+}
+
+}  // namespace mcs::util

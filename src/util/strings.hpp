@@ -1,0 +1,28 @@
+// Small string helpers used by the log parser and report generators.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mcs::util {
+
+/// Split on a single character; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+/// Strip ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+/// True iff `text` starts with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+/// Render `value` as 0x-prefixed lowercase hex (no leading zeros).
+[[nodiscard]] std::string hex(std::uint64_t value);
+
+/// Render `value` as 0x-prefixed hex padded to `digits` digits.
+[[nodiscard]] std::string hex(std::uint64_t value, int digits);
+
+/// Percentage "12.3%" with one decimal; `denominator` 0 renders "n/a".
+[[nodiscard]] std::string percent(std::size_t numerator, std::size_t denominator);
+
+}  // namespace mcs::util

@@ -1,0 +1,90 @@
+#include "analysis/log_parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::analysis {
+namespace {
+
+TEST(LogParser, ParsesWellFormedLine) {
+  auto record = parse_log_line("[42ms] ERROR hypervisor/cpu1: unhandled trap");
+  ASSERT_TRUE(record.is_ok());
+  EXPECT_EQ(record.value().timestamp.value, 42u);
+  EXPECT_EQ(record.value().severity, util::Severity::Error);
+  EXPECT_EQ(record.value().component, "hypervisor");
+  EXPECT_EQ(record.value().cpu, 1);
+  EXPECT_EQ(record.value().message, "unhandled trap");
+}
+
+TEST(LogParser, ParsesLineWithoutCpu) {
+  auto record = parse_log_line("[7ms] INFO board: tick");
+  ASSERT_TRUE(record.is_ok());
+  EXPECT_EQ(record.value().cpu, -1);
+  EXPECT_EQ(record.value().component, "board");
+}
+
+TEST(LogParser, RejectsMalformedLines) {
+  EXPECT_FALSE(parse_log_line("").is_ok());
+  EXPECT_FALSE(parse_log_line("no bracket").is_ok());
+  EXPECT_FALSE(parse_log_line("[xms] INFO a: b").is_ok());
+  EXPECT_FALSE(parse_log_line("[5ms] NOPE a: b").is_ok());
+  EXPECT_FALSE(parse_log_line("[5ms] INFO nocolon").is_ok());
+}
+
+TEST(LogParser, RoundTripsEventLog) {
+  // The paper's pipeline: framework writes the log file, analytics read
+  // it back. Round trip must be lossless for the fields analytics use.
+  util::EventLog log;
+  log.log(util::Ticks{1}, util::Severity::Info, "hypervisor", 0, "enabled");
+  log.log(util::Ticks{2}, util::Severity::Error, "hypervisor", 1,
+          "unhandled trap exception class 0x24");
+  log.log(util::Ticks{3}, util::Severity::Fatal, "hypervisor", -1,
+          "HYPERVISOR PANIC: stack corrupted");
+  const ParsedLog parsed = parse_log_text(log.to_text());
+  ASSERT_EQ(parsed.records.size(), 3u);
+  EXPECT_EQ(parsed.malformed_lines, 0u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(parsed.records[i].timestamp.value, log.records()[i].timestamp.value);
+    EXPECT_EQ(parsed.records[i].severity, log.records()[i].severity);
+    EXPECT_EQ(parsed.records[i].component, log.records()[i].component);
+    EXPECT_EQ(parsed.records[i].cpu, log.records()[i].cpu);
+    EXPECT_EQ(parsed.records[i].message, log.records()[i].message);
+  }
+}
+
+TEST(LogParser, CountsMalformedLines) {
+  const ParsedLog parsed =
+      parse_log_text("[1ms] INFO a: ok\ngarbage\n[2ms] WARN b: fine\n");
+  EXPECT_EQ(parsed.records.size(), 2u);
+  EXPECT_EQ(parsed.malformed_lines, 1u);
+}
+
+TEST(LogParser, SkipsBlankLines) {
+  const ParsedLog parsed = parse_log_text("\n\n[1ms] INFO a: x\n\n");
+  EXPECT_EQ(parsed.records.size(), 1u);
+  EXPECT_EQ(parsed.malformed_lines, 0u);
+}
+
+TEST(LogParser, SelectFiltersComponentAndSeverity) {
+  const ParsedLog parsed = parse_log_text(
+      "[1ms] INFO hypervisor: a\n"
+      "[2ms] ERROR hypervisor/cpu1: b\n"
+      "[3ms] ERROR uart0: c\n"
+      "[4ms] FATAL hypervisor: d\n");
+  const auto selected = parsed.select("hypervisor", util::Severity::Error);
+  ASSERT_EQ(selected.size(), 2u);
+  EXPECT_EQ(selected[0]->message, "b");
+  EXPECT_EQ(selected[1]->message, "d");
+}
+
+TEST(LogParser, FindFirstLocatesNeedle) {
+  const ParsedLog parsed = parse_log_text(
+      "[1ms] INFO hypervisor: fine\n"
+      "[9ms] ERROR hypervisor: unhandled trap exception class 0x24\n");
+  const util::LogRecord* record = parsed.find_first("0x24");
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->timestamp.value, 9u);
+  EXPECT_EQ(parsed.find_first("no such text"), nullptr);
+}
+
+}  // namespace
+}  // namespace mcs::analysis

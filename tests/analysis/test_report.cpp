@@ -1,0 +1,85 @@
+#include "analysis/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::analysis {
+namespace {
+
+fi::CampaignResult synthetic_result() {
+  fi::CampaignResult result;
+  result.plan = fi::paper_medium_trap_plan();
+  const auto add = [&result](fi::Outcome outcome, int n) {
+    for (int i = 0; i < n; ++i) {
+      fi::RunResult run;
+      run.outcome = outcome;
+      run.injections = 1;
+      run.first_injection_tick = 100;
+      if (outcome != fi::Outcome::Correct) {
+        run.failure_tick = 100 + static_cast<std::uint64_t>(i);
+        run.detail = "synthetic failure";
+      }
+      result.runs.push_back(run);
+    }
+  };
+  add(fi::Outcome::Correct, 13);
+  add(fi::Outcome::PanicPark, 6);
+  add(fi::Outcome::CpuPark, 1);
+  return result;
+}
+
+TEST(Report, ChartContainsTitleRunsAndClasses) {
+  const std::string chart =
+      render_distribution_chart(synthetic_result(), "Figure 3");
+  EXPECT_NE(chart.find("Figure 3"), std::string::npos);
+  EXPECT_NE(chart.find("runs: 20"), std::string::npos);
+  EXPECT_NE(chart.find("correct"), std::string::npos);
+  EXPECT_NE(chart.find("panic-park"), std::string::npos);
+  EXPECT_NE(chart.find("cpu-park"), std::string::npos);
+  EXPECT_NE(chart.find("65.0%"), std::string::npos);
+  EXPECT_NE(chart.find("30.0%"), std::string::npos);
+}
+
+TEST(Report, ChartOmitsEmptyClasses) {
+  const std::string chart =
+      render_distribution_chart(synthetic_result(), "Figure 3");
+  EXPECT_EQ(chart.find("silent-hang"), std::string::npos);
+  EXPECT_EQ(chart.find("inconsistent-cell"), std::string::npos);
+}
+
+TEST(Report, TableListsEveryClassWithCi) {
+  const std::string table = render_distribution_table(synthetic_result());
+  EXPECT_NE(table.find("outcome"), std::string::npos);
+  EXPECT_NE(table.find("95% Wilson CI"), std::string::npos);
+  EXPECT_NE(table.find("silent-hang"), std::string::npos);  // zero rows shown
+  EXPECT_NE(table.find("total"), std::string::npos);
+  EXPECT_NE(table.find("20"), std::string::npos);
+}
+
+TEST(Report, RunLogHasOneLinePerRun) {
+  const std::string log = render_run_log(synthetic_result());
+  std::size_t lines = 0;
+  for (const char c : log) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 20u);
+  EXPECT_NE(log.find("run 0"), std::string::npos);
+  EXPECT_NE(log.find("run 19"), std::string::npos);
+}
+
+TEST(Report, LatencySummaryCountsDetectedFailures) {
+  const std::string summary = render_latency_summary(synthetic_result());
+  EXPECT_NE(summary.find("n=7"), std::string::npos);  // 6 panic + 1 park
+  EXPECT_NE(summary.find("detection latency"), std::string::npos);
+}
+
+TEST(Report, EmptyCampaignDoesNotCrash) {
+  fi::CampaignResult empty;
+  empty.plan = fi::paper_medium_trap_plan();
+  EXPECT_FALSE(render_distribution_chart(empty, "t").empty());
+  EXPECT_FALSE(render_distribution_table(empty).empty());
+  EXPECT_TRUE(render_run_log(empty).empty());
+  EXPECT_FALSE(render_latency_summary(empty).empty());
+}
+
+}  // namespace
+}  // namespace mcs::analysis

@@ -1,0 +1,91 @@
+#include "analysis/seooc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::analysis {
+namespace {
+
+fi::CampaignResult campaign_of(std::initializer_list<fi::Outcome> outcomes,
+                               bool reclaimed = true) {
+  fi::CampaignResult result;
+  for (const fi::Outcome outcome : outcomes) {
+    fi::RunResult run;
+    run.outcome = outcome;
+    run.shutdown_reclaimed = reclaimed && outcome != fi::Outcome::PanicPark;
+    result.runs.push_back(run);
+  }
+  return result;
+}
+
+TEST(Seooc, PaperShapedResultsSupportClaimsWithResidualRisks) {
+  const auto medium = campaign_of({fi::Outcome::Correct, fi::Outcome::Correct,
+                                   fi::Outcome::Correct, fi::Outcome::PanicPark,
+                                   fi::Outcome::CpuPark});
+  const auto high_root = campaign_of(
+      {fi::Outcome::InvalidArguments, fi::Outcome::InvalidArguments});
+  const auto high_nonroot = campaign_of(
+      {fi::Outcome::InconsistentCell, fi::Outcome::InconsistentCell});
+
+  const SeoocReport report =
+      build_seooc_report(medium, high_root, high_nonroot);
+  ASSERT_EQ(report.claims.size(), 3u);
+  EXPECT_EQ(report.claims[0].verdict, ClaimVerdict::Supported);  // fail-stop
+  EXPECT_EQ(report.claims[1].verdict, ClaimVerdict::Supported);  // containment
+  EXPECT_EQ(report.claims[2].verdict, ClaimVerdict::Supported);  // recovery
+  // The paper's two findings must surface as residual risks.
+  ASSERT_EQ(report.residual_risks.size(), 2u);
+  EXPECT_NE(report.residual_risks[0].find("panic park"), std::string::npos);
+  EXPECT_NE(report.residual_risks[1].find("inconsistent"), std::string::npos);
+}
+
+TEST(Seooc, NonEinvalRootOutcomeRefutesFailStop) {
+  const auto high_root =
+      campaign_of({fi::Outcome::InvalidArguments, fi::Outcome::PanicPark});
+  const SeoocReport report = build_seooc_report(
+      campaign_of({fi::Outcome::Correct}), high_root, campaign_of({}));
+  EXPECT_EQ(report.claims[0].verdict, ClaimVerdict::Refuted);
+  EXPECT_FALSE(report.all_supported());
+}
+
+TEST(Seooc, SilentHangRefutesContainment) {
+  const auto medium = campaign_of({fi::Outcome::SilentHang});
+  const SeoocReport report = build_seooc_report(
+      medium, campaign_of({fi::Outcome::InvalidArguments}), campaign_of({}));
+  EXPECT_EQ(report.claims[1].verdict, ClaimVerdict::Refuted);
+}
+
+TEST(Seooc, FailedReclaimRefutesRecovery) {
+  const auto medium =
+      campaign_of({fi::Outcome::CpuPark}, /*reclaimed=*/false);
+  const SeoocReport report = build_seooc_report(
+      medium, campaign_of({fi::Outcome::InvalidArguments}), campaign_of({}));
+  EXPECT_EQ(report.claims[2].verdict, ClaimVerdict::Refuted);
+}
+
+TEST(Seooc, EmptyCampaignsAreInconclusive) {
+  const SeoocReport report =
+      build_seooc_report(campaign_of({}), campaign_of({}), campaign_of({}));
+  EXPECT_EQ(report.claims[0].verdict, ClaimVerdict::Inconclusive);
+  EXPECT_EQ(report.claims[2].verdict, ClaimVerdict::Inconclusive);
+  EXPECT_FALSE(report.all_supported());
+}
+
+TEST(Seooc, TextRendersClaimsAndVerdicts) {
+  const SeoocReport report = build_seooc_report(
+      campaign_of({fi::Outcome::Correct}),
+      campaign_of({fi::Outcome::InvalidArguments}), campaign_of({}));
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("ISO 26262 SEooC"), std::string::npos);
+  EXPECT_NE(text.find("Claim 1"), std::string::npos);
+  EXPECT_NE(text.find("SUPPORTED"), std::string::npos);
+  EXPECT_NE(text.find("Residual risks"), std::string::npos);
+}
+
+TEST(Seooc, VerdictNames) {
+  EXPECT_EQ(claim_verdict_name(ClaimVerdict::Supported), "SUPPORTED");
+  EXPECT_EQ(claim_verdict_name(ClaimVerdict::Refuted), "REFUTED");
+  EXPECT_EQ(claim_verdict_name(ClaimVerdict::Inconclusive), "INCONCLUSIVE");
+}
+
+}  // namespace
+}  // namespace mcs::analysis

@@ -1,0 +1,95 @@
+#include "analysis/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::analysis {
+namespace {
+
+TEST(Wilson, ZeroTrialsYieldsZeros) {
+  const Proportion p = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(p.estimate, 0.0);
+  EXPECT_DOUBLE_EQ(p.lower, 0.0);
+  EXPECT_DOUBLE_EQ(p.upper, 0.0);
+}
+
+TEST(Wilson, PointEstimateIsKOverN) {
+  const Proportion p = wilson_interval(30, 100);
+  EXPECT_DOUBLE_EQ(p.estimate, 0.3);
+}
+
+TEST(Wilson, IntervalBracketsEstimate) {
+  const Proportion p = wilson_interval(30, 100);
+  EXPECT_LT(p.lower, p.estimate);
+  EXPECT_GT(p.upper, p.estimate);
+  EXPECT_GE(p.lower, 0.0);
+  EXPECT_LE(p.upper, 1.0);
+}
+
+TEST(Wilson, ZeroSuccessesHasPositiveUpperBound) {
+  // The rule-of-three flavour: never claim certainty from absence.
+  const Proportion p = wilson_interval(0, 30);
+  EXPECT_DOUBLE_EQ(p.estimate, 0.0);
+  EXPECT_DOUBLE_EQ(p.lower, 0.0);
+  EXPECT_GT(p.upper, 0.05);
+  EXPECT_LT(p.upper, 0.20);
+}
+
+TEST(Wilson, AllSuccessesHasLowerBoundBelowOne) {
+  const Proportion p = wilson_interval(30, 30);
+  EXPECT_DOUBLE_EQ(p.estimate, 1.0);
+  EXPECT_LT(p.lower, 1.0);
+  EXPECT_GT(p.lower, 0.8);
+  EXPECT_DOUBLE_EQ(p.upper, 1.0);
+}
+
+TEST(Wilson, IntervalNarrowsWithSampleSize) {
+  const Proportion small = wilson_interval(3, 10);
+  const Proportion large = wilson_interval(300, 1000);
+  EXPECT_LT(large.upper - large.lower, small.upper - small.lower);
+}
+
+TEST(Wilson, HigherZWidensInterval) {
+  const Proportion p95 = wilson_interval(20, 100, 1.96);
+  const Proportion p99 = wilson_interval(20, 100, 2.58);
+  EXPECT_LT(p95.upper - p95.lower, p99.upper - p99.lower);
+}
+
+TEST(Summary, EmptyIsZeros) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Summary, SingleValue) {
+  const Summary s = summarize({5.0});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Summary, KnownSample) {
+  const Summary s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);  // classic population-stddev example
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Summary, MedianOddCount) {
+  const Summary s = summarize({9.0, 1.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+}
+
+TEST(Summary, UnsortedInputHandled) {
+  const Summary s = summarize({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+}
+
+}  // namespace
+}  // namespace mcs::analysis

@@ -1,0 +1,77 @@
+#include "arch/cpsr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::arch {
+namespace {
+
+TEST(Cpsr, DefaultModeIsSupervisor) {
+  Cpsr cpsr;
+  EXPECT_EQ(cpsr.mode(), Mode::Supervisor);
+}
+
+TEST(Cpsr, SetModeRoundTrip) {
+  Cpsr cpsr;
+  cpsr.set_mode(Mode::Hyp);
+  EXPECT_EQ(cpsr.mode(), Mode::Hyp);
+  EXPECT_EQ(cpsr.mode_bits(), 0b11010);
+}
+
+TEST(Cpsr, ModeLivesInLowFiveBits) {
+  Cpsr cpsr(0xFFFF'FFE0);  // upper bits set, mode bits zero
+  cpsr.set_mode(Mode::User);
+  EXPECT_EQ(cpsr.raw() & ~0x1Fu, 0xFFFF'FFE0u);
+}
+
+TEST(Cpsr, IrqFiqMasks) {
+  Cpsr cpsr;
+  EXPECT_FALSE(cpsr.irq_masked());
+  cpsr.set_irq_masked(true);
+  EXPECT_TRUE(cpsr.irq_masked());
+  cpsr.set_fiq_masked(true);
+  EXPECT_TRUE(cpsr.fiq_masked());
+  cpsr.set_irq_masked(false);
+  EXPECT_FALSE(cpsr.irq_masked());
+  EXPECT_TRUE(cpsr.fiq_masked());  // independent bits
+}
+
+TEST(Cpsr, ConditionFlagsDecodeFromRaw) {
+  Cpsr cpsr(0xF000'0000);
+  EXPECT_TRUE(cpsr.n());
+  EXPECT_TRUE(cpsr.z());
+  EXPECT_TRUE(cpsr.c());
+  EXPECT_TRUE(cpsr.v());
+  EXPECT_FALSE(Cpsr(0).n());
+}
+
+TEST(Cpsr, ValidModeRecognition) {
+  EXPECT_TRUE(is_valid_mode(0b10000));  // usr
+  EXPECT_TRUE(is_valid_mode(0b11010));  // hyp
+  EXPECT_TRUE(is_valid_mode(0b11111));  // sys
+  EXPECT_FALSE(is_valid_mode(0b00000));
+  EXPECT_FALSE(is_valid_mode(0b11000));
+  EXPECT_FALSE(is_valid_mode(0b10100));
+}
+
+TEST(Cpsr, ModeNames) {
+  EXPECT_EQ(mode_name(Mode::Hyp), "hyp");
+  EXPECT_EQ(mode_name(Mode::User), "usr");
+  EXPECT_EQ(mode_name(Mode::Supervisor), "svc");
+}
+
+// Property: a random bit flip in the mode field produces either another
+// valid mode or an invalid encoding — never silently the same mode.
+class CpsrModeFlip : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CpsrModeFlip, FlipChangesEncoding) {
+  Cpsr cpsr;
+  cpsr.set_mode(Mode::Supervisor);
+  const std::uint8_t before = cpsr.mode_bits();
+  Cpsr corrupted(util::flip_bit(cpsr.raw(), GetParam()));
+  EXPECT_NE(corrupted.mode_bits(), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(ModeBits, CpsrModeFlip, ::testing::Values(0u, 1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace mcs::arch

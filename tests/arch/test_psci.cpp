@@ -1,0 +1,39 @@
+#include "arch/psci.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::arch::psci {
+namespace {
+
+TEST(Psci, FunctionIdsFollowTheSpec) {
+  // PSCI 0.2, SMC32 calling convention: 0x8400000x.
+  EXPECT_EQ(kPsciVersion, 0x8400'0000u);
+  EXPECT_EQ(kCpuSuspend, 0x8400'0001u);
+  EXPECT_EQ(kCpuOff, 0x8400'0002u);
+  EXPECT_EQ(kCpuOn, 0x8400'0003u);
+  EXPECT_EQ(kAffinityInfo, 0x8400'0004u);
+  EXPECT_EQ(kSystemOff, 0x8400'0008u);
+  EXPECT_EQ(kSystemReset, 0x8400'0009u);
+}
+
+TEST(Psci, ReturnCodesAreNegativePerSpec) {
+  EXPECT_EQ(static_cast<std::int32_t>(Result::Success), 0);
+  EXPECT_EQ(static_cast<std::int32_t>(Result::NotSupported), -1);
+  EXPECT_EQ(static_cast<std::int32_t>(Result::InvalidParameters), -2);
+  EXPECT_EQ(static_cast<std::int32_t>(Result::AlreadyOn), -4);
+}
+
+TEST(Psci, ResultNames) {
+  EXPECT_EQ(result_name(Result::Success), "SUCCESS");
+  EXPECT_EQ(result_name(Result::AlreadyOn), "ALREADY_ON");
+  EXPECT_EQ(result_name(Result::Denied), "DENIED");
+}
+
+TEST(Psci, AffinityStates) {
+  EXPECT_EQ(static_cast<std::int32_t>(AffinityState::On), 0);
+  EXPECT_EQ(static_cast<std::int32_t>(AffinityState::Off), 1);
+  EXPECT_EQ(static_cast<std::int32_t>(AffinityState::OnPending), 2);
+}
+
+}  // namespace
+}  // namespace mcs::arch::psci

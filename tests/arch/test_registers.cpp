@@ -1,0 +1,52 @@
+#include "arch/registers.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::arch {
+namespace {
+
+TEST(RegisterBank, DefaultsToZero) {
+  RegisterBank bank;
+  for (std::size_t i = 0; i < kNumGeneralRegs; ++i) {
+    EXPECT_EQ(bank.get(static_cast<Reg>(i)), 0u);
+  }
+}
+
+TEST(RegisterBank, SetGetRoundTrip) {
+  RegisterBank bank;
+  bank.set(Reg::R3, 0xCAFEBABE);
+  EXPECT_EQ(bank.get(Reg::R3), 0xCAFEBABEu);
+  EXPECT_EQ(bank[Reg::R3], 0xCAFEBABEu);
+}
+
+TEST(RegisterBank, IndexOperatorIsWritable) {
+  RegisterBank bank;
+  bank[Reg::SP] = 0x1000;
+  EXPECT_EQ(bank.get(Reg::SP), 0x1000u);
+}
+
+TEST(RegisterBank, ArchitecturalAliases) {
+  EXPECT_EQ(static_cast<int>(Reg::SP), 13);
+  EXPECT_EQ(static_cast<int>(Reg::LR), 14);
+  EXPECT_EQ(static_cast<int>(Reg::PC), 15);
+}
+
+TEST(RegisterBank, RegNames) {
+  EXPECT_EQ(reg_name(Reg::R0), "r0");
+  EXPECT_EQ(reg_name(Reg::R12), "r12");
+  EXPECT_EQ(reg_name(Reg::SP), "sp");
+  EXPECT_EQ(reg_name(Reg::LR), "lr");
+  EXPECT_EQ(reg_name(Reg::PC), "pc");
+}
+
+TEST(RegisterBank, CopyIsValueSemantics) {
+  RegisterBank a;
+  a.set(Reg::R1, 7);
+  RegisterBank b = a;
+  b.set(Reg::R1, 9);
+  EXPECT_EQ(a.get(Reg::R1), 7u);
+  EXPECT_EQ(b.get(Reg::R1), 9u);
+}
+
+}  // namespace
+}  // namespace mcs::arch

@@ -1,0 +1,85 @@
+#include "arch/syndrome.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bitops.hpp"
+#include "util/rng.hpp"
+
+namespace mcs::arch {
+namespace {
+
+TEST(Syndrome, MakeEncodesClassAndIss) {
+  const Syndrome hsr = Syndrome::make(ExceptionClass::Hvc, 0x1234);
+  EXPECT_EQ(hsr.ec(), ExceptionClass::Hvc);
+  EXPECT_EQ(hsr.iss(), 0x1234u);
+}
+
+TEST(Syndrome, DataAbortClassIs0x24) {
+  // The §III error code: data abort from a lower exception level.
+  const Syndrome hsr = Syndrome::make(ExceptionClass::DataAbortLower, 0);
+  EXPECT_EQ(hsr.ec_bits(), 0x24);
+}
+
+TEST(Syndrome, IssValidAndWriteBitsDecode) {
+  std::uint32_t iss = 0;
+  iss = util::set_bit(iss, kIssIsvBit);
+  iss = util::set_bit(iss, kIssWnrBit);
+  const Syndrome hsr = Syndrome::make(ExceptionClass::DataAbortLower, iss);
+  EXPECT_TRUE(hsr.data_abort_syndrome_valid());
+  EXPECT_TRUE(hsr.data_abort_is_write());
+  const Syndrome read_abort = Syndrome::make(
+      ExceptionClass::DataAbortLower, util::set_bit(0u, kIssIsvBit));
+  EXPECT_TRUE(read_abort.data_abort_syndrome_valid());
+  EXPECT_FALSE(read_abort.data_abort_is_write());
+}
+
+TEST(Syndrome, RawRoundTrip) {
+  const Syndrome original = Syndrome::make(ExceptionClass::Smc, 42);
+  const Syndrome copy{original.raw()};
+  EXPECT_EQ(copy, original);
+}
+
+TEST(Syndrome, ArchitectedClassRecognition) {
+  EXPECT_TRUE(is_architected_class(0x12));  // hvc
+  EXPECT_TRUE(is_architected_class(0x24));  // dabt lower
+  EXPECT_TRUE(is_architected_class(0x00));  // unknown (still architected)
+  EXPECT_FALSE(is_architected_class(0x3F));
+  EXPECT_FALSE(is_architected_class(0x2A));
+  EXPECT_FALSE(is_architected_class(0x16));
+}
+
+TEST(Syndrome, ClassNames) {
+  EXPECT_EQ(exception_class_name(ExceptionClass::Hvc), "hvc");
+  EXPECT_EQ(exception_class_name(ExceptionClass::DataAbortLower), "dabt-lower");
+  EXPECT_EQ(exception_class_name(ExceptionClass::Smc), "smc");
+}
+
+// Property: most single-bit flips of the EC field leave the architected
+// class set — that is exactly why corrupted syndromes reach the
+// "unhandled trap" park path rather than being silently re-decoded.
+TEST(SyndromeProperty, EcFlipsMostlyLeaveArchitectedSet) {
+  const Syndrome hsr = Syndrome::make(ExceptionClass::DataAbortLower, 0);
+  int unhandled = 0;
+  for (unsigned bit = kEcLo; bit <= kEcHi; ++bit) {
+    const Syndrome corrupted{util::flip_bit(hsr.raw(), bit)};
+    EXPECT_NE(corrupted.ec_bits(), hsr.ec_bits());
+    if (!is_architected_class(corrupted.ec_bits())) ++unhandled;
+  }
+  EXPECT_GE(unhandled, 3);  // the majority of the 6 EC bits
+}
+
+// Property: flips outside the EC field never change the exception class.
+class IssFlipSweep : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IssFlipSweep, IssFlipKeepsClass) {
+  const Syndrome hsr = Syndrome::make(ExceptionClass::Hvc, 0xABCD);
+  const Syndrome corrupted{util::flip_bit(hsr.raw(), GetParam())};
+  EXPECT_EQ(corrupted.ec(), hsr.ec());
+  EXPECT_NE(corrupted.iss(), hsr.iss());
+}
+
+INSTANTIATE_TEST_SUITE_P(IssBits, IssFlipSweep,
+                         ::testing::Values(0u, 3u, 7u, 12u, 18u, 24u));
+
+}  // namespace
+}  // namespace mcs::arch

@@ -1,0 +1,160 @@
+#include "core/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bitops.hpp"
+
+namespace mcs::fi {
+namespace {
+
+using arch::Reg;
+using arch::RegisterBank;
+
+TEST(FaultModel, AllRegistersHasSixteen) {
+  EXPECT_EQ(all_registers().size(), 16u);
+}
+
+TEST(FaultModel, ArgumentWindowIsR2R3R4) {
+  const auto window = argument_window();
+  ASSERT_EQ(window.size(), 3u);
+  EXPECT_EQ(window[0], Reg::R2);
+  EXPECT_EQ(window[1], Reg::R3);
+  EXPECT_EQ(window[2], Reg::R4);
+}
+
+TEST(SingleBitFlip, FlipsExactlyOneBitOfOneRegister) {
+  SingleBitFlip model;
+  util::Xoshiro256 rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    RegisterBank bank;
+    bank.set(Reg::R3, 0x5555'5555);
+    const auto records = model.apply(rng, bank);
+    ASSERT_EQ(records.size(), 1u);
+    const FlipRecord& record = records[0];
+    EXPECT_EQ(record.after, util::flip_bit(record.before, record.bit));
+    EXPECT_EQ(bank[record.reg], record.after);
+    // Every other register untouched.
+    int changed = 0;
+    RegisterBank fresh;
+    fresh.set(Reg::R3, 0x5555'5555);
+    for (std::size_t i = 0; i < arch::kNumGeneralRegs; ++i) {
+      if (bank.get(static_cast<Reg>(i)) != fresh.get(static_cast<Reg>(i))) {
+        ++changed;
+      }
+    }
+    EXPECT_EQ(changed, 1);
+  }
+}
+
+TEST(SingleBitFlip, RestrictedCandidateSetRespected) {
+  SingleBitFlip model({Reg::R7});
+  util::Xoshiro256 rng(2);
+  RegisterBank bank;
+  const auto records = model.apply(rng, bank);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].reg, Reg::R7);
+}
+
+TEST(SingleBitFlip, EventuallyCoversAllCandidatesAndBits) {
+  SingleBitFlip model({Reg::R0, Reg::R1});
+  util::Xoshiro256 rng(3);
+  std::set<std::pair<Reg, unsigned>> seen;
+  for (int trial = 0; trial < 4000; ++trial) {
+    RegisterBank bank;
+    const auto records = model.apply(rng, bank);
+    seen.insert({records[0].reg, records[0].bit});
+  }
+  EXPECT_EQ(seen.size(), 2u * 32u);
+}
+
+TEST(MultiRegisterFlip, FlipsOneBitInEachTarget) {
+  MultiRegisterFlip model;  // default: the argument window
+  util::Xoshiro256 rng(4);
+  RegisterBank bank;
+  bank.set(Reg::R2, 0xAAAA'0000);
+  const auto records = model.apply(rng, bank);
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].reg, Reg::R2);
+  EXPECT_EQ(records[1].reg, Reg::R3);
+  EXPECT_EQ(records[2].reg, Reg::R4);
+  for (const FlipRecord& record : records) {
+    EXPECT_EQ(util::popcount(record.before ^ record.after), 1);
+  }
+}
+
+TEST(StuckAt, ForcesWholeRegister) {
+  StuckAtModel zero(false, {Reg::R5});
+  StuckAtModel one(true, {Reg::R5});
+  util::Xoshiro256 rng(5);
+  RegisterBank bank;
+  bank.set(Reg::R5, 0x1234'5678);
+  auto records = zero.apply(rng, bank);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(bank[Reg::R5], 0u);
+  EXPECT_EQ(records[0].bit, kWholeRegister);
+  records = one.apply(rng, bank);
+  EXPECT_EQ(bank[Reg::R5], 0xFFFF'FFFFu);
+}
+
+TEST(DoubleBitFlip, FlipsTwoDistinctBits) {
+  DoubleBitFlip model({Reg::R1});
+  util::Xoshiro256 rng(6);
+  for (int trial = 0; trial < 200; ++trial) {
+    RegisterBank bank;
+    bank.set(Reg::R1, 0xF0F0'F0F0);
+    const auto records = model.apply(rng, bank);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(util::popcount(records[0].before ^ records[0].after), 2);
+  }
+}
+
+TEST(Factory, BuildsEveryKind) {
+  for (const auto kind :
+       {FaultModelKind::SingleBitFlip, FaultModelKind::MultiRegisterFlip,
+        FaultModelKind::StuckAtZero, FaultModelKind::StuckAtOne,
+        FaultModelKind::DoubleBitFlip}) {
+    const auto model = make_fault_model(kind);
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->name(), fault_model_kind_name(kind));
+  }
+}
+
+TEST(Factory, PassesRegisterRestriction) {
+  const auto model =
+      make_fault_model(FaultModelKind::SingleBitFlip, {Reg::SP});
+  util::Xoshiro256 rng(7);
+  RegisterBank bank;
+  const auto records = model->apply(rng, bank);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].reg, Reg::SP);
+}
+
+// Property: applying a model twice with the same RNG state produces the
+// same mutation — the reproducibility the campaign relies on.
+class ModelDeterminism : public ::testing::TestWithParam<FaultModelKind> {};
+
+TEST_P(ModelDeterminism, SameSeedSameMutation) {
+  const auto model = make_fault_model(GetParam());
+  util::Xoshiro256 rng_a(99);
+  util::Xoshiro256 rng_b(99);
+  RegisterBank bank_a, bank_b;
+  bank_a.set(Reg::R2, 0x1111'1111);
+  bank_b.set(Reg::R2, 0x1111'1111);
+  (void)model->apply(rng_a, bank_a);
+  (void)model->apply(rng_b, bank_b);
+  for (std::size_t i = 0; i < arch::kNumGeneralRegs; ++i) {
+    EXPECT_EQ(bank_a.get(static_cast<Reg>(i)), bank_b.get(static_cast<Reg>(i)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, ModelDeterminism,
+    ::testing::Values(FaultModelKind::SingleBitFlip,
+                      FaultModelKind::MultiRegisterFlip,
+                      FaultModelKind::StuckAtZero, FaultModelKind::StuckAtOne,
+                      FaultModelKind::DoubleBitFlip));
+
+}  // namespace
+}  // namespace mcs::fi

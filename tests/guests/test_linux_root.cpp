@@ -1,0 +1,76 @@
+#include "guests/linux_root.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+
+namespace mcs::guest {
+namespace {
+
+class LinuxRootTest : public ::testing::Test {
+ protected:
+  LinuxRootTest() { EXPECT_TRUE(testbed_.enable_hypervisor().is_ok()); }
+
+  fi::Testbed testbed_;
+};
+
+TEST_F(LinuxRootTest, BootBannerOnUart0) {
+  testbed_.run(5);
+  EXPECT_NE(testbed_.board().uart0().captured().find("Linux 5.10"),
+            std::string::npos);
+}
+
+TEST_F(LinuxRootTest, ProcessesOneCommandPerQuantum) {
+  LinuxRootImage& root = testbed_.linux_root();
+  root.enqueue({jh::Hypercall::HypervisorGetInfo, 0});
+  root.enqueue({jh::Hypercall::CellGetState, 0});
+  EXPECT_FALSE(root.idle());
+  testbed_.run(1);
+  EXPECT_EQ(root.records().size(), 1u);
+  testbed_.run(1);
+  EXPECT_EQ(root.records().size(), 2u);
+  EXPECT_TRUE(root.idle());
+}
+
+TEST_F(LinuxRootTest, RecordsResultsWithVerdicts) {
+  LinuxRootImage& root = testbed_.linux_root();
+  root.cell_create(0xBAD0'0000);  // unknown config: EINVAL
+  testbed_.run(2);
+  ASSERT_EQ(root.records().size(), 1u);
+  EXPECT_EQ(root.records()[0].result, jh::kHvcEInval);
+  EXPECT_EQ(root.last_result(jh::Hypercall::CellCreate), jh::kHvcEInval);
+  // The shell output carries the paper's "Invalid argument" string.
+  EXPECT_NE(testbed_.board().uart0().captured().find("Invalid argument"),
+            std::string::npos);
+}
+
+TEST_F(LinuxRootTest, TracksCreatedCellId) {
+  LinuxRootImage& root = testbed_.linux_root();
+  EXPECT_EQ(root.last_created_cell(), 0u);
+  root.cell_create(fi::kFreeRtosConfigAddr);
+  testbed_.run(2);
+  EXPECT_EQ(root.last_created_cell(), 1u);
+}
+
+TEST_F(LinuxRootTest, LastResultForUnissuedOpIsENoSys) {
+  EXPECT_EQ(testbed_.linux_root().last_result(jh::Hypercall::CellDestroy),
+            jh::kHvcENoSys);
+}
+
+TEST_F(LinuxRootTest, JiffiesAdvanceWithTimer) {
+  testbed_.run(200);
+  EXPECT_GE(testbed_.linux_root().jiffies(), 15u);  // 100 Hz → ~20 in 200 ms
+}
+
+TEST_F(LinuxRootTest, MonitoredCellPolledPeriodically) {
+  testbed_.boot_freertos_cell();
+  const jh::Counters before = testbed_.hypervisor().counters();
+  testbed_.run(500);
+  // `watch jailhouse cell list`: polls every 50 quanta from CPU 0.
+  EXPECT_GE(testbed_.hypervisor().counters().hvcs - before.hvcs, 8u);
+  EXPECT_EQ(testbed_.linux_root().last_poll_state(),
+            static_cast<jh::HvcResult>(jh::CellState::Running));
+}
+
+}  // namespace
+}  // namespace mcs::guest

@@ -1,0 +1,44 @@
+#include "guests/rtos/queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::guest::rtos {
+namespace {
+
+TEST(MessageQueue, StartsEmpty) {
+  MessageQueue queue(4);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_FALSE(queue.full());
+  EXPECT_EQ(queue.capacity(), 4u);
+  EXPECT_EQ(queue.try_receive(), std::nullopt);
+}
+
+TEST(MessageQueue, FifoOrder) {
+  MessageQueue queue(4);
+  EXPECT_TRUE(queue.try_send(1));
+  EXPECT_TRUE(queue.try_send(2));
+  EXPECT_EQ(queue.try_receive(), 1u);
+  EXPECT_EQ(queue.try_receive(), 2u);
+}
+
+TEST(MessageQueue, SendFailsWhenFull) {
+  MessageQueue queue(2);
+  EXPECT_TRUE(queue.try_send(1));
+  EXPECT_TRUE(queue.try_send(2));
+  EXPECT_TRUE(queue.full());
+  EXPECT_FALSE(queue.try_send(3));
+  EXPECT_EQ(queue.send_failures, 1u);
+  EXPECT_EQ(queue.size(), 2u);
+}
+
+TEST(MessageQueue, CountersTrackTraffic) {
+  MessageQueue queue(4);
+  (void)queue.try_send(1);
+  (void)queue.try_send(2);
+  (void)queue.try_receive();
+  EXPECT_EQ(queue.sends, 2u);
+  EXPECT_EQ(queue.receives, 1u);
+}
+
+}  // namespace
+}  // namespace mcs::guest::rtos

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "hypervisor/hypervisor.hpp"
+
+namespace mcs::jh {
+namespace {
+
+constexpr std::uint64_t kConfigAddr = 0x4800'0000;
+
+class HypercallTest : public ::testing::Test {
+ protected:
+  HypercallTest() : hv_(board_) {
+    EXPECT_TRUE(hv_.enable(make_root_cell_config()).is_ok());
+    hv_.register_config(kConfigAddr, make_freertos_cell_config());
+  }
+
+  HvcResult call(Hypercall op, std::uint32_t arg = 0, int cpu = 0) {
+    return hv_.guest_hypercall(cpu, static_cast<std::uint32_t>(op), arg);
+  }
+
+  platform::BananaPiBoard board_;
+  Hypervisor hv_;
+};
+
+TEST_F(HypercallTest, EnableCreatesRunningRootCell) {
+  EXPECT_TRUE(hv_.is_enabled());
+  EXPECT_EQ(hv_.root_cell().state(), CellState::Running);
+  EXPECT_TRUE(board_.cpu(0).is_online());
+  EXPECT_TRUE(board_.cpu(1).is_online());
+  EXPECT_EQ(hv_.cpu_owner(0), kRootCellId);
+  EXPECT_EQ(hv_.cpu_owner(1), kRootCellId);
+}
+
+TEST_F(HypercallTest, DoubleEnableRejected) {
+  EXPECT_EQ(hv_.enable(make_root_cell_config()).code(), util::Code::EBusy);
+}
+
+TEST_F(HypercallTest, UnknownHypercallIsENOSYS) {
+  EXPECT_EQ(call(static_cast<Hypercall>(999)), kHvcENoSys);
+  EXPECT_EQ(hv_.counters().hypercall_errors, 1u);
+}
+
+TEST_F(HypercallTest, GetInfoCountsCells) {
+  EXPECT_EQ(call(Hypercall::HypervisorGetInfo), 1);
+  ASSERT_GT(call(Hypercall::CellCreate, kConfigAddr), 0);
+  EXPECT_EQ(call(Hypercall::HypervisorGetInfo), 2);
+}
+
+TEST_F(HypercallTest, CellCreateReturnsFreshId) {
+  const HvcResult id = call(Hypercall::CellCreate, kConfigAddr);
+  ASSERT_GT(id, 0);
+  Cell* cell = hv_.find_cell(static_cast<CellId>(id));
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->name(), "freertos-cell");
+  EXPECT_EQ(cell->state(), CellState::Created);
+}
+
+TEST_F(HypercallTest, CellCreateWithBadConfigAddressIsEinval) {
+  // The §III root-context result: a corrupted config pointer produces
+  // "invalid arguments" and no cell.
+  EXPECT_EQ(call(Hypercall::CellCreate, 0xBAD0'0000), kHvcEInval);
+  EXPECT_EQ(hv_.cells().size(), 1u);
+}
+
+TEST_F(HypercallTest, CellCreateTwiceIsEExist) {
+  ASSERT_GT(call(Hypercall::CellCreate, kConfigAddr), 0);
+  EXPECT_EQ(call(Hypercall::CellCreate, kConfigAddr), kHvcEExist);
+}
+
+TEST_F(HypercallTest, CellCreateMovesCpuOwnership) {
+  const HvcResult id = call(Hypercall::CellCreate, kConfigAddr);
+  ASSERT_GT(id, 0);
+  EXPECT_EQ(hv_.cpu_owner(1), static_cast<CellId>(id));
+  EXPECT_EQ(board_.cpu(1).power_state(), arch::PowerState::Off);  // offlined
+  EXPECT_EQ(hv_.cpu_owner(0), kRootCellId);
+}
+
+TEST_F(HypercallTest, CellCreateCarvesRootMemory) {
+  ASSERT_GT(call(Hypercall::CellCreate, kConfigAddr), 0);
+  // The root cell can no longer reach the loaned RAM.
+  EXPECT_FALSE(hv_.root_cell()
+                   .memory_map()
+                   .translate(kFreeRtosRamBase, mem::Access::Write)
+                   .is_ok());
+}
+
+TEST_F(HypercallTest, ManagementFromNonRootCellIsEPerm) {
+  const HvcResult id = call(Hypercall::CellCreate, kConfigAddr);
+  ASSERT_GT(id, 0);
+  ASSERT_EQ(call(Hypercall::CellStart, static_cast<std::uint32_t>(id)), 0);
+  // CPU 1 now belongs to the new cell; management from it must fail.
+  EXPECT_EQ(call(Hypercall::CellDestroy, static_cast<std::uint32_t>(id), 1),
+            kHvcEPerm);
+  EXPECT_EQ(call(Hypercall::CellCreate, kConfigAddr, 1), kHvcEPerm);
+}
+
+TEST_F(HypercallTest, NonRootMayUseInfoAndConsole) {
+  const HvcResult id = call(Hypercall::CellCreate, kConfigAddr);
+  ASSERT_GT(id, 0);
+  ASSERT_EQ(call(Hypercall::CellStart, static_cast<std::uint32_t>(id)), 0);
+  EXPECT_GE(call(Hypercall::CellGetState, static_cast<std::uint32_t>(id), 1), 0);
+  EXPECT_EQ(call(Hypercall::DebugConsolePutc, 'x', 1), 0);
+}
+
+TEST_F(HypercallTest, GetStateReflectsLifecycle) {
+  const HvcResult id = call(Hypercall::CellCreate, kConfigAddr);
+  ASSERT_GT(id, 0);
+  EXPECT_EQ(call(Hypercall::CellGetState, static_cast<std::uint32_t>(id)),
+            static_cast<HvcResult>(CellState::Created));
+  ASSERT_EQ(call(Hypercall::CellStart, static_cast<std::uint32_t>(id)), 0);
+  EXPECT_EQ(call(Hypercall::CellGetState, static_cast<std::uint32_t>(id)),
+            static_cast<HvcResult>(CellState::Running));
+}
+
+TEST_F(HypercallTest, GetStateUnknownCellIsENoEnt) {
+  EXPECT_EQ(call(Hypercall::CellGetState, 17), kHvcENoEnt);
+}
+
+TEST_F(HypercallTest, CpuGetInfoValidation) {
+  EXPECT_EQ(call(Hypercall::CpuGetInfo, 0),
+            static_cast<HvcResult>(arch::PowerState::On));
+  EXPECT_EQ(call(Hypercall::CpuGetInfo, 5), kHvcEInval);
+}
+
+TEST_F(HypercallTest, DebugConsolePutcWritesUart0) {
+  ASSERT_EQ(call(Hypercall::DebugConsolePutc, 'J'), 0);
+  EXPECT_NE(board_.uart0().captured().find('J'), std::string::npos);
+  EXPECT_EQ(call(Hypercall::DebugConsolePutc, 0x100), kHvcEInval);
+}
+
+TEST_F(HypercallTest, DisableRefusedWhileCellsExist) {
+  ASSERT_GT(call(Hypercall::CellCreate, kConfigAddr), 0);
+  EXPECT_EQ(call(Hypercall::Disable), kHvcEBusy);
+  EXPECT_TRUE(hv_.is_enabled());
+}
+
+TEST_F(HypercallTest, DisableWithOnlyRootSucceeds) {
+  EXPECT_EQ(call(Hypercall::Disable), 0);
+  EXPECT_FALSE(hv_.is_enabled());
+}
+
+TEST_F(HypercallTest, DisableThenReEnableRoundTrips) {
+  // `jailhouse disable && jailhouse enable config.cell` — Linux takes the
+  // hardware back, then hands it over again.
+  ASSERT_EQ(call(Hypercall::Disable), 0);
+  ASSERT_TRUE(hv_.enable(make_root_cell_config()).is_ok());
+  EXPECT_TRUE(hv_.is_enabled());
+  EXPECT_EQ(hv_.root_cell().state(), CellState::Running);
+  // And cells can be created again afterwards.
+  hv_.register_config(kConfigAddr, make_freertos_cell_config());
+  EXPECT_GT(call(Hypercall::CellCreate, kConfigAddr), 0);
+}
+
+TEST_F(HypercallTest, CreateCannotTakeCallingCpu) {
+  CellConfig grabby = make_freertos_cell_config();
+  grabby.name = "grabby";
+  grabby.cpus = {0};  // the CPU the driver itself runs on
+  hv_.register_config(0x4900'0000, grabby);
+  EXPECT_EQ(call(Hypercall::CellCreate, 0x4900'0000), kHvcEInval);
+}
+
+TEST_F(HypercallTest, CreateCannotStealAssignedCpu) {
+  ASSERT_GT(call(Hypercall::CellCreate, kConfigAddr), 0);
+  CellConfig second = make_freertos_cell_config();
+  second.name = "second";
+  hv_.register_config(0x4900'0000, second);
+  EXPECT_EQ(call(Hypercall::CellCreate, 0x4900'0000), kHvcEBusy);
+}
+
+TEST_F(HypercallTest, CreateRequiresRootBackedMemory) {
+  CellConfig rogue = make_freertos_cell_config();
+  rogue.name = "rogue";
+  rogue.mem_regions[0].phys_start = 0x7d00'0000;  // hypervisor reservation!
+  hv_.register_config(0x4900'0000, rogue);
+  EXPECT_EQ(call(Hypercall::CellCreate, 0x4900'0000), kHvcEInval);
+}
+
+TEST_F(HypercallTest, HypercallCountersTrack) {
+  const std::uint64_t before = hv_.counters().hvcs;
+  (void)call(Hypercall::HypervisorGetInfo);
+  (void)call(Hypercall::CellGetState, 0);
+  EXPECT_EQ(hv_.counters().hvcs, before + 2);
+}
+
+TEST_F(HypercallTest, IsInvalidArgumentsHelper) {
+  EXPECT_TRUE(is_invalid_arguments(kHvcEInval));
+  EXPECT_TRUE(is_invalid_arguments(kHvcENoSys));
+  EXPECT_TRUE(is_invalid_arguments(kHvcENoEnt));
+  EXPECT_FALSE(is_invalid_arguments(kHvcEBusy));
+  EXPECT_FALSE(is_invalid_arguments(0));
+}
+
+TEST_F(HypercallTest, HypercallNames) {
+  EXPECT_EQ(hypercall_name(Hypercall::CellCreate), "cell_create");
+  EXPECT_EQ(hypercall_name(Hypercall::CellShutdown), "cell_shutdown");
+  EXPECT_EQ(hypercall_name(Hypercall::DebugConsolePutc), "debug_console_putc");
+}
+
+}  // namespace
+}  // namespace mcs::jh

@@ -1,0 +1,113 @@
+#include "hypervisor/ivshmem.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::jh {
+namespace {
+
+class IvshmemTest : public ::testing::Test {
+ protected:
+  IvshmemTest() : space_a_(map_a_, dram_), space_b_(map_b_, dram_) {
+    const mem::MemRegion shared = make_ivshmem_region();
+    EXPECT_TRUE(map_a_.add_region(shared).is_ok());
+    EXPECT_TRUE(map_b_.add_region(shared).is_ok());
+  }
+
+  mem::PhysicalMemory dram_;
+  mem::MemoryMap map_a_;
+  mem::MemoryMap map_b_;
+  mem::AddressSpace space_a_;
+  mem::AddressSpace space_b_;
+};
+
+TEST_F(IvshmemTest, RegionIsRootShared) {
+  const mem::MemRegion region = make_ivshmem_region();
+  EXPECT_TRUE(region.flags & mem::kMemRootShared);
+  EXPECT_TRUE(region.flags & mem::kMemRead);
+  EXPECT_TRUE(region.flags & mem::kMemWrite);
+  EXPECT_FALSE(region.flags & mem::kMemExecute);  // never executable
+}
+
+TEST_F(IvshmemTest, TextRoundTrip) {
+  IvshmemChannel tx(space_a_, kIvshmemBase, 1024);
+  IvshmemChannel rx(space_b_, kIvshmemBase, 1024);
+  ASSERT_TRUE(tx.init().is_ok());
+  ASSERT_TRUE(tx.send_text("hello cell").is_ok());
+  auto message = rx.receive_text();
+  ASSERT_TRUE(message.is_ok());
+  EXPECT_EQ(message.value(), "hello cell");
+}
+
+TEST_F(IvshmemTest, FifoOrderAcrossMessages) {
+  IvshmemChannel tx(space_a_, kIvshmemBase, 1024);
+  IvshmemChannel rx(space_b_, kIvshmemBase, 1024);
+  ASSERT_TRUE(tx.init().is_ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(tx.send_text("msg" + std::to_string(i)).is_ok());
+  }
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(rx.receive_text().value(), "msg" + std::to_string(i));
+  }
+}
+
+TEST_F(IvshmemTest, EmptyRingReportsEBusy) {
+  IvshmemChannel channel(space_a_, kIvshmemBase, 1024);
+  ASSERT_TRUE(channel.init().is_ok());
+  EXPECT_FALSE(channel.receive().is_ok());
+  EXPECT_EQ(channel.pending_bytes().value(), 0u);
+}
+
+TEST_F(IvshmemTest, FullRingRejectsSend) {
+  IvshmemChannel channel(space_a_, kIvshmemBase, 32);
+  ASSERT_TRUE(channel.init().is_ok());
+  ASSERT_TRUE(channel.send_text("0123456789").is_ok());   // 14 bytes used
+  ASSERT_TRUE(channel.send_text("0123456789").is_ok());   // 28 bytes used
+  EXPECT_EQ(channel.send_text("x").code(), util::Code::EBusy);
+  // Drain one, then there is space again.
+  (void)channel.receive();
+  EXPECT_TRUE(channel.send_text("x").is_ok());
+}
+
+TEST_F(IvshmemTest, WrapAroundPreservesPayload) {
+  IvshmemChannel tx(space_a_, kIvshmemBase, 64);
+  IvshmemChannel rx(space_b_, kIvshmemBase, 64);
+  ASSERT_TRUE(tx.init().is_ok());
+  for (int round = 0; round < 20; ++round) {
+    const std::string payload = "round-" + std::to_string(round);
+    ASSERT_TRUE(tx.send_text(payload).is_ok());
+    EXPECT_EQ(rx.receive_text().value(), payload);
+  }
+}
+
+TEST_F(IvshmemTest, PendingBytesTracksQueue) {
+  IvshmemChannel channel(space_a_, kIvshmemBase, 1024);
+  ASSERT_TRUE(channel.init().is_ok());
+  ASSERT_TRUE(channel.send_text("abcd").is_ok());
+  EXPECT_EQ(channel.pending_bytes().value(), 8u);  // 4 length + 4 payload
+}
+
+TEST_F(IvshmemTest, ChannelWithoutMappingFails) {
+  mem::MemoryMap empty;
+  mem::AddressSpace no_access(empty, dram_);
+  IvshmemChannel channel(no_access, kIvshmemBase, 64);
+  EXPECT_FALSE(channel.init().is_ok());
+  EXPECT_FALSE(channel.send_text("x").is_ok());
+}
+
+TEST_F(IvshmemTest, DoorbellRaisesSgiAtPeer) {
+  irq::Gic gic(2);
+  IvshmemChannel channel(space_a_, kIvshmemBase, 64);
+  ASSERT_TRUE(channel.ring_doorbell(gic, 0, 1).is_ok());
+  EXPECT_TRUE(gic.is_pending(kIvshmemDoorbellSgi, 1));
+  EXPECT_FALSE(gic.is_pending(kIvshmemDoorbellSgi, 0));
+}
+
+TEST_F(IvshmemTest, OversizedMessageRejected) {
+  IvshmemChannel channel(space_a_, kIvshmemBase, 1024);
+  ASSERT_TRUE(channel.init().is_ok());
+  const std::vector<std::uint8_t> huge(0x10000 + 1, 0);
+  EXPECT_EQ(channel.send(huge).code(), util::Code::EInval);
+}
+
+}  // namespace
+}  // namespace mcs::jh

@@ -1,0 +1,80 @@
+// Golden-run integration: the fault-free baseline every experiment is
+// compared against, including the paper's profiling step.
+#include <gtest/gtest.h>
+
+#include "core/plan.hpp"
+#include "core/testbed.hpp"
+
+namespace mcs::fi {
+namespace {
+
+class GoldenRunTest : public ::testing::Test {
+ protected:
+  GoldenRunTest() {
+    EXPECT_TRUE(testbed_.enable_hypervisor().is_ok());
+    testbed_.boot_freertos_cell();
+  }
+
+  Testbed testbed_;
+};
+
+TEST_F(GoldenRunTest, OneMinuteGoldenRunStaysHealthy) {
+  testbed_.run(kOneMinuteTicks);
+  EXPECT_FALSE(testbed_.hypervisor().is_panicked());
+  EXPECT_TRUE(testbed_.board().cpu(0).is_online());
+  EXPECT_TRUE(testbed_.board().cpu(1).is_online());
+  EXPECT_EQ(testbed_.freertos().data_errors(), 0u);
+  EXPECT_EQ(testbed_.hypervisor().counters().unhandled_traps, 0u);
+  EXPECT_EQ(testbed_.hypervisor().counters().panics, 0u);
+}
+
+TEST_F(GoldenRunTest, WorkloadThroughputIsSteady) {
+  testbed_.run(kOneMinuteTicks);
+  const auto& freertos = testbed_.freertos();
+  // Blink every 500 ms → ~120 toggles per minute.
+  EXPECT_NEAR(static_cast<double>(freertos.blink_count()), 120.0, 10.0);
+  // Queue pair: one message per 20 ms → ~3000 per minute.
+  EXPECT_GT(freertos.messages_validated(), 2'000u);
+  // All 20 tasks got CPU time.
+  for (std::size_t i = 0; i < freertos.kernel().task_count(); ++i) {
+    EXPECT_GT(freertos.kernel().task(i).dispatches, 0u) << i;
+  }
+}
+
+TEST_F(GoldenRunTest, ProfilingMatchesPaperCandidateSelection) {
+  // The paper profiled golden runs and found three injectable functions;
+  // irqchip_handle_irq dominates, arch_handle_trap and arch_handle_hvc
+  // both see steady traffic.
+  const auto profile = testbed_.profile_golden(kOneMinuteTicks);
+  EXPECT_GT(profile.irqchip_entries, 10'000u);
+  EXPECT_GT(profile.trap_entries, 100u);
+  EXPECT_GT(profile.hvc_entries, 100u);
+  // Medium-intensity rate 100 sees at least one injection per minute on
+  // the non-root CPU — the calibration Figure 3 depends on.
+  EXPECT_GE(profile.per_cpu_traps[1], 100u);
+  EXPECT_LE(profile.per_cpu_traps[1], 400u);
+}
+
+TEST_F(GoldenRunTest, GoldenRunsAreBitIdentical) {
+  Testbed other;
+  ASSERT_TRUE(other.enable_hypervisor().is_ok());
+  other.boot_freertos_cell();
+  testbed_.run(5'000);
+  other.run(5'000);
+  EXPECT_EQ(testbed_.board().uart1().captured(),
+            other.board().uart1().captured());
+  EXPECT_EQ(testbed_.board().uart0().captured(),
+            other.board().uart0().captured());
+  EXPECT_EQ(testbed_.hypervisor().counters().traps,
+            other.hypervisor().counters().traps);
+}
+
+TEST_F(GoldenRunTest, SerialLogIsParseable) {
+  testbed_.run(2'000);
+  // The framework's log file round-trips through the analytics parser.
+  const std::string text = testbed_.board().log().to_text();
+  EXPECT_FALSE(text.empty());
+}
+
+}  // namespace
+}  // namespace mcs::fi

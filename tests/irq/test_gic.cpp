@@ -1,0 +1,187 @@
+#include "irq/gic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mcs::irq {
+namespace {
+
+TEST(Gic, ClassifiesLineKinds) {
+  EXPECT_TRUE(is_sgi(0));
+  EXPECT_TRUE(is_sgi(15));
+  EXPECT_TRUE(is_ppi(16));
+  EXPECT_TRUE(is_ppi(27));
+  EXPECT_TRUE(is_spi(32));
+  EXPECT_FALSE(is_spi(kNumIrqs));
+  EXPECT_FALSE(is_sgi(16));
+}
+
+TEST(Gic, BankedLinesEnabledAtReset) {
+  Gic gic(2);
+  EXPECT_TRUE(gic.is_enabled(27));   // virtual-timer PPI
+  EXPECT_TRUE(gic.is_enabled(0));    // SGI
+  EXPECT_FALSE(gic.is_enabled(34));  // SPIs need explicit enabling
+}
+
+TEST(Gic, SpiDeliveryNeedsEnableAndTarget) {
+  Gic gic(2);
+  ASSERT_TRUE(gic.raise_spi(34).is_ok());
+  EXPECT_EQ(gic.peek(0), kSpuriousIrq);  // disabled: not deliverable
+  ASSERT_TRUE(gic.enable(34).is_ok());
+  ASSERT_TRUE(gic.raise_spi(34).is_ok());
+  EXPECT_EQ(gic.peek(0), 34u);  // default target cpu0
+  ASSERT_TRUE(gic.set_target(34, 1).is_ok());
+  ASSERT_TRUE(gic.raise_spi(34).is_ok());
+  EXPECT_EQ(gic.peek(1), 34u);
+}
+
+TEST(Gic, AcknowledgeMovesToActiveAndEoiClears) {
+  Gic gic(2);
+  ASSERT_TRUE(gic.raise_ppi(1, 27).is_ok());
+  EXPECT_TRUE(gic.is_pending(27, 1));
+  const IrqId acked = gic.acknowledge(1);
+  EXPECT_EQ(acked, 27u);
+  EXPECT_FALSE(gic.is_pending(27, 1));
+  EXPECT_TRUE(gic.is_active(27, 1));
+  EXPECT_EQ(gic.peek(1), kSpuriousIrq);  // active blocks re-delivery
+  ASSERT_TRUE(gic.end_of_interrupt(1, 27).is_ok());
+  EXPECT_FALSE(gic.is_active(27, 1));
+}
+
+TEST(Gic, AcknowledgeEmptyIsSpurious) {
+  Gic gic(2);
+  EXPECT_EQ(gic.acknowledge(0), kSpuriousIrq);
+  EXPECT_EQ(gic.acknowledge(-1), kSpuriousIrq);
+  EXPECT_EQ(gic.acknowledge(7), kSpuriousIrq);  // absent cpu
+}
+
+TEST(Gic, EoiWithoutActiveFails) {
+  Gic gic(2);
+  EXPECT_EQ(gic.end_of_interrupt(0, 27).code(), util::Code::EInval);
+}
+
+TEST(Gic, PriorityOrdersDelivery) {
+  Gic gic(1);
+  ASSERT_TRUE(gic.enable(40).is_ok());
+  ASSERT_TRUE(gic.enable(50).is_ok());
+  ASSERT_TRUE(gic.set_priority(40, 0x80).is_ok());
+  ASSERT_TRUE(gic.set_priority(50, 0x40).is_ok());  // more urgent
+  ASSERT_TRUE(gic.raise_spi(40).is_ok());
+  ASSERT_TRUE(gic.raise_spi(50).is_ok());
+  EXPECT_EQ(gic.acknowledge(0), 50u);
+  EXPECT_EQ(gic.acknowledge(0), 40u);
+}
+
+TEST(Gic, EqualPriorityLowestIdWins) {
+  Gic gic(1);
+  for (IrqId irq : {40u, 36u}) {
+    ASSERT_TRUE(gic.enable(irq).is_ok());
+    ASSERT_TRUE(gic.set_priority(irq, 0x80).is_ok());
+    ASSERT_TRUE(gic.raise_spi(irq).is_ok());
+  }
+  EXPECT_EQ(gic.acknowledge(0), 36u);
+}
+
+TEST(Gic, PriorityMaskBlocksDelivery) {
+  Gic gic(1);
+  ASSERT_TRUE(gic.enable(40).is_ok());
+  ASSERT_TRUE(gic.set_priority(40, 0x80).is_ok());
+  ASSERT_TRUE(gic.raise_spi(40).is_ok());
+  gic.set_priority_mask(0, 0x80);  // only priorities < 0x80 pass
+  EXPECT_EQ(gic.peek(0), kSpuriousIrq);
+  gic.set_priority_mask(0, 0x81);
+  EXPECT_EQ(gic.peek(0), 40u);
+}
+
+TEST(Gic, SgiRoutesToTargetCpuOnly) {
+  Gic gic(2);
+  ASSERT_TRUE(gic.send_sgi(0, 1, 14).is_ok());
+  EXPECT_EQ(gic.peek(0), kSpuriousIrq);
+  EXPECT_EQ(gic.peek(1), 14u);
+}
+
+TEST(Gic, SgiValidation) {
+  Gic gic(2);
+  EXPECT_FALSE(gic.send_sgi(0, 1, 20).is_ok());  // PPI, not SGI
+  EXPECT_FALSE(gic.send_sgi(0, 5, 1).is_ok());   // absent target
+  EXPECT_FALSE(gic.send_sgi(-1, 1, 1).is_ok());
+}
+
+TEST(Gic, RoutingValidation) {
+  Gic gic(2);
+  EXPECT_FALSE(gic.set_target(16, 1).is_ok());   // PPIs not routable
+  EXPECT_FALSE(gic.set_target(34, 3).is_ok());   // absent cpu
+  EXPECT_FALSE(gic.enable(kNumIrqs).is_ok());    // out of range
+  EXPECT_FALSE(gic.raise_spi(27).is_ok());       // PPI via SPI API
+  EXPECT_FALSE(gic.raise_ppi(0, 34).is_ok());    // SPI via PPI API
+}
+
+TEST(Gic, PerCpuPendingIsIndependent) {
+  Gic gic(2);
+  ASSERT_TRUE(gic.raise_ppi(0, 27).is_ok());
+  EXPECT_TRUE(gic.is_pending(27, 0));
+  EXPECT_FALSE(gic.is_pending(27, 1));
+}
+
+TEST(Gic, ResetCpuDropsPendingAndActive) {
+  Gic gic(2);
+  ASSERT_TRUE(gic.raise_ppi(1, 27).is_ok());
+  (void)gic.acknowledge(1);
+  ASSERT_TRUE(gic.raise_ppi(1, 28).is_ok());
+  gic.reset_cpu(1);
+  EXPECT_FALSE(gic.is_active(27, 1));
+  EXPECT_FALSE(gic.is_pending(28, 1));
+  EXPECT_EQ(gic.peek(1), kSpuriousIrq);
+}
+
+TEST(Gic, DeliveredCounterTracksAcks) {
+  Gic gic(1);
+  ASSERT_TRUE(gic.raise_ppi(0, 27).is_ok());
+  (void)gic.acknowledge(0);
+  (void)gic.end_of_interrupt(0, 27);
+  ASSERT_TRUE(gic.raise_ppi(0, 27).is_ok());
+  (void)gic.acknowledge(0);
+  EXPECT_EQ(gic.delivered(27), 2u);
+}
+
+TEST(Gic, EnableAssignsDefaultPriority) {
+  Gic gic(1);
+  EXPECT_EQ(gic.priority(40), kIdlePriority);
+  ASSERT_TRUE(gic.enable(40).is_ok());
+  EXPECT_EQ(gic.priority(40), kDefaultPriority);
+}
+
+// Property: after any sequence of raise/ack/EOI, a line is never both
+// pending and active on the same CPU (the GIC state-machine invariant).
+class GicStateProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GicStateProperty, PendingAndActiveAreExclusivePerAck) {
+  Gic gic(2);
+  util::Xoshiro256 rng(GetParam());
+  ASSERT_TRUE(gic.enable(34).is_ok());
+  for (int step = 0; step < 500; ++step) {
+    switch (rng.below(3)) {
+      case 0: (void)gic.raise_ppi(static_cast<int>(rng.below(2)), 27); break;
+      case 1: {
+        const int cpu = static_cast<int>(rng.below(2));
+        const IrqId acked = gic.acknowledge(cpu);
+        if (acked != kSpuriousIrq) {
+          ASSERT_FALSE(gic.is_pending(acked, cpu));
+          ASSERT_TRUE(gic.is_active(acked, cpu));
+        }
+        break;
+      }
+      default: {
+        const int cpu = static_cast<int>(rng.below(2));
+        (void)gic.end_of_interrupt(cpu, 27);
+        break;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GicStateProperty, ::testing::Values(1, 7, 42));
+
+}  // namespace
+}  // namespace mcs::irq

@@ -1,0 +1,164 @@
+#include "mem/memory_map.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::mem {
+namespace {
+
+MemRegion region(PhysAddr phys, GuestAddr virt, std::uint64_t size,
+                 std::uint32_t flags, std::string name = "r") {
+  MemRegion r;
+  r.phys_start = phys;
+  r.virt_start = virt;
+  r.size = size;
+  r.flags = flags;
+  r.name = std::move(name);
+  return r;
+}
+
+TEST(MemoryMap, AddAndTranslateIdentity) {
+  MemoryMap map;
+  ASSERT_TRUE(map.add_region(region(0x4000'0000, 0x4000'0000, 0x1000,
+                                    kMemRead | kMemWrite)).is_ok());
+  auto walk = map.translate(0x4000'0010, Access::Read);
+  ASSERT_TRUE(walk.is_ok());
+  EXPECT_EQ(walk.value().phys, 0x4000'0010u);
+}
+
+TEST(MemoryMap, TranslateAppliesOffset) {
+  MemoryMap map;
+  ASSERT_TRUE(map.add_region(region(0x7000'0000, 0x1000'0000, 0x1000,
+                                    kMemRead)).is_ok());
+  auto walk = map.translate(0x1000'0ABC, Access::Read);
+  ASSERT_TRUE(walk.is_ok());
+  EXPECT_EQ(walk.value().phys, 0x7000'0ABCu);
+}
+
+TEST(MemoryMap, RejectsZeroSizedRegion) {
+  MemoryMap map;
+  EXPECT_EQ(map.add_region(region(0, 0, 0, kMemRead)).code(),
+            util::Code::EInval);
+}
+
+TEST(MemoryMap, RejectsGuestOverlap) {
+  MemoryMap map;
+  ASSERT_TRUE(map.add_region(region(0x4000'0000, 0x1000, 0x1000, kMemRead)).is_ok());
+  EXPECT_EQ(map.add_region(region(0x5000'0000, 0x1800, 0x1000, kMemRead)).code(),
+            util::Code::EInval);
+  // Adjacent is fine.
+  EXPECT_TRUE(map.add_region(region(0x5000'0000, 0x2000, 0x1000, kMemRead)).is_ok());
+}
+
+TEST(MemoryMap, NoMappingFault) {
+  MemoryMap map;
+  auto walk = map.translate(0xDEAD'0000, Access::Read);
+  EXPECT_FALSE(walk.is_ok());
+  ASSERT_TRUE(map.last_fault().has_value());
+  EXPECT_EQ(map.last_fault()->kind, FaultKind::NoMapping);
+  EXPECT_EQ(map.last_fault()->addr, 0xDEAD'0000u);
+}
+
+TEST(MemoryMap, PermissionFault) {
+  MemoryMap map;
+  ASSERT_TRUE(map.add_region(region(0x4000'0000, 0x4000'0000, 0x1000,
+                                    kMemRead)).is_ok());
+  auto walk = map.translate(0x4000'0000, Access::Write);
+  EXPECT_FALSE(walk.is_ok());
+  EXPECT_EQ(walk.status().code(), util::Code::EPerm);
+  ASSERT_TRUE(map.last_fault().has_value());
+  EXPECT_EQ(map.last_fault()->kind, FaultKind::Permission);
+}
+
+TEST(MemoryMap, ExecutePermission) {
+  MemoryMap map;
+  ASSERT_TRUE(map.add_region(region(0x4000'0000, 0x4000'0000, 0x1000,
+                                    kMemRead | kMemExecute)).is_ok());
+  EXPECT_TRUE(map.translate(0x4000'0000, Access::Execute).is_ok());
+  MemoryMap no_exec;
+  ASSERT_TRUE(no_exec.add_region(region(0x4000'0000, 0x4000'0000, 0x1000,
+                                        kMemRead | kMemWrite)).is_ok());
+  EXPECT_FALSE(no_exec.translate(0x4000'0000, Access::Execute).is_ok());
+}
+
+TEST(MemoryMap, AccessStraddlingRegionEndFaults) {
+  MemoryMap map;
+  ASSERT_TRUE(map.add_region(region(0x4000'0000, 0x4000'0000, 0x1000,
+                                    kMemRead)).is_ok());
+  EXPECT_TRUE(map.translate(0x4000'0FFC, Access::Read, 4).is_ok());
+  EXPECT_FALSE(map.translate(0x4000'0FFD, Access::Read, 4).is_ok());
+}
+
+TEST(MemoryMap, SuccessfulWalkClearsLastFault) {
+  MemoryMap map;
+  ASSERT_TRUE(map.add_region(region(0x4000'0000, 0x4000'0000, 0x1000,
+                                    kMemRead)).is_ok());
+  (void)map.translate(0xBAD0'0000, Access::Read);
+  EXPECT_TRUE(map.last_fault().has_value());
+  (void)map.translate(0x4000'0000, Access::Read);
+  EXPECT_FALSE(map.last_fault().has_value());
+}
+
+TEST(MemoryMap, CarveOutMiddleSplitsRegion) {
+  MemoryMap map;
+  ASSERT_TRUE(map.add_region(region(0x4000'0000, 0x4000'0000, 0x3000,
+                                    kMemRead | kMemWrite, "ram")).is_ok());
+  const auto removed = map.carve_out_phys(0x4000'1000, 0x1000);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0].phys_start, 0x4000'1000u);
+  EXPECT_EQ(removed[0].size, 0x1000u);
+  EXPECT_EQ(removed[0].flags, kMemRead | kMemWrite);
+  // Left and right remainders still translate; the middle faults.
+  EXPECT_TRUE(map.translate(0x4000'0000, Access::Read).is_ok());
+  EXPECT_TRUE(map.translate(0x4000'2000, Access::Read).is_ok());
+  EXPECT_FALSE(map.translate(0x4000'1800, Access::Read).is_ok());
+  EXPECT_EQ(map.regions().size(), 2u);
+}
+
+TEST(MemoryMap, CarveOutWholeRegionRemovesIt) {
+  MemoryMap map;
+  ASSERT_TRUE(map.add_region(region(0x4000'0000, 0x4000'0000, 0x1000,
+                                    kMemRead, "ram")).is_ok());
+  const auto removed = map.carve_out_phys(0x4000'0000, 0x1000);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_TRUE(map.regions().empty());
+}
+
+TEST(MemoryMap, CarveOutThenRestoreRoundTrips) {
+  MemoryMap map;
+  ASSERT_TRUE(map.add_region(region(0x4000'0000, 0x4000'0000, 0x4000,
+                                    kMemRead | kMemWrite, "ram")).is_ok());
+  auto removed = map.carve_out_phys(0x4000'1000, 0x2000);
+  for (auto& piece : removed) ASSERT_TRUE(map.add_region(piece).is_ok());
+  for (GuestAddr addr = 0x4000'0000; addr < 0x4000'4000; addr += 0x800) {
+    EXPECT_TRUE(map.translate(addr, Access::Write).is_ok()) << std::hex << addr;
+  }
+}
+
+TEST(MemoryMap, CoversPhysAcrossAdjacentRegions) {
+  MemoryMap map;
+  ASSERT_TRUE(map.add_region(region(0x4000'0000, 0x4000'0000, 0x1000, kMemRead)).is_ok());
+  ASSERT_TRUE(map.add_region(region(0x4000'1000, 0x5000'0000, 0x1000, kMemRead)).is_ok());
+  EXPECT_TRUE(map.covers_phys(0x4000'0000, 0x2000));
+  EXPECT_TRUE(map.covers_phys(0x4000'0800, 0x1000));
+  EXPECT_FALSE(map.covers_phys(0x4000'0000, 0x2001));
+  EXPECT_FALSE(map.covers_phys(0x3FFF'FFFF, 0x10));
+}
+
+TEST(MemoryMap, MapsPhysDetectsSharedBacking) {
+  MemoryMap map;
+  ASSERT_TRUE(map.add_region(region(0x7800'0000, 0x0, 0x1000, kMemRead)).is_ok());
+  EXPECT_TRUE(map.maps_phys(0x7800'0800));
+  EXPECT_FALSE(map.maps_phys(0x7900'0000));
+}
+
+TEST(MemoryMap, RemoveRegionsNamed) {
+  MemoryMap map;
+  ASSERT_TRUE(map.add_region(region(0x1000, 0x1000, 0x100, kMemRead, "a")).is_ok());
+  ASSERT_TRUE(map.add_region(region(0x2000, 0x2000, 0x100, kMemRead, "b")).is_ok());
+  EXPECT_EQ(map.remove_regions_named("a"), 1u);
+  EXPECT_EQ(map.regions().size(), 1u);
+  EXPECT_EQ(map.regions()[0].name, "b");
+}
+
+}  // namespace
+}  // namespace mcs::mem

@@ -1,0 +1,98 @@
+#include "mem/phys_mem.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mcs::mem {
+namespace {
+
+TEST(PhysicalMemory, DefaultsToBananaPiDram) {
+  PhysicalMemory dram;
+  EXPECT_EQ(dram.base(), kDramBase);
+  EXPECT_EQ(dram.size(), kDramSize);
+}
+
+TEST(PhysicalMemory, ContainsChecksRange) {
+  PhysicalMemory dram;
+  EXPECT_TRUE(dram.contains(kDramBase));
+  EXPECT_TRUE(dram.contains(kDramBase + kDramSize - 1));
+  EXPECT_FALSE(dram.contains(kDramBase + kDramSize));
+  EXPECT_FALSE(dram.contains(kDramBase - 1));
+  EXPECT_TRUE(dram.contains(kDramBase + kDramSize - 4, 4));
+  EXPECT_FALSE(dram.contains(kDramBase + kDramSize - 3, 4));
+}
+
+TEST(PhysicalMemory, ByteRoundTrip) {
+  PhysicalMemory dram;
+  ASSERT_TRUE(dram.write_u8(kDramBase + 5, 0xAB).is_ok());
+  auto value = dram.read_u8(kDramBase + 5);
+  ASSERT_TRUE(value.is_ok());
+  EXPECT_EQ(value.value(), 0xAB);
+}
+
+TEST(PhysicalMemory, WordRoundTrip) {
+  PhysicalMemory dram;
+  ASSERT_TRUE(dram.write_u32(kDramBase + 0x100, 0xDEADBEEF).is_ok());
+  EXPECT_EQ(dram.read_u32(kDramBase + 0x100).value(), 0xDEADBEEFu);
+  ASSERT_TRUE(dram.write_u64(kDramBase + 0x200, 0x0123456789ABCDEFull).is_ok());
+  EXPECT_EQ(dram.read_u64(kDramBase + 0x200).value(), 0x0123456789ABCDEFull);
+}
+
+TEST(PhysicalMemory, UntouchedMemoryReadsZero) {
+  PhysicalMemory dram;
+  EXPECT_EQ(dram.read_u32(kDramBase + 0x7000).value(), 0u);
+  EXPECT_EQ(dram.resident_pages(), 0u);  // reads allocate nothing
+}
+
+TEST(PhysicalMemory, OutOfRangeAccessFails) {
+  PhysicalMemory dram;
+  EXPECT_EQ(dram.write_u32(kDramBase - 4, 1).code(), util::Code::EFault);
+  EXPECT_FALSE(dram.read_u32(kDramBase + kDramSize).is_ok());
+  EXPECT_EQ(dram.write_u32(kDramBase + kDramSize - 2, 1).code(),
+            util::Code::EFault);  // straddles the end
+}
+
+TEST(PhysicalMemory, BlockCrossesPageBoundary) {
+  PhysicalMemory dram;
+  std::vector<std::uint8_t> payload(3 * kPageSize, 0);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  const PhysAddr addr = kDramBase + kPageSize - 100;  // unaligned start
+  ASSERT_TRUE(dram.write_block(addr, payload).is_ok());
+  std::vector<std::uint8_t> read_back(payload.size(), 0xFF);
+  ASSERT_TRUE(dram.read_block(addr, read_back).is_ok());
+  EXPECT_EQ(read_back, payload);
+}
+
+TEST(PhysicalMemory, SparsePagesAllocatedOnWrite) {
+  PhysicalMemory dram;
+  EXPECT_EQ(dram.resident_pages(), 0u);
+  (void)dram.write_u8(kDramBase, 1);
+  (void)dram.write_u8(kDramBase + 100 * kPageSize, 1);
+  EXPECT_EQ(dram.resident_pages(), 2u);
+}
+
+TEST(PhysicalMemory, FillAndClear) {
+  PhysicalMemory dram;
+  ASSERT_TRUE(dram.fill(kDramBase + 10, 3 * kPageSize, 0x5A).is_ok());
+  EXPECT_EQ(dram.read_u8(kDramBase + 10).value(), 0x5A);
+  EXPECT_EQ(dram.read_u8(kDramBase + 10 + 3 * kPageSize - 1).value(), 0x5A);
+  EXPECT_EQ(dram.read_u8(kDramBase + 9).value(), 0u);
+  dram.clear();
+  EXPECT_EQ(dram.read_u8(kDramBase + 10).value(), 0u);
+  EXPECT_EQ(dram.resident_pages(), 0u);
+}
+
+TEST(PhysicalMemory, ReadBlockFromHoleYieldsZeros) {
+  PhysicalMemory dram;
+  (void)dram.write_u8(kDramBase + kPageSize, 0x11);  // page 1 resident
+  std::vector<std::uint8_t> out(2 * kPageSize, 0xFF);
+  ASSERT_TRUE(dram.read_block(kDramBase, out).is_ok());
+  EXPECT_EQ(out[0], 0u);                 // hole
+  EXPECT_EQ(out[kPageSize], 0x11u);      // resident page
+}
+
+}  // namespace
+}  // namespace mcs::mem

@@ -1,0 +1,65 @@
+#include "platform/board.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::platform {
+namespace {
+
+TEST(Board, ComposesThePaperTestbed) {
+  BananaPiBoard board;
+  EXPECT_EQ(BananaPiBoard::num_cpus(), 2);  // dual-core Cortex-A7
+  EXPECT_EQ(board.dram().size(), 1ull << 30);  // 1 GB of RAM
+  EXPECT_EQ(board.cpu(0).id(), 0);
+  EXPECT_EQ(board.cpu(1).id(), 1);
+}
+
+TEST(Board, DevicesAttachedToBus) {
+  BananaPiBoard board;
+  EXPECT_EQ(board.bus().find_device(kUart0Base), &board.uart0());
+  EXPECT_EQ(board.bus().find_device(kUart1Base), &board.uart1());
+  EXPECT_EQ(board.bus().find_device(kTimerBase), &board.timer());
+  EXPECT_EQ(board.bus().find_device(kGpioBase), &board.gpio());
+}
+
+TEST(Board, TickAdvancesClockAndDevices) {
+  BananaPiBoard board;
+  board.timer().start(0, 3);
+  board.run_ticks(3);
+  EXPECT_EQ(board.now().value, 3u);
+  EXPECT_TRUE(board.gic().is_pending(kVirtualTimerPpi, 0));
+}
+
+TEST(Board, RunTicksAccumulates) {
+  BananaPiBoard board;
+  board.run_ticks(10);
+  board.run_ticks(5);
+  EXPECT_EQ(board.now().value, 15u);
+}
+
+TEST(Board, ResetClearsCpusAndIrqState) {
+  BananaPiBoard board;
+  (void)board.cpu(1).power_on(0x1000);
+  (void)board.cpu(1).complete_boot();
+  (void)board.gic().raise_ppi(0, 27);
+  board.reset();
+  EXPECT_EQ(board.cpu(1).power_state(), arch::PowerState::Off);
+  EXPECT_FALSE(board.gic().is_pending(27, 0));
+}
+
+TEST(Board, ResetPreservesSerialCaptureAndTime) {
+  BananaPiBoard board;
+  (void)board.uart1().mmio_write(kUartThr, 'x');
+  board.run_ticks(4);
+  board.reset();
+  EXPECT_EQ(board.uart1().captured(), "x");
+  EXPECT_EQ(board.now().value, 4u);  // warm reboot: time keeps flowing
+}
+
+TEST(Board, EventLogIsShared) {
+  BananaPiBoard board;
+  board.log().log(board.now(), util::Severity::Info, "test", -1, "entry");
+  EXPECT_EQ(board.log().size(), 1u);
+}
+
+}  // namespace
+}  // namespace mcs::platform

@@ -1,0 +1,64 @@
+#include "platform/bus.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/board.hpp"
+#include "platform/gpio.hpp"
+#include "platform/uart.hpp"
+
+namespace mcs::platform {
+namespace {
+
+class BusTest : public ::testing::Test {
+ protected:
+  BusTest()
+      : bus_(dram_),
+        uart_("uart0", kUart0Base, nullptr, 0),
+        gpio_("gpio", kGpioBase) {
+    (void)bus_.attach(uart_);
+    (void)bus_.attach(gpio_);
+  }
+
+  mem::PhysicalMemory dram_;
+  Bus bus_;
+  Uart uart_;
+  Gpio gpio_;
+};
+
+TEST_F(BusTest, RoutesDramAccesses) {
+  ASSERT_TRUE(bus_.write_u32(mem::kDramBase + 0x40, 0x1234).is_ok());
+  EXPECT_EQ(bus_.read_u32(mem::kDramBase + 0x40).value(), 0x1234u);
+  EXPECT_EQ(dram_.read_u32(mem::kDramBase + 0x40).value(), 0x1234u);
+}
+
+TEST_F(BusTest, RoutesDeviceWindow) {
+  ASSERT_TRUE(bus_.write_u32(kUart0Base + kUartThr, 'Q').is_ok());
+  EXPECT_EQ(uart_.captured(), "Q");
+}
+
+TEST_F(BusTest, FindDeviceByAddress) {
+  EXPECT_EQ(bus_.find_device(kUart0Base + 8), &uart_);
+  EXPECT_EQ(bus_.find_device(kGpioBase), &gpio_);
+  EXPECT_EQ(bus_.find_device(0x0300'0000), nullptr);
+  EXPECT_EQ(bus_.devices().size(), 2u);
+}
+
+TEST_F(BusTest, UnbackedAddressFaults) {
+  // Outside DRAM and every device window.
+  EXPECT_FALSE(bus_.read_u32(0x0300'0000).is_ok());
+  EXPECT_FALSE(bus_.write_u32(0x0300'0000, 1).is_ok());
+}
+
+TEST_F(BusTest, RejectsOverlappingWindows) {
+  Uart clash("clash", kUart0Base + 0x100, nullptr, 0);
+  EXPECT_EQ(bus_.attach(clash).code(), util::Code::EInval);
+  Uart ok("ok", kUart1Base, nullptr, 0);
+  EXPECT_TRUE(bus_.attach(ok).is_ok());
+}
+
+TEST_F(BusTest, DeviceErrorsPropagate) {
+  EXPECT_FALSE(bus_.read_u32(kUart0Base + 0x3FC).is_ok());
+}
+
+}  // namespace
+}  // namespace mcs::platform

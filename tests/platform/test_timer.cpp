@@ -1,0 +1,89 @@
+#include "platform/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "platform/board.hpp"
+
+namespace mcs::platform {
+namespace {
+
+class TimerTest : public ::testing::Test {
+ protected:
+  TimerTest() : gic_(2), timer_("timer", kTimerBase, gic_, 2) {}
+
+  void tick_n(int n) {
+    for (int i = 0; i < n; ++i) timer_.tick(util::Ticks{0});
+  }
+
+  irq::Gic gic_;
+  PeriodicTimer timer_;
+};
+
+TEST_F(TimerTest, FiresEveryPeriod) {
+  timer_.start(1, 10);
+  tick_n(9);
+  EXPECT_FALSE(gic_.is_pending(kVirtualTimerPpi, 1));
+  tick_n(1);
+  EXPECT_TRUE(gic_.is_pending(kVirtualTimerPpi, 1));
+  EXPECT_EQ(timer_.fires(1), 1u);
+  tick_n(10);
+  EXPECT_EQ(timer_.fires(1), 2u);
+}
+
+TEST_F(TimerTest, PerCpuIndependence) {
+  timer_.start(0, 5);
+  tick_n(5);
+  EXPECT_TRUE(gic_.is_pending(kVirtualTimerPpi, 0));
+  EXPECT_FALSE(gic_.is_pending(kVirtualTimerPpi, 1));
+}
+
+TEST_F(TimerTest, StopHaltsFiring) {
+  timer_.start(1, 3);
+  tick_n(3);
+  EXPECT_EQ(timer_.fires(1), 1u);
+  timer_.stop(1);
+  EXPECT_FALSE(timer_.is_running(1));
+  tick_n(10);
+  EXPECT_EQ(timer_.fires(1), 1u);
+}
+
+TEST_F(TimerTest, PeriodOneFiresEveryTick) {
+  timer_.start(1, 1);
+  tick_n(7);
+  EXPECT_EQ(timer_.fires(1), 7u);
+}
+
+TEST_F(TimerTest, MmioProgrammingPath) {
+  ASSERT_TRUE(timer_.mmio_write(kTimerStride * 1 + kTimerInterval, 4).is_ok());
+  ASSERT_TRUE(timer_.mmio_write(kTimerStride * 1 + kTimerCtl, 1).is_ok());
+  EXPECT_TRUE(timer_.is_running(1));
+  EXPECT_EQ(timer_.mmio_read(kTimerStride * 1 + kTimerInterval).value(), 4u);
+  EXPECT_EQ(timer_.mmio_read(kTimerStride * 1 + kTimerCtl).value(), 1u);
+  tick_n(4);
+  EXPECT_EQ(timer_.fires(1), 1u);
+  EXPECT_EQ(timer_.mmio_read(kTimerStride * 1 + kTimerCount).value(), 4u);
+}
+
+TEST_F(TimerTest, MmioValidation) {
+  EXPECT_FALSE(timer_.mmio_write(kTimerStride * 5 + kTimerCtl, 1).is_ok());
+  EXPECT_FALSE(timer_.mmio_read(kTimerStride * 5).is_ok());
+  EXPECT_FALSE(timer_.mmio_write(kTimerStride * 0 + 0xC, 1).is_ok());
+}
+
+TEST_F(TimerTest, InvalidStartIgnored) {
+  timer_.start(5, 10);   // absent cpu
+  timer_.start(0, 0);    // zero period
+  EXPECT_FALSE(timer_.is_running(0));
+  EXPECT_EQ(timer_.fires(5), 0u);
+}
+
+TEST_F(TimerTest, ResetClearsState) {
+  timer_.start(0, 2);
+  tick_n(2);
+  timer_.reset();
+  EXPECT_FALSE(timer_.is_running(0));
+  EXPECT_EQ(timer_.fires(0), 0u);
+}
+
+}  // namespace
+}  // namespace mcs::platform

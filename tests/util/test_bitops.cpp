@@ -1,0 +1,77 @@
+#include "util/bitops.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mcs::util {
+namespace {
+
+TEST(BitOps, FlipBitTogglesExactlyOneBit) {
+  const std::uint32_t value = 0b1010;
+  EXPECT_EQ(flip_bit(value, 0u), 0b1011u);
+  EXPECT_EQ(flip_bit(value, 1u), 0b1000u);
+  EXPECT_EQ(flip_bit(value, 31u), 0x8000'000Au);
+}
+
+TEST(BitOps, TestSetClear) {
+  std::uint32_t value = 0;
+  value = set_bit(value, 5u);
+  EXPECT_TRUE(test_bit(value, 5u));
+  value = clear_bit(value, 5u);
+  EXPECT_FALSE(test_bit(value, 5u));
+  EXPECT_EQ(value, 0u);
+}
+
+TEST(BitOps, BitsExtractsInclusiveRange) {
+  const std::uint32_t value = 0xABCD'1234;
+  EXPECT_EQ(bits(value, 31u, 28u), 0xAu);
+  EXPECT_EQ(bits(value, 15u, 0u), 0x1234u);
+  EXPECT_EQ(bits(value, 31u, 0u), value);
+  EXPECT_EQ(bits(value, 0u, 0u), 0u);  // lsb of 0x...4
+}
+
+TEST(BitOps, DepositBitsWritesField) {
+  std::uint32_t value = 0;
+  value = deposit_bits(value, 31u, 26u, 0x24u);
+  EXPECT_EQ(bits(value, 31u, 26u), 0x24u);
+  EXPECT_EQ(bits(value, 25u, 0u), 0u);
+  // Overwriting leaves neighbours intact.
+  value = deposit_bits(value, 7u, 4u, 0xFu);
+  EXPECT_EQ(bits(value, 31u, 26u), 0x24u);
+  EXPECT_EQ(bits(value, 7u, 4u), 0xFu);
+}
+
+TEST(BitOps, PopcountMatchesStd) {
+  EXPECT_EQ(popcount(0u), 0);
+  EXPECT_EQ(popcount(0xFFu), 8);
+  EXPECT_EQ(popcount(0x8000'0001u), 2);
+}
+
+TEST(BitOps, Alignment) {
+  EXPECT_TRUE(is_aligned(0x1000, 0x1000));
+  EXPECT_FALSE(is_aligned(0x1004, 0x1000));
+  EXPECT_EQ(align_down(0x1FFF, 0x1000), 0x1000u);
+  EXPECT_EQ(align_up(0x1001, 0x1000), 0x2000u);
+  EXPECT_EQ(align_up(0x1000, 0x1000), 0x1000u);
+}
+
+// Property: flip is an involution, and it changes the hamming weight by 1.
+class FlipInvolution : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlipInvolution, DoubleFlipRestores) {
+  Xoshiro256 rng(GetParam());
+  for (int i = 0; i < 1000; ++i) {
+    const auto value = static_cast<std::uint32_t>(rng.next());
+    const auto bit = static_cast<unsigned>(rng.below(32));
+    const std::uint32_t flipped = flip_bit(value, bit);
+    EXPECT_NE(flipped, value);
+    EXPECT_EQ(flip_bit(flipped, bit), value);
+    EXPECT_EQ(std::abs(popcount(flipped) - popcount(value)), 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlipInvolution, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace mcs::util

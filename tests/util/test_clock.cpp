@@ -1,0 +1,48 @@
+#include "util/clock.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::util {
+namespace {
+
+TEST(Ticks, Conversions) {
+  EXPECT_EQ(from_millis(250).value, 250u);
+  EXPECT_EQ(from_seconds(2).value, 2000u);
+  EXPECT_EQ(from_minutes(1).value, 60'000u);
+  EXPECT_EQ(to_millis(Ticks{42}), 42u);
+}
+
+TEST(Ticks, Arithmetic) {
+  Ticks t{10};
+  t += Ticks{5};
+  EXPECT_EQ(t.value, 15u);
+  EXPECT_EQ((Ticks{10} + Ticks{5}).value, 15u);
+  EXPECT_EQ((Ticks{10} - Ticks{4}).value, 6u);
+}
+
+TEST(Ticks, Ordering) {
+  EXPECT_LT(Ticks{1}, Ticks{2});
+  EXPECT_EQ(Ticks{3}, Ticks{3});
+  EXPECT_GT(Ticks{4}, Ticks{3});
+}
+
+TEST(SimClock, StartsAtZero) {
+  SimClock clock;
+  EXPECT_EQ(clock.now().value, 0u);
+}
+
+TEST(SimClock, TickAdvancesByOne) {
+  SimClock clock;
+  clock.tick();
+  clock.tick();
+  EXPECT_EQ(clock.now().value, 2u);
+}
+
+TEST(SimClock, AdvanceByDelta) {
+  SimClock clock;
+  clock.advance(from_minutes(1));
+  EXPECT_EQ(clock.now(), from_minutes(1));
+}
+
+}  // namespace
+}  // namespace mcs::util

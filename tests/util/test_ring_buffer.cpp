@@ -1,0 +1,84 @@
+#include "util/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace mcs::util {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int, 4> ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_FALSE(ring.full());
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_EQ(ring.capacity(), 4u);
+  EXPECT_EQ(ring.pop(), std::nullopt);
+  EXPECT_EQ(ring.peek(), nullptr);
+}
+
+TEST(RingBuffer, FifoOrder) {
+  RingBuffer<int, 4> ring;
+  EXPECT_TRUE(ring.push(1));
+  EXPECT_TRUE(ring.push(2));
+  EXPECT_TRUE(ring.push(3));
+  EXPECT_EQ(*ring.pop(), 1);
+  EXPECT_EQ(*ring.pop(), 2);
+  EXPECT_EQ(*ring.pop(), 3);
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingBuffer, PushFailsWhenFull) {
+  RingBuffer<int, 2> ring;
+  EXPECT_TRUE(ring.push(1));
+  EXPECT_TRUE(ring.push(2));
+  EXPECT_TRUE(ring.full());
+  EXPECT_FALSE(ring.push(3));
+  EXPECT_EQ(*ring.pop(), 1);  // contents unchanged by the failed push
+}
+
+TEST(RingBuffer, PushOverwriteEvictsOldest) {
+  RingBuffer<int, 2> ring;
+  ring.push_overwrite(1);
+  ring.push_overwrite(2);
+  ring.push_overwrite(3);
+  EXPECT_EQ(*ring.pop(), 2);
+  EXPECT_EQ(*ring.pop(), 3);
+}
+
+TEST(RingBuffer, WrapsAroundRepeatedly) {
+  RingBuffer<int, 3> ring;
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE(ring.push(cycle * 3 + i));
+    for (int i = 0; i < 3; ++i) ASSERT_EQ(*ring.pop(), cycle * 3 + i);
+  }
+}
+
+TEST(RingBuffer, PeekDoesNotConsume) {
+  RingBuffer<int, 2> ring;
+  ring.push(7);
+  ASSERT_NE(ring.peek(), nullptr);
+  EXPECT_EQ(*ring.peek(), 7);
+  EXPECT_EQ(ring.size(), 1u);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int, 2> ring;
+  ring.push(1);
+  ring.push(2);
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
+  EXPECT_TRUE(ring.push(3));
+  EXPECT_EQ(*ring.pop(), 3);
+}
+
+TEST(RingBuffer, MoveOnlyPayload) {
+  RingBuffer<std::unique_ptr<int>, 2> ring;
+  ring.push(std::make_unique<int>(5));
+  auto out = ring.pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(**out, 5);
+}
+
+}  // namespace
+}  // namespace mcs::util

@@ -1,0 +1,112 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace mcs::util {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, Reproducible) {
+  Xoshiro256 a(42);
+  Xoshiro256 b(42);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256, BelowStaysInBounds) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 16ull, 100ull, 1ull << 33}) {
+    for (int i = 0; i < 200; ++i) ASSERT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Xoshiro256, BelowOneAlwaysZero) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Xoshiro256, InRangeInclusive) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.in_range(3, 6);
+    ASSERT_GE(v, 3u);
+    ASSERT_LE(v, 6u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values reachable
+}
+
+TEST(Xoshiro256, Uniform01InUnitInterval) {
+  Xoshiro256 rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // law of large numbers
+}
+
+TEST(Xoshiro256, ChanceEdgeCases) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Xoshiro256, ForkIsIndependentButDeterministic) {
+  Xoshiro256 parent_a(99);
+  Xoshiro256 parent_b(99);
+  Xoshiro256 child_a = parent_a.fork();
+  Xoshiro256 child_b = parent_b.fork();
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(child_a.next(), child_b.next());
+  // Child stream differs from the parent's continuation.
+  EXPECT_NE(child_a.next(), parent_a.next());
+}
+
+TEST(Xoshiro256, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(23);
+  std::vector<int> histogram(8, 0);
+  constexpr int kDraws = 80'000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++histogram[rng.below(8)];
+  }
+  for (const int count : histogram) {
+    EXPECT_NEAR(count, kDraws / 8, kDraws / 8 / 5);  // within 20 %
+  }
+}
+
+// Property sweep: bounded generation is unbiased at awkward bounds.
+class XoshiroBoundSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(XoshiroBoundSweep, AllResiduesReachable) {
+  const std::uint64_t bound = GetParam();
+  Xoshiro256 rng(bound * 2654435761u + 1);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 4000 && seen.size() < bound; ++i) seen.insert(rng.below(bound));
+  EXPECT_EQ(seen.size(), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallBounds, XoshiroBoundSweep,
+                         ::testing::Values(2, 3, 5, 7, 13, 16, 31));
+
+}  // namespace
+}  // namespace mcs::util

@@ -1,0 +1,89 @@
+#include "util/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::util {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_TRUE(static_cast<bool>(status));
+  EXPECT_EQ(status.code(), Code::Ok);
+  EXPECT_EQ(status.errno_value(), 0);
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status status = invalid_argument("bad cpu id");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), Code::EInval);
+  EXPECT_EQ(status.message(), "bad cpu id");
+}
+
+TEST(Status, ErrnoValueMatchesLinuxConvention) {
+  EXPECT_EQ(invalid_argument("x").errno_value(), -22);
+  EXPECT_EQ(not_found("x").errno_value(), -2);
+  EXPECT_EQ(busy("x").errno_value(), -16);
+  EXPECT_EQ(fault("x").errno_value(), -14);
+  EXPECT_EQ(perm("x").errno_value(), -1);
+  EXPECT_EQ(nosys("x").errno_value(), -38);
+  EXPECT_EQ(no_mem("x").errno_value(), -12);
+}
+
+TEST(Status, ToStringIncludesCodeNameAndMessage) {
+  EXPECT_EQ(invalid_argument("reason").to_string(), "EINVAL: reason");
+  EXPECT_EQ(Status::ok().to_string(), "OK");
+}
+
+TEST(Status, EqualityComparesCodeOnly) {
+  EXPECT_EQ(invalid_argument("a"), invalid_argument("b"));
+  EXPECT_FALSE(invalid_argument("a") == not_found("a"));
+}
+
+TEST(Status, CodeNamesAreStable) {
+  EXPECT_EQ(code_name(Code::Ok), "OK");
+  EXPECT_EQ(code_name(Code::EInval), "EINVAL");
+  EXPECT_EQ(code_name(Code::ENoSys), "ENOSYS");
+  EXPECT_EQ(code_name(Code::Internal), "INTERNAL");
+}
+
+TEST(Expected, HoldsValue) {
+  Expected<int> result = 42;
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(result.value_or(7), 42);
+}
+
+TEST(Expected, HoldsStatus) {
+  Expected<int> result = invalid_argument("nope");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), Code::EInval);
+  EXPECT_EQ(result.value_or(7), 7);
+}
+
+TEST(Expected, MoveOutValue) {
+  Expected<std::string> result = std::string("payload");
+  ASSERT_TRUE(result.is_ok());
+  const std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+TEST(ReturnIfErrorMacro, PropagatesFailure) {
+  const auto inner = []() -> Status { return busy("locked"); };
+  const auto outer = [&]() -> Status {
+    MCS_RETURN_IF_ERROR(inner());
+    return ok_status();
+  };
+  EXPECT_EQ(outer().code(), Code::EBusy);
+}
+
+TEST(ReturnIfErrorMacro, PassesThroughSuccess) {
+  const auto outer = []() -> Status {
+    MCS_RETURN_IF_ERROR(ok_status());
+    return internal("reached");
+  };
+  EXPECT_EQ(outer().code(), Code::Internal);
+}
+
+}  // namespace
+}  // namespace mcs::util

@@ -1,0 +1,59 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mcs::util {
+namespace {
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, SplitSingleField) {
+  const auto parts = split("alone", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\t\nx"), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("jailhouse cell", "jailhouse"));
+  EXPECT_FALSE(starts_with("jail", "jailhouse"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+TEST(Strings, HexRendering) {
+  EXPECT_EQ(hex(0x24), "0x24");
+  EXPECT_EQ(hex(0), "0x0");
+  EXPECT_EQ(hex(0xDEADBEEF), "0xdeadbeef");
+}
+
+TEST(Strings, HexPadded) {
+  EXPECT_EQ(hex(0x24, 2), "0x24");
+  EXPECT_EQ(hex(0x4, 2), "0x04");
+  EXPECT_EQ(hex(0x1234, 8), "0x00001234");
+}
+
+TEST(Strings, PercentFormatting) {
+  EXPECT_EQ(percent(1, 4), "25.0%");
+  EXPECT_EQ(percent(1, 3), "33.3%");
+  EXPECT_EQ(percent(0, 10), "0.0%");
+  EXPECT_EQ(percent(10, 10), "100.0%");
+}
+
+TEST(Strings, PercentZeroDenominator) { EXPECT_EQ(percent(5, 0), "n/a"); }
+
+}  // namespace
+}  // namespace mcs::util
