@@ -8,22 +8,27 @@
 // Paper shape: correct in the majority of cases, ~30 % panic park, a
 // limited number of CPU parks (error code 0x24).
 //
-//   $ ./bench_fig3_medium_trap [runs]   (default 150)
+//   $ ./bench_fig3_medium_trap [runs] [threads]   (default 150, all cores)
 #include <cstdlib>
 #include <iostream>
 
 #include "analysis/report.hpp"
-#include "core/campaign.hpp"
+#include "core/executor.hpp"
 
 int main(int argc, char** argv) {
   using namespace mcs;
 
-  fi::TestPlan plan = fi::paper_medium_trap_plan();
+  // Figure 3's lifecycle comes from the registry; the executor shards the
+  // runs — the figure regenerates bit-identically at any thread count.
+  fi::TestPlan plan =
+      fi::find_scenario("freertos-steady")->make_plan(fi::paper_medium_trap_plan());
   plan.runs = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 150;
   plan.seed = 0xF16'3;  // fixed: the figure regenerates bit-identically
 
-  fi::Campaign campaign(plan);
-  const fi::CampaignResult result = campaign.execute();
+  fi::ExecutorConfig config;
+  config.threads = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 0;
+  fi::CampaignExecutor executor(plan, config);
+  const fi::CampaignResult result = executor.execute();
 
   std::cout << analysis::render_distribution_chart(
                    result,

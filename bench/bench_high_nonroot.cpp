@@ -17,7 +17,7 @@
 #include <iomanip>
 #include <iostream>
 
-#include "core/campaign.hpp"
+#include "core/executor.hpp"
 
 namespace {
 
@@ -66,11 +66,14 @@ int main(int argc, char** argv) {
   std::cout << "E3 — high intensity, non-root cell (CPU 1 filter)\n";
   std::cout << std::string(72, '=') << "\n";
 
-  fi::TestPlan plan = fi::paper_high_nonroot_plan();
+  // The boot-time arming policy comes from the registry scenario, the
+  // sharding from the executor (results identical at any thread count).
+  fi::TestPlan plan = fi::find_scenario("inject-during-boot")
+                          ->make_plan(fi::paper_high_nonroot_plan());
   plan.runs = runs;
   plan.duration_ticks = 2'000;
-  fi::Campaign campaign(plan);
-  const fi::CampaignResult result = campaign.execute();
+  fi::CampaignExecutor executor(plan);
+  const fi::CampaignResult result = executor.execute();
   const fi::OutcomeDistribution dist = result.distribution();
 
   std::uint64_t blank = 0, reclaimed = 0;

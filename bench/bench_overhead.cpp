@@ -7,7 +7,7 @@
 // injector. Also measures whole-testbed tick throughput.
 #include <benchmark/benchmark.h>
 
-#include "core/campaign.hpp"
+#include "core/executor.hpp"
 
 namespace {
 
@@ -132,6 +132,39 @@ void BM_FullMediumRun(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullMediumRun)->Unit(benchmark::kMillisecond);
+
+// --- executor scaling ---------------------------------------------------------
+// Runs-per-second of a short sharded campaign at 1/2/4/8 worker threads,
+// so scaling regressions show up run over run. Short runs keep the
+// fixture honest: per-run testbed construction is part of the cost being
+// parallelised.
+
+void BM_ExecutorThroughput(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  fi::TestPlan plan =
+      fi::find_scenario("freertos-steady")->make_plan(fi::paper_medium_trap_plan());
+  plan.runs = 16;
+  plan.duration_ticks = 500;
+  plan.phase = 2;
+  std::uint64_t campaign_index = 0;
+  std::uint64_t runs_done = 0;
+  for (auto _ : state) {
+    plan.seed = 0xC0FFEE + campaign_index++;
+    fi::CampaignExecutor executor(plan, {threads, /*probe_recovery=*/false});
+    benchmark::DoNotOptimize(executor.execute());
+    runs_done += plan.runs;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(runs_done));
+  state.counters["runs/s"] = benchmark::Counter(
+      static_cast<double>(runs_done), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ExecutorThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 }  // namespace
 

@@ -3,14 +3,15 @@
 // open-source partitioning hypervisor, then assessed with the same
 // fault-injection methodology to show it is guest-agnostic.
 //
-//   $ ./autosar_demo
+//   $ ./autosar_demo [campaign_runs]   (default 15)
+#include <cstdlib>
 #include <iostream>
 
-#include "core/campaign.hpp"
-#include "guests/osek_image.hpp"
+#include "analysis/report.hpp"
+#include "core/executor.hpp"
 #include "hypervisor/config_text.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mcs;
 
   fi::Testbed testbed;
@@ -21,20 +22,14 @@ int main() {
 
   // The cell config as the text artefact a deployment would version.
   std::cout << "== cell configuration (.cell text form) ==\n"
-            << jh::to_text(jh::make_freertos_cell_config()) << "\n";
+            << jh::to_text(jh::make_osek_cell_config()) << "\n";
 
-  // Boot the cell, then swap the payload to the OSEK image.
-  guest::OsekImage osek;
-  testbed.boot_freertos_cell();
-  testbed.machine().bind_guest(testbed.freertos_cell_id(), osek);
-  testbed.shutdown_freertos_cell();
-  testbed.linux_root().enqueue(
-      {jh::Hypercall::CellSetLoadable, testbed.freertos_cell_id()});
-  testbed.linux_root().cell_start(testbed.freertos_cell_id());
-  testbed.run(30);
+  // Boot the OSEK cell through the root shell, like any inmate.
+  testbed.boot_osek_cell();
 
   std::cout << "== 5 seconds of AUTOSAR-style operation ==\n";
   testbed.run(5'000);
+  const guest::OsekImage& osek = testbed.osek();
   std::cout << "brake-pressure samples : " << osek.brake_samples()
             << " (10 ms task)\n";
   std::cout << "frames transmitted     : " << osek.frames_sent()
@@ -50,28 +45,21 @@ int main() {
     std::cout << "  | " << lines[i] << "\n";
   }
 
-  // The same medium-intensity assessment, against the OSEK cell.
-  std::cout << "\n== medium-intensity injection against the OSEK cell ==\n";
-  fi::TestPlan plan = fi::paper_medium_trap_plan();
+  // The same medium-intensity assessment, against the OSEK cell — the
+  // "osek-cell" registry scenario gives every run a fresh testbed with the
+  // AUTOSAR payload in the non-root partition.
+  std::cout << "\n== medium-intensity campaign against the OSEK cell ==\n";
+  fi::TestPlan plan =
+      fi::find_scenario("osek-cell")->make_plan(fi::paper_medium_trap_plan());
+  plan.runs = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 15;
+  plan.duration_ticks = 10'000;
   plan.rate = 20;
-  plan.phase = 1;
-  fi::Injector injector(plan, 2026, testbed.board().clock());
-  injector.attach(testbed.hypervisor());
-  testbed.run(10'000);
-  injector.detach(testbed.hypervisor());
+  plan.seed = 2026;
+  fi::CampaignExecutor executor(plan);
+  const fi::CampaignResult result = executor.execute();
+  std::cout << analysis::render_distribution_table(result) << "\n";
 
-  const auto& cpu1 = testbed.board().cpu(1);
-  std::cout << "injections: " << injector.injections() << "\n";
-  if (testbed.hypervisor().is_panicked()) {
-    std::cout << "outcome: panic park — " << testbed.hypervisor().panic_reason()
-              << "\n";
-  } else if (cpu1.is_parked()) {
-    std::cout << "outcome: cpu park — " << cpu1.halt_reason() << "\n";
-  } else {
-    std::cout << "outcome: workload survived, " << osek.frames_sent()
-              << " frames total\n";
-  }
-  std::cout << "\nsame failure taxonomy as the FreeRTOS cell: the classes "
+  std::cout << "same failure taxonomy as the FreeRTOS cell: the classes "
                "belong to the\nhypervisor's entry paths, not to the guest OS\n";
   return 0;
 }

@@ -1,36 +1,70 @@
-// fault_campaign: configure and run a custom fault-injection campaign
-// against the hypervisor, then print the analytics — the full Figure 2
-// pipeline in ~40 lines of user code.
+// fault_campaign: configure and run a fault-injection campaign against the
+// hypervisor — scenario picked from the registry, runs sharded across
+// executor threads, analytics from the streaming log sink — the full
+// Figure 2 pipeline in ~60 lines of user code.
 //
-//   $ ./fault_campaign [runs] [rate] [seed]
+//   $ ./fault_campaign [scenario] [runs] [rate] [seed] [threads]
+//   $ ./fault_campaign --list           # show registered scenarios
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "analysis/report.hpp"
-#include "core/campaign.hpp"
+#include "core/executor.hpp"
 
 int main(int argc, char** argv) {
   using namespace mcs;
 
-  fi::TestPlan plan = fi::paper_medium_trap_plan();
-  plan.runs = argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 40;
-  plan.rate = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2]))
+  fi::ScenarioRegistry& registry = fi::ScenarioRegistry::instance();
+  if (argc > 1 && std::string(argv[1]) == "--list") {
+    std::cout << "registered scenarios:\n";
+    for (const std::string& name : registry.names()) {
+      std::cout << "  " << name << " — " << registry.find(name)->description()
+                << "\n";
+    }
+    return 0;
+  }
+
+  const std::string scenario_name =
+      argc > 1 ? argv[1] : std::string(fi::kDefaultScenario);
+  const fi::Scenario* scenario = registry.find(scenario_name);
+  if (scenario == nullptr) {
+    std::cerr << "unknown scenario '" << scenario_name
+              << "' (try --list)\n";
+    return 1;
+  }
+
+  fi::TestPlan plan = scenario->make_plan();
+  plan.runs = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 40;
+  plan.rate = argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3]))
                        : fi::kMediumRate;
-  plan.seed = argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3]))
+  plan.seed = argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4]))
                        : 0xC0FFEEULL;
   // Paper-faithful 1-minute tests (60'000 board ticks).
 
-  std::cout << "campaign: " << plan.name << " — " << plan.runs
-            << " runs, inject 1/" << plan.rate << " calls, seed 0x" << std::hex
-            << plan.seed << std::dec << "\n\n";
+  fi::ExecutorConfig config;
+  config.threads = argc > 5 ? static_cast<unsigned>(std::atoi(argv[5])) : 0;
 
-  fi::Campaign campaign(plan);
-  campaign.set_progress([](std::uint32_t index, const fi::RunResult& run) {
-    std::cout << fi::run_log_line(index, run) << "\n";
-  });
-  const fi::CampaignResult result = campaign.execute();
+  std::cout << "campaign: " << plan.name << " — scenario " << scenario->name()
+            << ", " << plan.runs << " runs, inject 1/" << plan.rate
+            << " calls, seed 0x" << std::hex << plan.seed << std::dec << "\n\n";
 
-  std::cout << "\n" << analysis::render_distribution_table(result) << "\n";
-  std::cout << analysis::render_latency_summary(result);
+  // The sink streams run lines in order (whatever the shard completion
+  // order was) and keeps the mergeable aggregates for the analytics.
+  analysis::LogSink sink(std::cout);
+  fi::CampaignExecutor executor(plan, config);
+  executor.set_progress(
+      [&sink](std::uint32_t index, const fi::RunResult& run) {
+        sink.record(index, run);
+      });
+  const fi::CampaignResult result = executor.execute();
+
+  const analysis::CampaignAggregate aggregate = sink.aggregate();
+  std::cout << "\n"
+            << analysis::render_distribution_table(aggregate.distribution)
+            << "\n";
+  std::cout << analysis::render_latency_summary(aggregate.detection_latency);
+  std::cout << result.runs.size() << " runs, " << aggregate.injections
+            << " injections total\n";
   return 0;
 }

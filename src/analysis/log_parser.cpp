@@ -103,4 +103,105 @@ const util::LogRecord* ParsedLog::find_first(std::string_view needle) const {
   return nullptr;
 }
 
+namespace {
+
+bool parse_u64(std::string_view digits, std::uint64_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(digits.data(), digits.data() + digits.size(), out);
+  return ec == std::errc{} && ptr == digits.data() + digits.size();
+}
+
+/// "key=<digits>" field inside the trailing "(...)" group; false when the
+/// key is absent (optional fields), error left to the caller when present
+/// but malformed.
+bool find_field(std::string_view fields, std::string_view key,
+                std::string_view& value) {
+  const std::size_t at = fields.find(key);
+  if (at == std::string_view::npos) return false;
+  std::string_view rest = fields.substr(at + key.size());
+  std::size_t end = 0;
+  while (end < rest.size() && rest[end] != ',' && rest[end] != ')') ++end;
+  value = rest.substr(0, end);
+  return true;
+}
+
+}  // namespace
+
+util::Expected<RunLogEntry> parse_run_log_line(std::string_view line) {
+  // "run <N>: <outcome> — <detail> (injections=…, usart_bytes=…[, …])"
+  line = util::trim(line);
+  if (!line.starts_with("run ")) {
+    return util::invalid_argument("missing 'run ' prefix");
+  }
+  RunLogEntry entry;
+  const std::size_t colon = line.find(": ");
+  if (colon == std::string_view::npos) {
+    return util::invalid_argument("missing run-index separator");
+  }
+  {
+    std::uint64_t index = 0;
+    if (!parse_u64(line.substr(4, colon - 4), index)) {
+      return util::invalid_argument("bad run index");
+    }
+    entry.index = static_cast<std::uint32_t>(index);
+  }
+  std::string_view rest = line.substr(colon + 2);
+
+  const std::size_t dash = rest.find(" — ");  // " — "
+  if (dash == std::string_view::npos) {
+    return util::invalid_argument("missing outcome separator");
+  }
+  if (!fi::outcome_from_name(rest.substr(0, dash), entry.outcome)) {
+    return util::invalid_argument("unknown outcome name");
+  }
+  rest = rest.substr(dash + 5);  // em dash is 3 bytes in UTF-8
+
+  const std::size_t fields_at = rest.rfind(" (injections=");
+  if (fields_at == std::string_view::npos || rest.back() != ')') {
+    return util::invalid_argument("missing field group");
+  }
+  entry.detail = std::string(rest.substr(0, fields_at));
+  const std::string_view fields = rest.substr(fields_at + 2);
+
+  std::string_view value;
+  if (!find_field(fields, "injections=", value) ||
+      !parse_u64(value, entry.injections)) {
+    return util::invalid_argument("bad injections field");
+  }
+  if (!find_field(fields, "usart_bytes=", value) ||
+      !parse_u64(value, entry.uart_bytes)) {
+    return util::invalid_argument("bad usart_bytes field");
+  }
+  if (find_field(fields, "detect_latency=", value)) {
+    if (value.size() < 3 || !value.ends_with("ms") ||
+        !parse_u64(value.substr(0, value.size() - 2), entry.detect_latency_ms)) {
+      return util::invalid_argument("bad detect_latency field");
+    }
+  }
+  if (find_field(fields, "shutdown_reclaimed=", value)) {
+    entry.shutdown_reclaimed = value == "yes";
+  }
+  return entry;
+}
+
+fi::OutcomeDistribution ParsedRunLog::distribution() const {
+  fi::OutcomeDistribution dist;
+  for (const RunLogEntry& entry : entries) dist.add(entry.outcome);
+  return dist;
+}
+
+ParsedRunLog parse_run_log(std::string_view text) {
+  ParsedRunLog parsed;
+  for (const std::string& line : util::split(text, '\n')) {
+    if (util::trim(line).empty()) continue;
+    auto entry = parse_run_log_line(line);
+    if (entry.is_ok()) {
+      parsed.entries.push_back(std::move(entry).value());
+    } else {
+      ++parsed.malformed_lines;
+    }
+  }
+  return parsed;
+}
+
 }  // namespace mcs::analysis

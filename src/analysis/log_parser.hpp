@@ -4,10 +4,12 @@
 // the live testbed.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/outcome.hpp"
 #include "util/log.hpp"
 #include "util/status.hpp"
 
@@ -30,5 +32,35 @@ struct ParsedLog {
 };
 
 [[nodiscard]] ParsedLog parse_log_text(std::string_view text);
+
+// ---------------------------------------------------------------------------
+// Campaign run-log round trip: the per-run lines the LogSink streams
+// ("run N: outcome — detail (injections=…, usart_bytes=…)") parsed back,
+// so the analytics (distributions, recovery counts) can be rebuilt from
+// the log file alone, detached from the live campaign.
+// ---------------------------------------------------------------------------
+
+struct RunLogEntry {
+  std::uint32_t index = 0;
+  fi::Outcome outcome = fi::Outcome::Correct;
+  std::string detail;
+  std::uint64_t injections = 0;
+  std::uint64_t uart_bytes = 0;
+  std::uint64_t detect_latency_ms = 0;  ///< 0 when the line carries none
+  bool shutdown_reclaimed = false;
+};
+
+/// Parse one run_log_line(); error status on shape mismatch.
+[[nodiscard]] util::Expected<RunLogEntry> parse_run_log_line(std::string_view line);
+
+struct ParsedRunLog {
+  std::vector<RunLogEntry> entries;
+  std::size_t malformed_lines = 0;
+
+  /// Rebuild the Figure-3 unit of aggregation from the parsed entries.
+  [[nodiscard]] fi::OutcomeDistribution distribution() const;
+};
+
+[[nodiscard]] ParsedRunLog parse_run_log(std::string_view text);
 
 }  // namespace mcs::analysis

@@ -1,0 +1,104 @@
+#include "analysis/log_sink.hpp"
+
+#include <cmath>
+
+namespace mcs::analysis {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel variance combination.
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double RunningStats::stddev() const noexcept {
+  return n_ == 0 ? 0.0 : std::sqrt(m2_ / static_cast<double>(n_));
+}
+
+void CampaignAggregate::add(const fi::RunResult& run) {
+  distribution.add(run.outcome);
+  injections += run.injections;
+  if (run.failure_detected()) {
+    detection_latency.add(static_cast<double>(run.detection_latency()));
+  }
+  if (run.outcome == fi::Outcome::CpuPark ||
+      run.outcome == fi::Outcome::InconsistentCell) {
+    ++cell_failures;
+    if (run.shutdown_reclaimed) ++reclaimed;
+  }
+}
+
+void CampaignAggregate::merge(const CampaignAggregate& other) {
+  distribution.merge(other.distribution);
+  detection_latency.merge(other.detection_latency);
+  injections += other.injections;
+  cell_failures += other.cell_failures;
+  reclaimed += other.reclaimed;
+}
+
+void LogSink::record(std::uint32_t index, const fi::RunResult& run) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  aggregate_.add(run);
+  ++records_;
+  pending_.emplace(index, fi::run_log_line(index, run));
+  // Release the contiguous prefix. A streaming sink hands lines straight
+  // to its stream; only a retaining sink keeps the body (an unbounded
+  // campaign must not also grow an unread in-memory copy).
+  for (auto it = pending_.begin();
+       it != pending_.end() && it->first == next_index_;
+       it = pending_.erase(it), ++next_index_) {
+    if (stream_ != nullptr) {
+      (*stream_) << it->second << '\n';
+    } else {
+      text_ += it->second;
+      text_ += '\n';
+    }
+  }
+}
+
+void LogSink::record_all(const fi::CampaignResult& result) {
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    record(static_cast<std::uint32_t>(i), result.runs[i]);
+  }
+}
+
+CampaignAggregate LogSink::aggregate() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return aggregate_;
+}
+
+std::uint64_t LogSink::records() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+std::string LogSink::text() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return text_;
+}
+
+}  // namespace mcs::analysis

@@ -1,0 +1,95 @@
+// Streaming campaign log collection for the sharded executor.
+//
+// The paper's framework writes each run "into a log file, which is further
+// analyzed". With runs completing out of order across executor shards,
+// ad-hoc line accumulation no longer works: LogSink restores run order
+// before anything reaches the log stream, and folds every finished run
+// into mergeable aggregates (OutcomeDistribution + RunningStats) so the
+// analytics never need the full RunResult vector.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "core/campaign.hpp"
+#include "core/outcome.hpp"
+
+namespace mcs::analysis {
+
+/// Mergeable streaming summary (Welford): the per-shard partial behind
+/// campaign latency stats. Unlike analysis::summarize() it never stores
+/// the sample, so shards can keep one per worker and merge at the end.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  [[nodiscard]] double stddev() const noexcept;  ///< population, like summarize()
+  [[nodiscard]] double min() const noexcept { return n_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const noexcept { return n_ == 0 ? 0.0 : max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Everything the analytics layer aggregates per campaign, as a mergeable
+/// value: per-shard partials merge into the campaign total.
+struct CampaignAggregate {
+  fi::OutcomeDistribution distribution;
+  RunningStats detection_latency;  ///< ms, over detected failures only
+  std::uint64_t injections = 0;
+  std::uint64_t cell_failures = 0;  ///< cpu-park + inconsistent-cell runs
+  std::uint64_t reclaimed = 0;      ///< …of those, recovered by shutdown
+
+  void add(const fi::RunResult& run);
+  void merge(const CampaignAggregate& other);
+};
+
+/// Thread-safe, order-restoring run sink. record() may be called from any
+/// executor worker in any order; the rendered run_log_line()s are released
+/// to the attached stream strictly in run order, so a campaign sharded
+/// over N threads streams the exact log file the serial engine wrote.
+class LogSink {
+ public:
+  /// Retaining sink: the ordered log body accumulates and is read back
+  /// with text().
+  LogSink() = default;
+  /// Streaming sink: lines go to `stream` (in order) as they become
+  /// contiguous and are NOT retained — text() stays empty, so unbounded
+  /// campaigns don't grow an unread in-memory copy. The stream must
+  /// outlive the sink; it is only touched under the sink's lock.
+  explicit LogSink(std::ostream& stream) : stream_(&stream) {}
+
+  /// Fold in one finished run. Matches CampaignExecutor::ProgressFn.
+  void record(std::uint32_t index, const fi::RunResult& run);
+
+  /// Fold an entire result in run order (serial campaigns, replays).
+  void record_all(const fi::CampaignResult& result);
+
+  [[nodiscard]] CampaignAggregate aggregate() const;
+  [[nodiscard]] std::uint64_t records() const;
+
+  /// The ordered log body retained so far (always empty for a streaming
+  /// sink — read the stream instead).
+  [[nodiscard]] std::string text() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::ostream* stream_ = nullptr;
+  std::map<std::uint32_t, std::string> pending_;  ///< out-of-order backlog
+  std::uint32_t next_index_ = 0;
+  std::string text_;
+  std::uint64_t records_ = 0;
+  CampaignAggregate aggregate_;
+};
+
+}  // namespace mcs::analysis

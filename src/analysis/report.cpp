@@ -17,16 +17,14 @@ std::string bar(double fraction) {
   return out;
 }
 
-}  // namespace
-
-std::string render_distribution_chart(const fi::CampaignResult& result,
-                                      const std::string& title) {
-  const fi::OutcomeDistribution dist = result.distribution();
+std::string chart_body(const fi::OutcomeDistribution& dist,
+                       std::uint64_t injections, const std::string& plan_name,
+                       const std::string& title) {
   std::ostringstream out;
   out << title << "\n";
   out << std::string(title.size(), '=') << "\n";
-  out << "plan: " << result.plan.name << ", runs: " << dist.total()
-      << ", injections: " << result.total_injections() << "\n\n";
+  out << "plan: " << plan_name << ", runs: " << dist.total()
+      << ", injections: " << injections << "\n\n";
   for (std::size_t i = 0; i < fi::kNumOutcomes; ++i) {
     const auto outcome = static_cast<fi::Outcome>(i);
     const std::uint64_t count = dist.count(outcome);
@@ -39,8 +37,22 @@ std::string render_distribution_chart(const fi::CampaignResult& result,
   return out.str();
 }
 
-std::string render_distribution_table(const fi::CampaignResult& result) {
-  const fi::OutcomeDistribution dist = result.distribution();
+}  // namespace
+
+std::string render_distribution_chart(const fi::CampaignResult& result,
+                                      const std::string& title) {
+  return chart_body(result.distribution(), result.total_injections(),
+                    result.plan.name, title);
+}
+
+std::string render_distribution_chart(const CampaignAggregate& aggregate,
+                                      const std::string& plan_name,
+                                      const std::string& title) {
+  return chart_body(aggregate.distribution, aggregate.injections, plan_name,
+                    title);
+}
+
+std::string render_distribution_table(const fi::OutcomeDistribution& dist) {
   std::ostringstream out;
   out << std::left << std::setw(20) << "outcome" << std::right << std::setw(8)
       << "count" << std::setw(9) << "share" << std::setw(20) << "95% Wilson CI"
@@ -62,30 +74,39 @@ std::string render_distribution_table(const fi::CampaignResult& result) {
   return out.str();
 }
 
-std::string render_run_log(const fi::CampaignResult& result) {
-  std::ostringstream out;
-  for (std::size_t i = 0; i < result.runs.size(); ++i) {
-    out << fi::run_log_line(static_cast<std::uint32_t>(i), result.runs[i])
-        << "\n";
-  }
-  return out.str();
+std::string render_distribution_table(const fi::CampaignResult& result) {
+  return render_distribution_table(result.distribution());
 }
 
-std::string render_latency_summary(const fi::CampaignResult& result) {
-  std::vector<double> latencies;
-  for (const fi::RunResult& run : result.runs) {
-    if (run.failure_detected()) {
-      latencies.push_back(static_cast<double>(run.detection_latency()));
-    }
-  }
-  const Summary summary = summarize(std::move(latencies));
+std::string render_run_log(const fi::CampaignResult& result) {
+  // The LogSink is the one place that renders run logs; the serial path
+  // just replays the result through it.
+  LogSink sink;
+  sink.record_all(result);
+  return sink.text();
+}
+
+std::string render_latency_summary(const RunningStats& latency) {
   std::ostringstream out;
   out << std::fixed << std::setprecision(1);
   out << "failure detection latency (first injection -> first hypervisor "
          "error): n="
-      << summary.n << ", mean=" << summary.mean << "ms, median="
-      << summary.median << "ms, max=" << summary.max << "ms\n";
+      << latency.n() << ", mean=" << latency.mean()
+      << "ms, stddev=" << latency.stddev() << "ms, max=" << latency.max()
+      << "ms\n";
   return out.str();
+}
+
+std::string render_latency_summary(const fi::CampaignResult& result) {
+  // Delegate to the streaming form so serial and sharded campaigns report
+  // the same fields for the same data.
+  RunningStats latency;
+  for (const fi::RunResult& run : result.runs) {
+    if (run.failure_detected()) {
+      latency.add(static_cast<double>(run.detection_latency()));
+    }
+  }
+  return render_latency_summary(latency);
 }
 
 }  // namespace mcs::analysis

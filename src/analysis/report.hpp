@@ -1,9 +1,14 @@
 // Campaign reporting: the tables and the Figure-3-style chart the paper's
 // "analytics" stage produces from the collected log file.
+//
+// Every renderer has two forms: one over a full CampaignResult (the serial
+// replay path) and one over the mergeable LogSink aggregates, so a sharded
+// campaign can be reported without ever materialising run results twice.
 #pragma once
 
 #include <string>
 
+#include "analysis/log_sink.hpp"
 #include "core/campaign.hpp"
 
 namespace mcs::analysis {
@@ -12,14 +17,19 @@ namespace mcs::analysis {
 /// Wilson 95 % intervals per class.
 [[nodiscard]] std::string render_distribution_chart(const fi::CampaignResult& result,
                                                     const std::string& title);
+[[nodiscard]] std::string render_distribution_chart(const CampaignAggregate& aggregate,
+                                                    const std::string& plan_name,
+                                                    const std::string& title);
 
 /// One row per outcome class: count, share, confidence interval.
 [[nodiscard]] std::string render_distribution_table(const fi::CampaignResult& result);
+[[nodiscard]] std::string render_distribution_table(const fi::OutcomeDistribution& dist);
 
 /// Per-run detail listing (the campaign log file body).
 [[nodiscard]] std::string render_run_log(const fi::CampaignResult& result);
 
 /// Detection-latency summary paragraph.
 [[nodiscard]] std::string render_latency_summary(const fi::CampaignResult& result);
+[[nodiscard]] std::string render_latency_summary(const RunningStats& latency);
 
 }  // namespace mcs::analysis

@@ -51,10 +51,25 @@ std::string SeoocReport::to_text() const {
 SeoocReport build_seooc_report(const fi::CampaignResult& medium_nonroot,
                                const fi::CampaignResult& high_root,
                                const fi::CampaignResult& high_nonroot) {
+  // The per-run vectors reduce to the mergeable aggregates; everything the
+  // claims need survives the reduction.
+  const auto aggregate_of = [](const fi::CampaignResult& result) {
+    CampaignAggregate aggregate;
+    for (const fi::RunResult& run : result.runs) aggregate.add(run);
+    return aggregate;
+  };
+  return build_seooc_report(aggregate_of(medium_nonroot),
+                            aggregate_of(high_root),
+                            aggregate_of(high_nonroot));
+}
+
+SeoocReport build_seooc_report(const CampaignAggregate& medium_nonroot,
+                               const CampaignAggregate& high_root,
+                               const CampaignAggregate& high_nonroot) {
   SeoocReport report;
-  const fi::OutcomeDistribution medium = medium_nonroot.distribution();
-  const fi::OutcomeDistribution root = high_root.distribution();
-  const fi::OutcomeDistribution nonroot = high_nonroot.distribution();
+  const fi::OutcomeDistribution& medium = medium_nonroot.distribution;
+  const fi::OutcomeDistribution& root = high_root.distribution;
+  const fi::OutcomeDistribution& nonroot = high_nonroot.distribution;
 
   // Claim 1 — management fail-stop: corrupted management hypercalls are
   // rejected with "invalid arguments" and never allocate a broken cell.
@@ -97,17 +112,10 @@ SeoocReport build_seooc_report(const fi::CampaignResult& medium_nonroot,
     claim.claim =
         "After cell-level failure, shutdown returns CPU and peripherals to "
         "the root cell";
-    std::uint64_t failed_runs = 0;
-    std::uint64_t reclaimed = 0;
-    for (const auto* campaign : {&medium_nonroot, &high_nonroot}) {
-      for (const fi::RunResult& run : campaign->runs) {
-        if (run.outcome == fi::Outcome::CpuPark ||
-            run.outcome == fi::Outcome::InconsistentCell) {
-          ++failed_runs;
-          if (run.shutdown_reclaimed) ++reclaimed;
-        }
-      }
-    }
+    const std::uint64_t failed_runs =
+        medium_nonroot.cell_failures + high_nonroot.cell_failures;
+    const std::uint64_t reclaimed =
+        medium_nonroot.reclaimed + high_nonroot.reclaimed;
     claim.verdict = failed_runs == 0
                         ? ClaimVerdict::Inconclusive
                         : (reclaimed == failed_runs ? ClaimVerdict::Supported

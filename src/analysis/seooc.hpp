@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/log_sink.hpp"
 #include "core/campaign.hpp"
 
 namespace mcs::analysis {
@@ -43,5 +44,12 @@ struct SeoocReport {
     const fi::CampaignResult& medium_nonroot,
     const fi::CampaignResult& high_root,
     const fi::CampaignResult& high_nonroot);
+
+/// Same assessment from the LogSink's mergeable aggregates — the form a
+/// sharded campaign produces without retaining per-run results.
+[[nodiscard]] SeoocReport build_seooc_report(
+    const CampaignAggregate& medium_nonroot,
+    const CampaignAggregate& high_root,
+    const CampaignAggregate& high_nonroot);
 
 }  // namespace mcs::analysis

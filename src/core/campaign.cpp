@@ -2,7 +2,7 @@
 
 #include <sstream>
 
-#include "util/rng.hpp"
+#include "core/executor.hpp"
 
 namespace mcs::fi {
 
@@ -31,64 +31,14 @@ std::uint64_t CampaignResult::total_injections() const {
 }
 
 RunResult Campaign::execute_one(std::uint64_t run_seed) {
-  Testbed testbed;
-  // An unbootable testbed is a harness bug, not an experiment outcome.
-  const util::Status enabled = testbed.enable_hypervisor();
-  if (!enabled.is_ok()) {
-    RunResult result;
-    result.outcome = Outcome::SilentHang;
-    result.detail = "testbed enable failed: " + enabled.to_string();
-    return result;
-  }
-
-  Injector injector(plan_, run_seed, testbed.board().clock());
-  RunMonitor monitor;
-
-  if (plan_.inject_during_boot) {
-    // §III high-intensity scenarios: the injector is live while the root
-    // shell creates and starts the cell.
-    injector.attach(testbed.hypervisor());
-    testbed.boot_freertos_cell();
-    monitor.begin(testbed);
-    testbed.run(plan_.duration_ticks);
-  } else {
-    // Figure 3 scenario: boot clean, then inject into the steady state.
-    testbed.boot_freertos_cell();
-    monitor.begin(testbed);
-    injector.attach(testbed.hypervisor());
-    testbed.run(plan_.duration_ticks);
-  }
-
-  // Observation epilogue: stop injecting, keep watching.
-  injector.set_armed(false);
-
-  RunResult result = monitor.finish(testbed);
-  result.injections = injector.injections();
-  result.first_injection_tick = injector.first_injection_tick();
-  for (const InjectionRecord& record : injector.records()) {
-    result.flipped_bits += record.flips.size();
-  }
-
-  if (probe_recovery_ && result.outcome != Outcome::Correct) {
-    result.shutdown_reclaimed = probe_shutdown_reclaims(testbed);
-  }
-
-  injector.detach(testbed.hypervisor());
-  return result;
+  CampaignExecutor executor(plan_, {/*threads=*/1, probe_recovery_});
+  return executor.execute_one(run_seed);
 }
 
 CampaignResult Campaign::execute() {
-  CampaignResult result;
-  result.plan = plan_;
-  result.runs.reserve(plan_.runs);
-
-  util::SplitMix64 seeder(plan_.seed);
-  for (std::uint32_t i = 0; i < plan_.runs; ++i) {
-    RunResult run = execute_one(seeder.next());
-    if (progress_) progress_(i, run);
-    result.runs.push_back(std::move(run));
-  }
-  return result;
+  CampaignExecutor executor(plan_, {/*threads=*/1, probe_recovery_});
+  executor.set_progress(progress_);
+  return executor.execute();
 }
 
 std::string run_log_line(std::uint32_t index, const RunResult& run) {

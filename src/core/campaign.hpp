@@ -30,6 +30,9 @@ struct CampaignResult {
   [[nodiscard]] std::uint64_t total_injections() const;
 };
 
+/// Serial campaign driver: a thin wrapper over CampaignExecutor with one
+/// worker thread. Kept as the stable entry point for replaying paper
+/// figures; for sharded execution use CampaignExecutor directly.
 class Campaign {
  public:
   explicit Campaign(TestPlan plan) : plan_(std::move(plan)) {}

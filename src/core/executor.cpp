@@ -1,0 +1,130 @@
+#include "core/executor.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/injector.hpp"
+#include "core/monitor.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mcs::fi {
+
+namespace {
+
+RunResult harness_error(std::string detail) {
+  RunResult result;
+  result.outcome = Outcome::HarnessError;
+  result.detail = std::move(detail);
+  return result;
+}
+
+}  // namespace
+
+CampaignExecutor::CampaignExecutor(TestPlan plan, ExecutorConfig config)
+    : plan_(std::move(plan)), config_(config) {}
+
+RunResult CampaignExecutor::run_with(const Scenario* scenario,
+                                     std::uint64_t run_seed) const {
+  if (scenario == nullptr) {
+    return harness_error("unknown scenario '" + plan_.scenario + "'");
+  }
+
+  Testbed testbed;
+  // An unbootable testbed is a harness bug, not an experiment outcome.
+  const util::Status ready = scenario->setup(testbed);
+  if (!ready.is_ok()) {
+    return harness_error("scenario setup failed: " + ready.to_string());
+  }
+
+  Injector injector(plan_, run_seed, testbed.board().clock());
+  RunMonitor monitor;
+
+  if (scenario->arm_during_boot(plan_)) {
+    // §III high-intensity shape: the injector is live while the root
+    // shell creates and starts the cell.
+    injector.attach(testbed.hypervisor());
+    scenario->boot(testbed);
+    monitor.begin(testbed);
+    scenario->observe(testbed, plan_);
+  } else {
+    // Figure 3 shape: boot clean, then inject into the steady state.
+    scenario->boot(testbed);
+    monitor.begin(testbed);
+    injector.attach(testbed.hypervisor());
+    scenario->observe(testbed, plan_);
+  }
+
+  // Observation epilogue: stop injecting, keep watching.
+  injector.set_armed(false);
+  scenario->epilogue(testbed);
+
+  RunResult result = monitor.finish(testbed);
+  result.injections = injector.injections();
+  result.first_injection_tick = injector.first_injection_tick();
+  for (const InjectionRecord& record : injector.records()) {
+    result.flipped_bits += record.flips.size();
+  }
+
+  if (config_.probe_recovery && result.outcome != Outcome::Correct &&
+      result.outcome != Outcome::HarnessError) {
+    result.shutdown_reclaimed = probe_shutdown_reclaims(testbed);
+  }
+
+  injector.detach(testbed.hypervisor());
+  return result;
+}
+
+RunResult CampaignExecutor::execute_one(std::uint64_t run_seed) const {
+  return run_with(find_scenario(plan_.scenario), run_seed);
+}
+
+CampaignResult CampaignExecutor::execute() {
+  CampaignResult result;
+  result.plan = plan_;
+  result.runs.resize(plan_.runs);  // pre-sized slots: one per run
+
+  // Seed expansion is serial and thread-count-independent; runs only ever
+  // see their own seed.
+  std::vector<std::uint64_t> seeds(plan_.runs);
+  util::SplitMix64 seeder(plan_.seed);
+  for (std::uint64_t& seed : seeds) seed = seeder.next();
+
+  const Scenario* scenario = find_scenario(plan_.scenario);
+
+  const unsigned threads =
+      config_.threads == 0 ? util::ThreadPool::default_threads() : config_.threads;
+  if (threads <= 1 || plan_.runs <= 1) {
+    // Serial path: run in the caller's thread, progress in run order.
+    for (std::uint32_t i = 0; i < plan_.runs; ++i) {
+      result.runs[i] = run_with(scenario, seeds[i]);
+      if (progress_) progress_(i, result.runs[i]);
+    }
+    return result;
+  }
+
+  std::atomic<std::uint32_t> next{0};
+  std::mutex progress_mutex;
+  util::ThreadPool pool(threads);
+  // One self-scheduling job per pool worker (the pool clamps oversized
+  // requests, so ask it — not the raw config — how wide it really is).
+  for (unsigned w = 0; w < pool.size(); ++w) {
+    pool.submit([&] {
+      for (;;) {
+        const std::uint32_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= plan_.runs) return;
+        result.runs[i] = run_with(scenario, seeds[i]);
+        if (progress_) {
+          const std::lock_guard<std::mutex> lock(progress_mutex);
+          progress_(i, result.runs[i]);
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+  return result;
+}
+
+}  // namespace mcs::fi

@@ -1,0 +1,63 @@
+// Campaign execution engine: shards a test plan's runs across worker
+// threads, each run on a private Testbed, with results written into
+// pre-assigned slots.
+//
+// Determinism contract: a campaign's CampaignResult is bit-identical for
+// any thread count. Every run's seed comes from one serial SplitMix64
+// expansion of the plan seed, runs share no state (private Testbed, private
+// Injector/RNG), and each result lands in its own pre-sized slot — worker
+// scheduling can reorder *completion*, never *content*.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/campaign.hpp"
+#include "core/scenario.hpp"
+
+namespace mcs::fi {
+
+struct ExecutorConfig {
+  /// Worker threads; 0 → util::ThreadPool::default_threads() (the
+  /// MCS_CAMPAIGN_THREADS environment variable, else hw_concurrency).
+  unsigned threads = 0;
+
+  /// Issue the paper's post-mortem `jailhouse cell shutdown` probe after
+  /// failed runs (Campaign::set_probe_recovery's knob).
+  bool probe_recovery = true;
+};
+
+class CampaignExecutor {
+ public:
+  /// The scenario is resolved from plan.scenario via the ScenarioRegistry
+  /// at execute() time; an unknown key yields HarnessError runs.
+  explicit CampaignExecutor(TestPlan plan, ExecutorConfig config = {});
+
+  /// Per-run completion callback, fired as runs finish. With more than one
+  /// worker the completion order is nondeterministic — the index argument,
+  /// not the call order, identifies the run. Called under an internal
+  /// mutex: callbacks never race each other.
+  using ProgressFn = std::function<void(std::uint32_t, const RunResult&)>;
+  void set_progress(ProgressFn fn) { progress_ = std::move(fn); }
+
+  /// Execute all runs of the plan. Deterministic in (plan.seed, plan),
+  /// independent of config.threads.
+  [[nodiscard]] CampaignResult execute();
+
+  /// Execute a single run with an explicit seed (replay / tests).
+  [[nodiscard]] RunResult execute_one(std::uint64_t run_seed) const;
+
+  [[nodiscard]] const TestPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] const ExecutorConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] RunResult run_with(const Scenario* scenario,
+                                   std::uint64_t run_seed) const;
+
+  TestPlan plan_;
+  ExecutorConfig config_;
+  ProgressFn progress_;
+};
+
+}  // namespace mcs::fi

@@ -8,6 +8,11 @@ void RunMonitor::begin(Testbed& testbed) {
   validated_mark_ = testbed.freertos().messages_validated();
 }
 
+// The monitored workload cell is whatever the scenario last booted on the
+// non-root CPU — FreeRTOS in the paper's setup, OSEK in the AUTOSAR
+// scenarios. The observables (USART, LED, CPU power state, management
+// results) are payload-agnostic by design.
+
 RunResult RunMonitor::finish(Testbed& testbed) const {
   RunResult result;
   platform::BananaPiBoard& board = testbed.board();
@@ -39,7 +44,7 @@ RunResult RunMonitor::finish(Testbed& testbed) const {
 
   // 2. Cell never allocated: the management path failed. Expected
   //    fail-stop when the failure reads "invalid arguments".
-  jh::Cell* cell = testbed.freertos_cell();
+  jh::Cell* cell = testbed.workload_cell();
   result.cell_exists = cell != nullptr;
   if (cell == nullptr) {
     if (jh::is_invalid_arguments(result.create_result) ||
@@ -98,10 +103,10 @@ RunResult RunMonitor::finish(Testbed& testbed) const {
 bool probe_shutdown_reclaims(Testbed& testbed) {
   jh::Hypervisor& hv = testbed.hypervisor();
   if (hv.is_panicked()) return false;  // nothing left to manage
-  const jh::CellId id = testbed.freertos_cell_id();
+  const jh::CellId id = testbed.workload_cell_id();
   if (id == 0 || hv.find_cell(id) == nullptr) return false;
 
-  testbed.shutdown_freertos_cell();
+  testbed.shutdown_workload_cell();
   const jh::Cell* cell = hv.find_cell(id);
   const bool state_ok =
       cell != nullptr && cell->state() == jh::CellState::ShutDown;

@@ -10,8 +10,20 @@ std::string_view outcome_name(Outcome outcome) noexcept {
     case Outcome::PanicPark: return "panic-park";
     case Outcome::CpuPark: return "cpu-park";
     case Outcome::SilentHang: return "silent-hang";
+    case Outcome::HarnessError: return "harness-error";
   }
   return "?";
+}
+
+bool outcome_from_name(std::string_view name, Outcome& out) noexcept {
+  for (std::size_t i = 0; i < kNumOutcomes; ++i) {
+    const auto candidate = static_cast<Outcome>(i);
+    if (outcome_name(candidate) == name) {
+      out = candidate;
+      return true;
+    }
+  }
+  return false;
 }
 
 bool is_figure3_bucket(Outcome outcome) noexcept {

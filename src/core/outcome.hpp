@@ -31,11 +31,21 @@ enum class Outcome : std::uint8_t {
   /// Cell claims to run, CPU is online, but nothing reaches the USART and
   /// no failure was signalled — a hang the taxonomy above cannot explain.
   SilentHang,
+  /// The harness itself failed before the experiment could start (testbed
+  /// would not enable, unknown scenario…). Never part of the paper's
+  /// taxonomy: runs in this bucket indicate a broken setup, not a fault
+  /// effect, and must be investigated rather than aggregated.
+  HarnessError,
 };
 
-inline constexpr std::size_t kNumOutcomes = 6;
+inline constexpr std::size_t kNumOutcomes = 7;
 
 [[nodiscard]] std::string_view outcome_name(Outcome outcome) noexcept;
+
+/// Inverse of outcome_name; false when the name matches no outcome. Used
+/// by the offline log analytics to rebuild distributions from log files.
+[[nodiscard]] bool outcome_from_name(std::string_view name,
+                                     Outcome& out) noexcept;
 
 /// Figure 3 buckets Correct / PanicPark / CpuPark; helper for that view.
 [[nodiscard]] bool is_figure3_bucket(Outcome outcome) noexcept;

@@ -26,6 +26,7 @@ TestPlan paper_medium_trap_plan() {
 TestPlan paper_high_root_hvc_plan() {
   TestPlan plan;
   plan.name = "high/root/arch_handle_hvc";
+  plan.scenario = "inject-during-boot";
   plan.target = jh::HookPoint::ArchHandleHvc;
   plan.fault = FaultModelKind::MultiRegisterFlip;
   plan.rate = kHighRate;
@@ -47,6 +48,7 @@ TestPlan paper_high_root_trap_plan() {
 TestPlan paper_high_nonroot_plan() {
   TestPlan plan;
   plan.name = "high/non-root/cpu1";
+  plan.scenario = "inject-during-boot";
   plan.target = jh::HookPoint::ArchHandleTrap;
   plan.fault = FaultModelKind::MultiRegisterFlip;
   plan.rate = kHighRate;

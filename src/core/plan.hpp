@@ -32,6 +32,8 @@ inline constexpr std::uint64_t kOneMinuteTicks = 60'000;
 /// Everything one campaign needs; value type, cheap to copy/sweep.
 struct TestPlan {
   std::string name = "unnamed";
+  /// ScenarioRegistry key selecting the per-run workload lifecycle.
+  std::string scenario = "freertos-steady";
   jh::HookPoint target = jh::HookPoint::ArchHandleTrap;
   FaultModelKind fault = FaultModelKind::SingleBitFlip;
   std::vector<arch::Reg> fault_registers;  ///< empty → model default

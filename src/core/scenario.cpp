@@ -1,0 +1,160 @@
+#include "core/scenario.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
+namespace mcs::fi {
+
+util::Status Scenario::setup(Testbed& testbed) const {
+  return testbed.enable_hypervisor();
+}
+
+void Scenario::observe(Testbed& testbed, const TestPlan& plan) const {
+  testbed.run(plan.duration_ticks);
+}
+
+TestPlan Scenario::make_plan() const { return make_plan(paper_medium_trap_plan()); }
+
+TestPlan Scenario::make_plan(TestPlan base) const {
+  base.scenario = std::string(name());
+  apply_plan_defaults(base);
+  return base;
+}
+
+namespace {
+
+// --- freertos-steady --------------------------------------------------------
+// The Figure 3 shape: boot the FreeRTOS cell clean, open the observation
+// window, then inject into the steady state.
+class FreeRtosSteadyScenario final : public Scenario {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "freertos-steady";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "FreeRTOS cell, clean boot, steady-state injection (Fig. 3)";
+  }
+  void apply_plan_defaults(TestPlan& plan) const override {
+    plan.inject_during_boot = false;
+  }
+  void boot(Testbed& testbed) const override { testbed.boot_freertos_cell(); }
+};
+
+// --- inject-during-boot -----------------------------------------------------
+// §III high intensity: the injector is live while the root shell creates
+// and starts the cell, so the management hypercalls and the CPU hot-plug
+// bring-up are in the fault space.
+class InjectDuringBootScenario final : public Scenario {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "inject-during-boot";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "FreeRTOS cell, injector armed across create/start (§III high)";
+  }
+  void apply_plan_defaults(TestPlan& plan) const override {
+    plan.inject_during_boot = true;
+  }
+  [[nodiscard]] bool arm_during_boot(const TestPlan&) const override {
+    return true;
+  }
+  void boot(Testbed& testbed) const override { testbed.boot_freertos_cell(); }
+};
+
+// --- osek-cell --------------------------------------------------------------
+// The AUTOSAR-classic payload in the non-root partition: shows the
+// methodology is guest-agnostic — the hypervisor entry points, not the
+// guest, define the failure modes.
+class OsekCellScenario final : public Scenario {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "osek-cell";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "OSEK/AUTOSAR cell on CPU 1 instead of FreeRTOS";
+  }
+  void boot(Testbed& testbed) const override { testbed.boot_osek_cell(); }
+};
+
+// --- dual-cell --------------------------------------------------------------
+// Both payloads in one run. The Banana Pi has a single non-root CPU, so
+// the two cells time-share it through the management path: FreeRTOS runs
+// the first half of the window, then the root shell performs the full
+// shutdown → destroy → create → start swap to OSEK — under injection, the
+// swap itself is part of the fault space. Classification at window close
+// applies to whichever cell the swap left on CPU 1.
+class DualCellScenario final : public Scenario {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "dual-cell";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "FreeRTOS first half, managed mid-window swap to OSEK";
+  }
+  void boot(Testbed& testbed) const override { testbed.boot_freertos_cell(); }
+  void observe(Testbed& testbed, const TestPlan& plan) const override {
+    const std::uint64_t half = plan.duration_ticks / 2;
+    testbed.run(half);
+    testbed.shutdown_workload_cell();
+    testbed.destroy_workload_cell();
+    testbed.boot_osek_cell();
+    // boot_cell consumed 25 ticks of the window; the remainder keeps the
+    // total at duration_ticks so latencies stay comparable across
+    // scenarios.
+    const std::uint64_t spent = half + 10 + 10 + 25;
+    testbed.run(plan.duration_ticks > spent ? plan.duration_ticks - spent : 0);
+  }
+};
+
+}  // namespace
+
+struct ScenarioRegistry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Scenario>, std::less<>> scenarios;
+};
+
+ScenarioRegistry::ScenarioRegistry() : impl_(std::make_shared<Impl>()) {}
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry registry = [] {
+    ScenarioRegistry r;
+    r.add(std::make_unique<FreeRtosSteadyScenario>());
+    r.add(std::make_unique<InjectDuringBootScenario>());
+    r.add(std::make_unique<OsekCellScenario>());
+    r.add(std::make_unique<DualCellScenario>());
+    return r;
+  }();
+  return registry;
+}
+
+void ScenarioRegistry::add(std::unique_ptr<Scenario> scenario) {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::string key(scenario->name());
+  impl_->scenarios.insert_or_assign(std::move(key), std::move(scenario));
+}
+
+const Scenario* ScenarioRegistry::find(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->scenarios.find(name);
+  return it == impl_->scenarios.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> ScenarioRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<std::string> out;
+  out.reserve(impl_->scenarios.size());
+  for (const auto& [key, scenario] : impl_->scenarios) out.push_back(key);
+  return out;  // std::map iteration is already sorted
+}
+
+std::size_t ScenarioRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->scenarios.size();
+}
+
+const Scenario* find_scenario(std::string_view name) {
+  return ScenarioRegistry::instance().find(name);
+}
+
+}  // namespace mcs::fi

@@ -1,0 +1,110 @@
+// Scenarios: pluggable per-run workload lifecycles for the campaign engine.
+//
+// The paper's outer loop (Figure 2) is workload-agnostic: a fresh testbed
+// per run, a boot phase driven from the root shell, an observation window,
+// classification. A Scenario owns the workload-specific parts — which cell
+// configs to stage, how to boot, what to do inside the window — so the
+// campaign/executor layer, the benches and the examples all share one
+// lifecycle instead of each hardcoding `Testbed::boot_freertos_cell()`.
+//
+// Scenarios are stateless and const: one instance serves every run of
+// every campaign, including runs executing concurrently on executor
+// worker threads. All per-run state lives in the Testbed.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/plan.hpp"
+#include "core/testbed.hpp"
+#include "util/status.hpp"
+
+namespace mcs::fi {
+
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+
+  /// Registry key, e.g. "freertos-steady".
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// One-line human description (shown by `fault_campaign --list`).
+  [[nodiscard]] virtual std::string_view description() const noexcept = 0;
+
+  /// Scenario-specific plan defaults (arming policy, intensity…), applied
+  /// on top of a caller-supplied plan by make_plan(). Default: no change.
+  virtual void apply_plan_defaults(TestPlan& plan) const { (void)plan; }
+
+  /// Whether the injector must be live during the cell-management boot
+  /// sequence (the §III high-intensity shape). Default: the plan decides.
+  [[nodiscard]] virtual bool arm_during_boot(const TestPlan& plan) const {
+    return plan.inject_during_boot;
+  }
+
+  /// Per-run setup before anything can be injected: enable the hypervisor,
+  /// stage extra cell configs. A failure here is a harness error, never an
+  /// experiment outcome. Default: Testbed::enable_hypervisor().
+  [[nodiscard]] virtual util::Status setup(Testbed& testbed) const;
+
+  /// Boot the workload cell(s) through the root shell. The injector may
+  /// already be armed (arm_during_boot); every §III failure mode can
+  /// surface here.
+  virtual void boot(Testbed& testbed) const = 0;
+
+  /// The observation window. Default: run the plan's duration in one
+  /// stretch. Scenarios may structure the window (e.g. a mid-window cell
+  /// swap) but should keep its total length at `plan.duration_ticks`.
+  virtual void observe(Testbed& testbed, const TestPlan& plan) const;
+
+  /// Post-window, pre-classification epilogue (injector already disarmed).
+  /// Default: nothing.
+  virtual void epilogue(Testbed& testbed) const { (void)testbed; }
+
+  /// A plan pre-tuned for this scenario: `base` (or the paper's medium
+  /// plan when omitted) with this scenario's name and defaults applied.
+  [[nodiscard]] TestPlan make_plan() const;
+  [[nodiscard]] TestPlan make_plan(TestPlan base) const;
+};
+
+/// String-keyed scenario registry. The four built-in scenarios are
+/// registered on first access:
+///
+///   freertos-steady     Fig. 3: boot FreeRTOS clean, inject steady state
+///   inject-during-boot  §III high intensity: injector live during boot
+///   osek-cell           AUTOSAR/OSEK payload in the non-root partition
+///   dual-cell           FreeRTOS first half, managed swap to OSEK second
+///
+/// Lookup is thread-safe; registration of additional scenarios must happen
+/// before campaigns start executing.
+class ScenarioRegistry {
+ public:
+  static ScenarioRegistry& instance();
+
+  /// Register a scenario under its name(). Replaces an existing entry
+  /// with the same key (returns the replaced scenario's slot silently).
+  void add(std::unique_ptr<Scenario> scenario);
+
+  /// nullptr when unknown.
+  [[nodiscard]] const Scenario* find(std::string_view name) const;
+
+  /// All registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  ScenarioRegistry();
+
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+/// Convenience: look up a scenario in the singleton registry.
+[[nodiscard]] const Scenario* find_scenario(std::string_view name);
+
+/// The registry key every TestPlan defaults to.
+inline constexpr std::string_view kDefaultScenario = "freertos-steady";
+
+}  // namespace mcs::fi

@@ -11,17 +11,18 @@ util::Status Testbed::enable_hypervisor() {
   MCS_RETURN_IF_ERROR(hv_.enable(jh::make_root_cell_config()));
   machine_.bind_guest(jh::kRootCellId, linux_);
   hv_.register_config(kFreeRtosConfigAddr, jh::make_freertos_cell_config());
+  hv_.register_config(kOsekConfigAddr, jh::make_osek_cell_config());
   enabled_ = true;
   return util::ok_status();
 }
 
-void Testbed::boot_freertos_cell() {
+void Testbed::boot_cell(std::uint64_t config_addr, jh::GuestImage& image) {
   // The driver issues create, the shell reads back the id, then start.
-  linux_.cell_create(kFreeRtosConfigAddr);
+  linux_.cell_create(static_cast<std::uint32_t>(config_addr));
   run(5);  // a few ms for the ioctl round-trip
   cell_id_ = linux_.last_created_cell();
   if (cell_id_ != 0) {
-    machine_.bind_guest(cell_id_, freertos_);
+    machine_.bind_guest(cell_id_, image);
     linux_.set_monitored_cell(cell_id_);
     linux_.cell_start(cell_id_);
   } else {
@@ -32,17 +33,18 @@ void Testbed::boot_freertos_cell() {
   run(20);  // ioctl + CPU hot-plug bring-up window
 }
 
-void Testbed::shutdown_freertos_cell() {
+void Testbed::shutdown_workload_cell() {
   if (cell_id_ == 0) return;
   linux_.cell_shutdown(cell_id_);
   run(10);
 }
 
-void Testbed::destroy_freertos_cell() {
+void Testbed::destroy_workload_cell() {
   if (cell_id_ == 0) return;
   linux_.cell_destroy(cell_id_);
   run(10);
   machine_.unbind_guest(cell_id_);
+  cell_id_ = 0;
 }
 
 void Testbed::run(std::uint64_t ticks) { machine_.run_ticks(ticks); }

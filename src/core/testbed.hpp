@@ -14,6 +14,7 @@
 
 #include "guests/freertos_image.hpp"
 #include "guests/linux_root.hpp"
+#include "guests/osek_image.hpp"
 #include "hypervisor/hypervisor.hpp"
 #include "hypervisor/machine.hpp"
 #include "platform/board.hpp"
@@ -21,9 +22,10 @@
 
 namespace mcs::fi {
 
-/// Where the root driver "copies" the FreeRTOS cell config (an address in
+/// Where the root driver "copies" the non-root cell configs (addresses in
 /// root RAM passed to the create hypercall).
 inline constexpr std::uint64_t kFreeRtosConfigAddr = 0x4800'0000;
+inline constexpr std::uint64_t kOsekConfigAddr = 0x4810'0000;
 
 class Testbed {
  public:
@@ -37,14 +39,25 @@ class Testbed {
   util::Status enable_hypervisor();
 
   /// Drive the root driver through `jailhouse cell create && cell start`
-  /// for the FreeRTOS cell and wait for the bring-up to settle (or fail —
-  /// under injection every failure mode of §III can surface here, which
-  /// is the point; the caller classifies afterwards).
-  void boot_freertos_cell();
+  /// for the cell whose config was registered at `config_addr`, bind
+  /// `image` to it, and wait for the bring-up to settle (or fail — under
+  /// injection every failure mode of §III can surface here, which is the
+  /// point; the caller classifies afterwards). The booted cell becomes the
+  /// monitored workload cell.
+  void boot_cell(std::uint64_t config_addr, jh::GuestImage& image);
 
-  /// Management operations from the root shell, post-boot.
-  void shutdown_freertos_cell();
-  void destroy_freertos_cell();
+  /// The paper's two non-root payloads, both on CPU 1 (one at a time).
+  void boot_freertos_cell() { boot_cell(kFreeRtosConfigAddr, freertos_); }
+  void boot_osek_cell() { boot_cell(kOsekConfigAddr, osek_); }
+
+  /// Management operations from the root shell, post-boot, against the
+  /// current workload cell.
+  void shutdown_workload_cell();
+  void destroy_workload_cell();
+
+  // Legacy names from the single-scenario harness; same cell.
+  void shutdown_freertos_cell() { shutdown_workload_cell(); }
+  void destroy_freertos_cell() { destroy_workload_cell(); }
 
   /// Run the whole machine for `ticks` board ticks.
   void run(std::uint64_t ticks);
@@ -65,12 +78,18 @@ class Testbed {
   [[nodiscard]] jh::Machine& machine() noexcept { return machine_; }
   [[nodiscard]] guest::LinuxRootImage& linux_root() noexcept { return linux_; }
   [[nodiscard]] guest::FreeRtosImage& freertos() noexcept { return freertos_; }
+  [[nodiscard]] guest::OsekImage& osek() noexcept { return osek_; }
 
-  /// Cell id of the FreeRTOS cell (0 while not created).
-  [[nodiscard]] jh::CellId freertos_cell_id() const noexcept { return cell_id_; }
-  [[nodiscard]] jh::Cell* freertos_cell() noexcept {
+  /// Cell id of the current workload (non-root) cell — 0 while none has
+  /// been created. Scenarios that swap payloads retarget this on re-boot.
+  [[nodiscard]] jh::CellId workload_cell_id() const noexcept { return cell_id_; }
+  [[nodiscard]] jh::Cell* workload_cell() noexcept {
     return cell_id_ == 0 ? nullptr : hv_.find_cell(cell_id_);
   }
+
+  // Legacy names; the FreeRTOS cell is the default workload.
+  [[nodiscard]] jh::CellId freertos_cell_id() const noexcept { return cell_id_; }
+  [[nodiscard]] jh::Cell* freertos_cell() noexcept { return workload_cell(); }
 
   /// The CPU statically assigned to the non-root cell.
   static constexpr int kFreeRtosCpu = 1;
@@ -82,6 +101,7 @@ class Testbed {
   jh::Machine machine_;
   guest::LinuxRootImage linux_;
   guest::FreeRtosImage freertos_;
+  guest::OsekImage osek_;
   jh::CellId cell_id_ = 0;
   bool enabled_ = false;
 };

@@ -149,4 +149,44 @@ CellConfig make_freertos_cell_config() {
   return config;
 }
 
+CellConfig make_osek_cell_config() {
+  CellConfig config;
+  config.name = "osek-cell";
+  config.cpus = {1};
+
+  mem::MemRegion ram;
+  ram.name = "ram";
+  ram.phys_start = kOsekRamBase;
+  ram.virt_start = kOsekRamBase;  // identity map, like the inmate demos
+  ram.size = kOsekRamSize;
+  ram.flags = mem::kMemRead | mem::kMemWrite | mem::kMemExecute |
+              mem::kMemLoadable;
+  config.mem_regions.push_back(ram);
+
+  // External-watchdog kick task drives the LED line, like the FreeRTOS
+  // blink task: GPIO block passthrough while this cell exists.
+  mem::MemRegion gpio;
+  gpio.name = "gpio";
+  gpio.phys_start = platform::kGpioBase;
+  gpio.virt_start = platform::kGpioBase;
+  gpio.size = 0x100;
+  gpio.flags = mem::kMemRead | mem::kMemWrite | mem::kMemIo;
+  config.mem_regions.push_back(gpio);
+
+  // UART1 passthrough: the CAN-ish frame stream the monitor watches is
+  // the same non-root USART observable as the FreeRTOS cell's.
+  mem::MemRegion uart1;
+  uart1.name = "uart1";
+  uart1.phys_start = platform::kUart1Base;
+  uart1.virt_start = platform::kUart1Base;
+  uart1.size = 0x400;
+  uart1.flags = mem::kMemRead | mem::kMemWrite | mem::kMemIo;
+  config.mem_regions.push_back(uart1);
+
+  config.irqs = {platform::kUart1Irq};
+  config.console = {ConsoleKind::Passthrough, platform::kUart1Base};
+  config.entry_point = kOsekEntry;
+  return config;
+}
+
 }  // namespace mcs::jh

@@ -66,4 +66,13 @@ inline constexpr arch::Word kFreeRtosEntry = 0x7800'0000;
 /// console), GIC distributor accesses trapped and virtualised.
 [[nodiscard]] CellConfig make_freertos_cell_config();
 
+/// OSEK/AUTOSAR-classic non-root cell: same shape as the FreeRTOS cell
+/// (CPU 1, UART1 console, GPIO passthrough) but a disjoint 16 MiB slice of
+/// the loanable pool, so either payload can occupy the non-root partition.
+inline constexpr std::uint64_t kOsekRamBase = 0x7900'0000;
+inline constexpr std::uint64_t kOsekRamSize = 0x0100'0000;  // 16 MiB
+inline constexpr arch::Word kOsekEntry = 0x7900'0000;
+
+[[nodiscard]] CellConfig make_osek_cell_config();
+
 }  // namespace mcs::jh

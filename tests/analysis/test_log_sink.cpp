@@ -1,0 +1,196 @@
+#include "analysis/log_sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "analysis/log_parser.hpp"
+#include "analysis/stats.hpp"
+#include "core/executor.hpp"
+
+namespace mcs::analysis {
+namespace {
+
+fi::RunResult make_run(fi::Outcome outcome, std::uint64_t injections) {
+  fi::RunResult run;
+  run.outcome = outcome;
+  run.detail = "test";
+  run.injections = injections;
+  return run;
+}
+
+TEST(RunningStats, MatchesBatchSummary) {
+  const std::vector<double> values = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  RunningStats stats;
+  for (const double v : values) stats.add(v);
+  const Summary summary = summarize(values);
+  EXPECT_EQ(stats.n(), summary.n);
+  EXPECT_NEAR(stats.mean(), summary.mean, 1e-12);
+  EXPECT_NEAR(stats.stddev(), summary.stddev, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), summary.min);
+  EXPECT_DOUBLE_EQ(stats.max(), summary.max);
+}
+
+TEST(RunningStats, MergeEqualsSerialAccumulation) {
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 40; ++i) {
+    const double x = std::sin(static_cast<double>(i)) * 10.0 + 5.0;
+    whole.add(x);
+    (i < 13 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.n(), whole.n());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.stddev(), whole.stddev(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySidesIsIdentity) {
+  RunningStats empty;
+  RunningStats some;
+  some.add(2.0);
+  some.add(4.0);
+  RunningStats target = some;
+  target.merge(empty);
+  EXPECT_EQ(target.n(), 2u);
+  EXPECT_DOUBLE_EQ(target.mean(), 3.0);
+  RunningStats from_empty;
+  from_empty.merge(some);
+  EXPECT_EQ(from_empty.n(), 2u);
+  EXPECT_DOUBLE_EQ(from_empty.max(), 4.0);
+}
+
+TEST(CampaignAggregate, TracksRecoveryAndInjections) {
+  CampaignAggregate aggregate;
+  fi::RunResult park = make_run(fi::Outcome::CpuPark, 3);
+  park.shutdown_reclaimed = true;
+  aggregate.add(park);
+  aggregate.add(make_run(fi::Outcome::Correct, 2));
+  fi::RunResult inconsistent = make_run(fi::Outcome::InconsistentCell, 4);
+  aggregate.add(inconsistent);
+  EXPECT_EQ(aggregate.injections, 9u);
+  EXPECT_EQ(aggregate.cell_failures, 2u);
+  EXPECT_EQ(aggregate.reclaimed, 1u);
+  EXPECT_EQ(aggregate.distribution.total(), 3u);
+}
+
+TEST(CampaignAggregate, ShardsMergeToTheCampaignTotal) {
+  CampaignAggregate a;
+  CampaignAggregate b;
+  CampaignAggregate whole;
+  for (int i = 0; i < 10; ++i) {
+    fi::RunResult run = make_run(
+        i % 3 == 0 ? fi::Outcome::PanicPark : fi::Outcome::Correct,
+        static_cast<std::uint64_t>(i));
+    run.first_injection_tick = 10;
+    run.failure_tick = run.outcome == fi::Outcome::PanicPark ? 12 + i : 0;
+    whole.add(run);
+    (i % 2 == 0 ? a : b).add(run);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.distribution.total(), whole.distribution.total());
+  EXPECT_EQ(a.distribution.count(fi::Outcome::PanicPark),
+            whole.distribution.count(fi::Outcome::PanicPark));
+  EXPECT_EQ(a.injections, whole.injections);
+  EXPECT_EQ(a.detection_latency.n(), whole.detection_latency.n());
+  EXPECT_NEAR(a.detection_latency.mean(), whole.detection_latency.mean(), 1e-9);
+}
+
+TEST(LogSink, RestoresRunOrderFromOutOfOrderCompletions) {
+  std::ostringstream stream;
+  LogSink sink(stream);      // streaming: lines go to the stream only
+  LogSink retaining;         // retaining: lines accumulate for text()
+  const auto feed = [&](std::uint32_t index, const fi::RunResult& run) {
+    sink.record(index, run);
+    retaining.record(index, run);
+  };
+  feed(2, make_run(fi::Outcome::Correct, 1));
+  EXPECT_EQ(stream.str(), "");  // nothing contiguous yet
+  feed(0, make_run(fi::Outcome::PanicPark, 2));
+  feed(3, make_run(fi::Outcome::Correct, 1));
+  feed(1, make_run(fi::Outcome::CpuPark, 5));
+
+  // Both sinks restore run order; the streaming one retains nothing.
+  EXPECT_EQ(stream.str(), retaining.text());
+  EXPECT_EQ(sink.text(), "");
+  const std::string text = retaining.text();
+  const std::vector<std::string> expected_order = {
+      "run 0: panic-park", "run 1: cpu-park", "run 2: correct",
+      "run 3: correct"};
+  std::size_t at = 0;
+  for (const std::string& prefix : expected_order) {
+    const std::size_t found = text.find(prefix, at);
+    ASSERT_NE(found, std::string::npos) << prefix;
+    at = found + prefix.size();
+  }
+  EXPECT_EQ(sink.records(), 4u);
+  EXPECT_EQ(sink.aggregate().distribution.total(), 4u);
+}
+
+TEST(LogSink, TextMatchesSerialRenderOfShardedCampaign) {
+  fi::TestPlan plan = fi::paper_medium_trap_plan();
+  plan.runs = 8;
+  plan.duration_ticks = 1'500;
+  plan.phase = 2;
+
+  fi::CampaignExecutor executor(plan, {4, true});
+  LogSink sink;
+  executor.set_progress([&sink](std::uint32_t index, const fi::RunResult& run) {
+    sink.record(index, run);
+  });
+  const fi::CampaignResult result = executor.execute();
+
+  // The sharded sink streams exactly the serial engine's log body.
+  LogSink serial;
+  serial.record_all(result);
+  EXPECT_EQ(sink.text(), serial.text());
+}
+
+TEST(LogSink, RoundTripsThroughTheRunLogParser) {
+  fi::RunResult run = make_run(fi::Outcome::PanicPark, 7);
+  run.detail = "HYP stack pointer corrupted";
+  run.uart1_bytes = 123;
+  run.first_injection_tick = 10;
+  run.failure_tick = 52;
+  run.shutdown_reclaimed = false;
+  LogSink sink;
+  sink.record(0, run);
+  sink.record(1, make_run(fi::Outcome::Correct, 2));
+
+  const ParsedRunLog parsed = parse_run_log(sink.text());
+  EXPECT_EQ(parsed.malformed_lines, 0u);
+  ASSERT_EQ(parsed.entries.size(), 2u);
+  EXPECT_EQ(parsed.entries[0].index, 0u);
+  EXPECT_EQ(parsed.entries[0].outcome, fi::Outcome::PanicPark);
+  EXPECT_EQ(parsed.entries[0].detail, "HYP stack pointer corrupted");
+  EXPECT_EQ(parsed.entries[0].injections, 7u);
+  EXPECT_EQ(parsed.entries[0].uart_bytes, 123u);
+  EXPECT_EQ(parsed.entries[0].detect_latency_ms, 42u);
+  EXPECT_FALSE(parsed.entries[0].shutdown_reclaimed);
+  EXPECT_EQ(parsed.entries[1].outcome, fi::Outcome::Correct);
+  EXPECT_EQ(parsed.distribution().count(fi::Outcome::PanicPark), 1u);
+}
+
+TEST(RunLogParser, RejectsMalformedLines) {
+  fi::Outcome outcome;
+  EXPECT_TRUE(fi::outcome_from_name("panic-park", outcome));
+  EXPECT_EQ(outcome, fi::Outcome::PanicPark);
+  EXPECT_FALSE(fi::outcome_from_name("not-an-outcome", outcome));
+
+  EXPECT_FALSE(parse_run_log_line("garbage").is_ok());
+  EXPECT_FALSE(parse_run_log_line("run x: correct — d (injections=1, "
+                                  "usart_bytes=2)")
+                   .is_ok());
+  const ParsedRunLog parsed = parse_run_log("nonsense\n\nrun 0: correct — ok "
+                                            "(injections=1, usart_bytes=9)\n");
+  EXPECT_EQ(parsed.malformed_lines, 1u);
+  ASSERT_EQ(parsed.entries.size(), 1u);
+  EXPECT_EQ(parsed.entries[0].uart_bytes, 9u);
+}
+
+}  // namespace
+}  // namespace mcs::analysis

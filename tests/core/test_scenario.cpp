@@ -1,0 +1,153 @@
+#include "core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/executor.hpp"
+#include "core/monitor.hpp"
+
+namespace mcs::fi {
+namespace {
+
+TEST(ScenarioRegistry, ShipsAtLeastFourScenarios) {
+  ScenarioRegistry& registry = ScenarioRegistry::instance();
+  EXPECT_GE(registry.size(), 4u);
+  const std::vector<std::string> names = registry.names();
+  for (const char* expected :
+       {"freertos-steady", "inject-during-boot", "osek-cell", "dual-cell"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+}
+
+TEST(ScenarioRegistry, FindReturnsNullForUnknownName) {
+  EXPECT_EQ(find_scenario("no-such-scenario"), nullptr);
+  EXPECT_NE(find_scenario("freertos-steady"), nullptr);
+}
+
+TEST(ScenarioRegistry, NamesAreSorted) {
+  const std::vector<std::string> names = ScenarioRegistry::instance().names();
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Scenario, MakePlanAppliesScenarioDefaults) {
+  const Scenario* steady = find_scenario("freertos-steady");
+  const Scenario* boot = find_scenario("inject-during-boot");
+  ASSERT_NE(steady, nullptr);
+  ASSERT_NE(boot, nullptr);
+
+  TestPlan base = paper_medium_trap_plan();
+  base.inject_during_boot = true;  // scenario default must override
+  const TestPlan steady_plan = steady->make_plan(base);
+  EXPECT_EQ(steady_plan.scenario, "freertos-steady");
+  EXPECT_FALSE(steady_plan.inject_during_boot);
+
+  const TestPlan boot_plan = boot->make_plan(paper_medium_trap_plan());
+  EXPECT_EQ(boot_plan.scenario, "inject-during-boot");
+  EXPECT_TRUE(boot_plan.inject_during_boot);
+}
+
+TEST(Scenario, EveryRegisteredScenarioCompletesASmokeCampaign) {
+  for (const std::string& name : ScenarioRegistry::instance().names()) {
+    const Scenario* scenario = find_scenario(name);
+    ASSERT_NE(scenario, nullptr) << name;
+
+    TestPlan plan = scenario->make_plan();
+    plan.runs = 3;
+    plan.duration_ticks = 2'000;
+    plan.phase = 2;
+    CampaignExecutor executor(plan);
+    const CampaignResult result = executor.execute();
+    ASSERT_EQ(result.runs.size(), 3u) << name;
+    for (const RunResult& run : result.runs) {
+      // Whatever the fault did, the harness itself must never break.
+      EXPECT_NE(run.outcome, Outcome::HarnessError) << name << ": " << run.detail;
+    }
+  }
+}
+
+TEST(Scenario, OsekScenarioBootsTheOsekCell) {
+  const Scenario* scenario = find_scenario("osek-cell");
+  ASSERT_NE(scenario, nullptr);
+  Testbed testbed;
+  ASSERT_TRUE(scenario->setup(testbed).is_ok());
+  scenario->boot(testbed);
+  jh::Cell* cell = testbed.workload_cell();
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->name(), "osek-cell");
+  testbed.run(2'000);
+  EXPECT_GT(testbed.osek().brake_samples(), 0u);
+  EXPECT_GE(testbed.board().uart1().total_bytes(),
+            RunMonitor::kLiveOutputThreshold);
+}
+
+TEST(Scenario, DualCellScenarioSwapsPayloadMidWindow) {
+  const Scenario* scenario = find_scenario("dual-cell");
+  ASSERT_NE(scenario, nullptr);
+  Testbed testbed;
+  ASSERT_TRUE(scenario->setup(testbed).is_ok());
+  scenario->boot(testbed);
+  jh::Cell* first = testbed.workload_cell();
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->name(), "freertos-cell");
+
+  TestPlan plan = scenario->make_plan();
+  plan.duration_ticks = 4'000;
+  scenario->observe(testbed, plan);
+
+  jh::Cell* second = testbed.workload_cell();
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->name(), "osek-cell");
+  // Both payloads actually ran in the fault-free window.
+  EXPECT_GT(testbed.freertos().blink_count(), 0u);
+  EXPECT_GT(testbed.osek().brake_samples(), 0u);
+}
+
+// The satellite bugfix: a harness that cannot even start its experiment
+// reports HarnessError — a bucket the paper's taxonomy never contains —
+// instead of polluting SilentHang.
+class BrokenSetupScenario final : public Scenario {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "test-broken-setup";
+  }
+  [[nodiscard]] std::string_view description() const noexcept override {
+    return "setup always fails (test only)";
+  }
+  [[nodiscard]] util::Status setup(Testbed&) const override {
+    return util::internal("rig power supply unplugged");
+  }
+  void boot(Testbed&) const override { FAIL() << "boot must not be reached"; }
+};
+
+TEST(Scenario, SetupFailureIsAHarnessErrorNotASilentHang) {
+  ScenarioRegistry::instance().add(std::make_unique<BrokenSetupScenario>());
+  TestPlan plan = paper_medium_trap_plan();
+  plan.scenario = "test-broken-setup";
+  plan.runs = 2;
+  CampaignExecutor executor(plan);
+  const CampaignResult result = executor.execute();
+  ASSERT_EQ(result.runs.size(), 2u);
+  for (const RunResult& run : result.runs) {
+    EXPECT_EQ(run.outcome, Outcome::HarnessError);
+    EXPECT_NE(run.detail.find("rig power supply"), std::string::npos);
+  }
+  const OutcomeDistribution dist = result.distribution();
+  EXPECT_EQ(dist.count(Outcome::SilentHang), 0u);
+  EXPECT_EQ(dist.count(Outcome::HarnessError), 2u);
+}
+
+TEST(Scenario, UnknownScenarioKeyIsAHarnessError) {
+  TestPlan plan = paper_medium_trap_plan();
+  plan.scenario = "typo-scenario";
+  plan.runs = 1;
+  CampaignExecutor executor(plan);
+  const CampaignResult result = executor.execute();
+  ASSERT_EQ(result.runs.size(), 1u);
+  EXPECT_EQ(result.runs[0].outcome, Outcome::HarnessError);
+  EXPECT_NE(result.runs[0].detail.find("typo-scenario"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcs::fi
