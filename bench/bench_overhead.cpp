@@ -4,14 +4,62 @@
 // microbenchmark measures what the added hook costs on the hypervisor hot
 // paths: trap dispatch, hypercall dispatch and interrupt acknowledgement,
 // with no hook, with an armed-but-filtered hook, and with a firing
-// injector. Also measures whole-testbed tick throughput.
+// injector. Also measures whole-testbed tick throughput and the
+// event-driven tick scheduler's ticks/sec on idle-heavy vs IRQ-heavy
+// workloads (both tick policies, so regressions in either path show up).
+//
+//   $ ./bench_overhead                # google-benchmark suite
+//   $ ./bench_overhead --ticks-json   # machine-readable tick-throughput
+//                                     # comparison (CI trend lines)
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstring>
+#include <iostream>
 
 #include "core/executor.hpp"
 
 namespace {
 
 using namespace mcs;
+
+// --- tick-scheduler workloads ------------------------------------------------
+// idle-heavy: a board whose only event source is a 100-tick heartbeat
+// timer — the steady-state shape of a low-rate campaign span, where the
+// deadline scheduler leaps from fire to fire.
+// irq-heavy: the full FreeRTOS testbed, where every tick bears the guest
+// tick interrupt and a scheduling quantum — nothing is leapable, so the
+// event-driven path must cost the same as per-tick polling.
+
+/// Seconds spent advancing the idle-heavy board by `ticks` (fixture cost
+/// excluded).
+double time_idle_board(bool event_driven, std::uint64_t ticks) {
+  platform::BananaPiBoard board;
+  board.timer().start(0, 100);
+  const auto begin = std::chrono::steady_clock::now();
+  if (event_driven) {
+    board.run_ticks(ticks);
+  } else {
+    for (std::uint64_t i = 0; i < ticks; ++i) board.tick();
+  }
+  const auto end = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(board.timer().fires(0));
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+/// Seconds spent advancing the IRQ-heavy testbed by `ticks` (boot cost
+/// excluded).
+double time_irq_heavy_testbed(jh::TickPolicy policy, std::uint64_t ticks) {
+  fi::Testbed testbed;
+  testbed.set_tick_policy(policy);
+  (void)testbed.enable_hypervisor();
+  testbed.boot_freertos_cell();
+  const auto begin = std::chrono::steady_clock::now();
+  testbed.run(ticks);
+  const auto end = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(testbed.board().uart1().total_bytes());
+  return std::chrono::duration<double>(end - begin).count();
+}
 
 // --- hypercall path -------------------------------------------------------
 
@@ -133,6 +181,59 @@ void BM_FullMediumRun(benchmark::State& state) {
 }
 BENCHMARK(BM_FullMediumRun)->Unit(benchmark::kMillisecond);
 
+// --- tick-scheduler throughput ------------------------------------------------
+// items/sec in the report *is* ticks/sec. The idle-heavy pair is the
+// deadline scheduler's headline number; the IRQ-heavy pair guards against
+// regressions on the every-tick-busy path.
+
+void BM_TickSched_IdleHeavy_PerTick(benchmark::State& state) {
+  platform::BananaPiBoard board;
+  board.timer().start(0, 100);
+  constexpr std::uint64_t kBatch = 10'000;
+  for (auto _ : state) {
+    for (std::uint64_t i = 0; i < kBatch; ++i) board.tick();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kBatch));
+}
+BENCHMARK(BM_TickSched_IdleHeavy_PerTick);
+
+void BM_TickSched_IdleHeavy_EventDriven(benchmark::State& state) {
+  platform::BananaPiBoard board;
+  board.timer().start(0, 100);
+  constexpr std::uint64_t kBatch = 10'000;
+  for (auto _ : state) {
+    board.run_ticks(kBatch);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kBatch));
+}
+BENCHMARK(BM_TickSched_IdleHeavy_EventDriven);
+
+void BM_TickSched_IrqHeavy_PerTick(benchmark::State& state) {
+  fi::Testbed testbed;
+  testbed.set_tick_policy(jh::TickPolicy::PerTick);
+  (void)testbed.enable_hypervisor();
+  testbed.boot_freertos_cell();
+  constexpr std::uint64_t kBatch = 1'000;
+  for (auto _ : state) {
+    testbed.run(kBatch);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kBatch));
+}
+BENCHMARK(BM_TickSched_IrqHeavy_PerTick);
+
+void BM_TickSched_IrqHeavy_EventDriven(benchmark::State& state) {
+  fi::Testbed testbed;
+  testbed.set_tick_policy(jh::TickPolicy::EventDriven);
+  (void)testbed.enable_hypervisor();
+  testbed.boot_freertos_cell();
+  constexpr std::uint64_t kBatch = 1'000;
+  for (auto _ : state) {
+    testbed.run(kBatch);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kBatch));
+}
+BENCHMARK(BM_TickSched_IrqHeavy_EventDriven);
+
 // --- executor scaling ---------------------------------------------------------
 // Runs-per-second of a short sharded campaign at 1/2/4/8 worker threads,
 // so scaling regressions show up run over run. Short runs keep the
@@ -166,6 +267,52 @@ BENCHMARK(BM_ExecutorThroughput)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// --- machine-readable tick-throughput summary ---------------------------------
+
+void emit_json_entry(std::ostream& out, const char* workload,
+                     const char* policy, std::uint64_t ticks, double seconds,
+                     bool last) {
+  out << "    {\"workload\": \"" << workload << "\", \"policy\": \"" << policy
+      << "\", \"ticks\": " << ticks << ", \"seconds\": " << seconds
+      << ", \"ticks_per_sec\": "
+      << (seconds > 0 ? static_cast<double>(ticks) / seconds : 0.0) << "}"
+      << (last ? "\n" : ",\n");
+}
+
+/// `--ticks-json`: measure the four tick-scheduler workloads and print one
+/// JSON document — the CI artifact that trends the deadline scheduler.
+int run_ticks_json() {
+  constexpr std::uint64_t kIdleTicks = 2'000'000;
+  constexpr std::uint64_t kIrqTicks = 100'000;
+  const double idle_per_tick = time_idle_board(false, kIdleTicks);
+  const double idle_event = time_idle_board(true, kIdleTicks);
+  const double irq_per_tick =
+      time_irq_heavy_testbed(jh::TickPolicy::PerTick, kIrqTicks);
+  const double irq_event =
+      time_irq_heavy_testbed(jh::TickPolicy::EventDriven, kIrqTicks);
+
+  std::ostream& out = std::cout;
+  out << "{\n  \"tick_throughput\": [\n";
+  emit_json_entry(out, "idle-heavy", "per-tick", kIdleTicks, idle_per_tick, false);
+  emit_json_entry(out, "idle-heavy", "event-driven", kIdleTicks, idle_event, false);
+  emit_json_entry(out, "irq-heavy", "per-tick", kIrqTicks, irq_per_tick, false);
+  emit_json_entry(out, "irq-heavy", "event-driven", kIrqTicks, irq_event, true);
+  out << "  ],\n  \"speedup\": {\"idle_heavy\": "
+      << (idle_event > 0 ? idle_per_tick / idle_event : 0.0)
+      << ", \"irq_heavy\": "
+      << (irq_event > 0 ? irq_per_tick / irq_event : 0.0) << "}\n}\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ticks-json") == 0) return run_ticks_json();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -3,8 +3,12 @@
 // executor threads, analytics from the streaming log sink — the full
 // Figure 2 pipeline in ~60 lines of user code.
 //
-//   $ ./fault_campaign [scenario] [runs] [rate] [seed] [threads]
+//   $ ./fault_campaign [scenario] [runs] [rate] [seed] [threads] [tuning]
 //   $ ./fault_campaign --list           # show registered scenarios
+//
+// [tuning] parameterises the workload cell in the config-text vocabulary,
+// ';'-separated, e.g. "ram 0x200000; console trapped".
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -27,27 +31,34 @@ int main(int argc, char** argv) {
 
   const std::string scenario_name =
       argc > 1 ? argv[1] : std::string(fi::kDefaultScenario);
-  const fi::Scenario* scenario = registry.find(scenario_name);
-  if (scenario == nullptr) {
-    std::cerr << "unknown scenario '" << scenario_name
-              << "' (try --list)\n";
+  fi::ScenarioRegistry::MakeOptions options;
+  if (argc > 6) {
+    options.cell_tuning = argv[6];
+    std::replace(options.cell_tuning.begin(), options.cell_tuning.end(), ';',
+                 '\n');
+  }
+  auto made = registry.make(scenario_name, options);
+  if (!made.is_ok()) {
+    std::cerr << made.status().to_string() << " (try --list)\n";
     return 1;
   }
 
-  fi::TestPlan plan = scenario->make_plan();
+  fi::TestPlan plan = made.value();
   plan.runs = argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 40;
   plan.rate = argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3]))
                        : fi::kMediumRate;
-  plan.seed = argc > 4 ? static_cast<std::uint64_t>(std::atoll(argv[4]))
-                       : 0xC0FFEEULL;
+  // strtoull base 0: accepts both decimal and the documented 0x... form.
+  plan.seed = argc > 4 ? std::strtoull(argv[4], nullptr, 0) : 0xC0FFEEULL;
   // Paper-faithful 1-minute tests (60'000 board ticks).
 
   fi::ExecutorConfig config;
   config.threads = argc > 5 ? static_cast<unsigned>(std::atoi(argv[5])) : 0;
 
-  std::cout << "campaign: " << plan.name << " — scenario " << scenario->name()
+  std::cout << "campaign: " << plan.name << " — scenario " << plan.scenario
             << ", " << plan.runs << " runs, inject 1/" << plan.rate
-            << " calls, seed 0x" << std::hex << plan.seed << std::dec << "\n\n";
+            << " calls, seed 0x" << std::hex << plan.seed << std::dec;
+  if (!plan.cell_tuning.empty()) std::cout << ", tuned cell";
+  std::cout << "\n\n";
 
   // The sink streams run lines in order (whatever the shard completion
   // order was) and keeps the mergeable aggregates for the analytics.

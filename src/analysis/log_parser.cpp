@@ -177,6 +177,7 @@ util::Expected<RunLogEntry> parse_run_log_line(std::string_view line) {
         !parse_u64(value.substr(0, value.size() - 2), entry.detect_latency_ms)) {
       return util::invalid_argument("bad detect_latency field");
     }
+    entry.failure_detected = true;
   }
   if (find_field(fields, "shutdown_reclaimed=", value)) {
     entry.shutdown_reclaimed = value == "yes";

@@ -46,6 +46,12 @@ struct RunLogEntry {
   std::string detail;
   std::uint64_t injections = 0;
   std::uint64_t uart_bytes = 0;
+  /// The line carried a detect_latency field, i.e. the run's failure was
+  /// detected. Same-tick detection prints (and parses back) 0 ms, so this
+  /// flag — not the value — distinguishes "detected instantly" from "not
+  /// detected": latency analytics must aggregate only flagged entries,
+  /// like the live CampaignAggregate does.
+  bool failure_detected = false;
   std::uint64_t detect_latency_ms = 0;  ///< 0 when the line carries none
   bool shutdown_reclaimed = false;
 };

@@ -24,7 +24,16 @@ RunResult harness_error(std::string detail) {
 }  // namespace
 
 CampaignExecutor::CampaignExecutor(TestPlan plan, ExecutorConfig config)
-    : plan_(std::move(plan)), config_(config) {}
+    : plan_(std::move(plan)), config_(config) {
+  if (!plan_.cell_tuning.empty()) {
+    auto tuning = jh::parse_cell_tuning(plan_.cell_tuning);
+    if (tuning.is_ok()) {
+      tuning_ = tuning.value();
+    } else {
+      tuning_status_ = tuning.status();
+    }
+  }
+}
 
 RunResult CampaignExecutor::run_with(const Scenario* scenario,
                                      std::uint64_t run_seed) const {
@@ -32,7 +41,13 @@ RunResult CampaignExecutor::run_with(const Scenario* scenario,
     return harness_error("unknown scenario '" + plan_.scenario + "'");
   }
 
+  if (!tuning_status_.is_ok()) {
+    return harness_error("bad cell tuning: " + tuning_status_.to_string());
+  }
+
   Testbed testbed;
+  testbed.set_tick_policy(config_.tick_policy);
+  if (!tuning_.empty()) testbed.set_cell_tuning(tuning_);
   // An unbootable testbed is a harness bug, not an experiment outcome.
   const util::Status ready = scenario->setup(testbed);
   if (!ready.is_ok()) {

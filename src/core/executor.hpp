@@ -26,6 +26,12 @@ struct ExecutorConfig {
   /// Issue the paper's post-mortem `jailhouse cell shutdown` probe after
   /// failed runs (Campaign::set_probe_recovery's knob).
   bool probe_recovery = true;
+
+  /// Per-run time-advance policy. EventDriven (default) leaps inert
+  /// spans between deadlines; PerTick forces the legacy polling loop.
+  /// Results are bit-identical either way (the tick-equivalence suite
+  /// asserts it); PerTick exists for those golden comparisons.
+  jh::TickPolicy tick_policy = jh::TickPolicy::EventDriven;
 };
 
 class CampaignExecutor {
@@ -58,6 +64,10 @@ class CampaignExecutor {
   TestPlan plan_;
   ExecutorConfig config_;
   ProgressFn progress_;
+  /// plan_.cell_tuning parsed once at construction; runs reuse the value
+  /// (or report the parse failure as a per-run HarnessError).
+  jh::CellTuning tuning_;
+  util::Status tuning_status_;
 };
 
 }  // namespace mcs::fi

@@ -3,6 +3,7 @@
 namespace mcs::fi {
 
 void RunMonitor::begin(Testbed& testbed) {
+  window_open_tick_ = testbed.board().now().value;
   uart1_mark_ = testbed.board().uart1().total_bytes();
   led_mark_ = testbed.board().gpio().led_toggles();
   validated_mark_ = testbed.freertos().messages_validated();

@@ -17,16 +17,25 @@ namespace mcs::fi {
 class RunMonitor {
  public:
   /// Snapshot the observation baseline (call when the watch window opens).
+  /// Also records the opening tick: windows are deadline-driven (the
+  /// scenario closes them at open + duration exactly), so the monitor's
+  /// marks are comparable run to run and across tick policies.
   void begin(Testbed& testbed);
 
   /// Classify at window close. Fills outcome/detail/observable fields of
   /// a RunResult (the campaign adds injection bookkeeping on top).
   [[nodiscard]] RunResult finish(Testbed& testbed) const;
 
+  /// Board tick at which begin() opened the watch window.
+  [[nodiscard]] std::uint64_t window_open_tick() const noexcept {
+    return window_open_tick_;
+  }
+
   /// Minimum USART bytes in the window for the cell to count as live.
   static constexpr std::uint64_t kLiveOutputThreshold = 8;
 
  private:
+  std::uint64_t window_open_tick_ = 0;
   std::uint64_t uart1_mark_ = 0;
   std::uint64_t led_mark_ = 0;
   std::uint64_t validated_mark_ = 0;

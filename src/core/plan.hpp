@@ -48,6 +48,12 @@ struct TestPlan {
   std::uint32_t runs = 30;
   std::uint64_t seed = 0xC0FFEE;
 
+  /// Workload-cell tuning in the config-text vocabulary ("ram 0x200000",
+  /// "console trapped"); empty → the factory cell configs as-is. Parsed
+  /// with jh::parse_cell_tuning and applied to the staged non-root cell
+  /// configs by the testbed; a malformed text is a HarnessError.
+  std::string cell_tuning;
+
   /// When true, the injector is armed before the cell-management boot
   /// sequence (create/start) so injections can hit the management
   /// hypercalls and the CPU bring-up path — the §III high-intensity

@@ -4,6 +4,8 @@
 #include <map>
 #include <mutex>
 
+#include "hypervisor/config_text.hpp"
+
 namespace mcs::fi {
 
 util::Status Scenario::setup(Testbed& testbed) const {
@@ -11,7 +13,7 @@ util::Status Scenario::setup(Testbed& testbed) const {
 }
 
 void Scenario::observe(Testbed& testbed, const TestPlan& plan) const {
-  testbed.run(plan.duration_ticks);
+  testbed.run_until(testbed.board().now() + util::Ticks{plan.duration_ticks});
 }
 
 TestPlan Scenario::make_plan() const { return make_plan(paper_medium_trap_plan()); }
@@ -94,16 +96,16 @@ class DualCellScenario final : public Scenario {
   }
   void boot(Testbed& testbed) const override { testbed.boot_freertos_cell(); }
   void observe(Testbed& testbed, const TestPlan& plan) const override {
-    const std::uint64_t half = plan.duration_ticks / 2;
-    testbed.run(half);
+    // Window phases are deadline-driven: whatever the swap costs, the
+    // window still closes exactly duration_ticks after it opened, so
+    // latencies stay comparable across scenarios.
+    const util::Ticks window_close =
+        testbed.board().now() + util::Ticks{plan.duration_ticks};
+    testbed.run(plan.duration_ticks / 2);
     testbed.shutdown_workload_cell();
     testbed.destroy_workload_cell();
     testbed.boot_osek_cell();
-    // boot_cell consumed 25 ticks of the window; the remainder keeps the
-    // total at duration_ticks so latencies stay comparable across
-    // scenarios.
-    const std::uint64_t spent = half + 10 + 10 + 25;
-    testbed.run(plan.duration_ticks > spent ? plan.duration_ticks - spent : 0);
+    testbed.run_until(window_close);
   }
 };
 
@@ -138,6 +140,27 @@ const Scenario* ScenarioRegistry::find(std::string_view name) const {
   const std::lock_guard<std::mutex> lock(impl_->mutex);
   const auto it = impl_->scenarios.find(name);
   return it == impl_->scenarios.end() ? nullptr : it->second.get();
+}
+
+util::Expected<TestPlan> ScenarioRegistry::make(std::string_view name,
+                                                const MakeOptions& options) const {
+  const Scenario* scenario = find(name);
+  if (scenario == nullptr) {
+    return util::invalid_argument("unknown scenario '" + std::string(name) + "'");
+  }
+  // Validate the tuning up front: a bad knob should fail plan
+  // construction, not surface as per-run harness errors later.
+  if (!options.cell_tuning.empty()) {
+    auto tuning = jh::parse_cell_tuning(options.cell_tuning);
+    if (!tuning.is_ok()) {
+      return util::invalid_argument("cell tuning: " +
+                                    tuning.status().message());
+    }
+  }
+  TestPlan plan = options.base != nullptr ? scenario->make_plan(*options.base)
+                                          : scenario->make_plan();
+  plan.cell_tuning = options.cell_tuning;
+  return plan;
 }
 
 std::vector<std::string> ScenarioRegistry::names() const {

@@ -53,9 +53,12 @@ class Scenario {
   /// surface here.
   virtual void boot(Testbed& testbed) const = 0;
 
-  /// The observation window. Default: run the plan's duration in one
-  /// stretch. Scenarios may structure the window (e.g. a mid-window cell
-  /// swap) but should keep its total length at `plan.duration_ticks`.
+  /// The observation window. Default: aim the machine at the absolute
+  /// window-close deadline (now + plan.duration_ticks) in one stretch.
+  /// Scenarios may structure the window (e.g. a mid-window cell swap) but
+  /// should close it at the same deadline, so windows — and therefore
+  /// injection opportunities — land on exact ticks regardless of how the
+  /// phases in between are sliced.
   virtual void observe(Testbed& testbed, const TestPlan& plan) const;
 
   /// Post-window, pre-classification epilogue (injector already disarmed).
@@ -88,6 +91,22 @@ class ScenarioRegistry {
 
   /// nullptr when unknown.
   [[nodiscard]] const Scenario* find(std::string_view name) const;
+
+  /// Options for make(): a base plan plus workload-cell tuning text in
+  /// the config-text vocabulary ("ram 0x200000\nconsole trapped").
+  struct MakeOptions {
+    const TestPlan* base = nullptr;  ///< nullptr → the paper's medium plan
+    std::string cell_tuning;         ///< validated with parse_cell_tuning
+  };
+
+  /// Build a ready-to-execute plan for a registered scenario: scenario
+  /// defaults applied on top of the base, cell tuning validated and
+  /// attached. EINVAL for an unknown scenario key or malformed tuning.
+  [[nodiscard]] util::Expected<TestPlan> make(std::string_view name,
+                                              const MakeOptions& options) const;
+  [[nodiscard]] util::Expected<TestPlan> make(std::string_view name) const {
+    return make(name, MakeOptions{});
+  }
 
   /// All registered names, sorted.
   [[nodiscard]] std::vector<std::string> names() const;

@@ -10,8 +10,12 @@ util::Status Testbed::enable_hypervisor() {
   if (enabled_) return util::ok_status();
   MCS_RETURN_IF_ERROR(hv_.enable(jh::make_root_cell_config()));
   machine_.bind_guest(jh::kRootCellId, linux_);
-  hv_.register_config(kFreeRtosConfigAddr, jh::make_freertos_cell_config());
-  hv_.register_config(kOsekConfigAddr, jh::make_osek_cell_config());
+  jh::CellConfig freertos_config = jh::make_freertos_cell_config();
+  jh::CellConfig osek_config = jh::make_osek_cell_config();
+  jh::apply_cell_tuning(freertos_config, tuning_);
+  jh::apply_cell_tuning(osek_config, tuning_);
+  hv_.register_config(kFreeRtosConfigAddr, std::move(freertos_config));
+  hv_.register_config(kOsekConfigAddr, std::move(osek_config));
   enabled_ = true;
   return util::ok_status();
 }
@@ -48,6 +52,8 @@ void Testbed::destroy_workload_cell() {
 }
 
 void Testbed::run(std::uint64_t ticks) { machine_.run_ticks(ticks); }
+
+void Testbed::run_until(util::Ticks target) { machine_.run_until(target); }
 
 Testbed::GoldenProfile Testbed::profile_golden(std::uint64_t ticks) {
   const jh::Counters before = hv_.counters();

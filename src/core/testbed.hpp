@@ -15,6 +15,7 @@
 #include "guests/freertos_image.hpp"
 #include "guests/linux_root.hpp"
 #include "guests/osek_image.hpp"
+#include "hypervisor/config_text.hpp"
 #include "hypervisor/hypervisor.hpp"
 #include "hypervisor/machine.hpp"
 #include "platform/board.hpp"
@@ -37,6 +38,16 @@ class Testbed {
   /// Enable the hypervisor with the root cell and bind the Linux image.
   /// Idempotent per instance; returns an error status on config problems.
   util::Status enable_hypervisor();
+
+  /// Workload-cell tuning (RAM size, console kind) applied to the staged
+  /// non-root cell configs. Must be set before enable_hypervisor().
+  void set_cell_tuning(const jh::CellTuning& tuning) { tuning_ = tuning; }
+
+  /// Time-advance policy for the underlying machine; TickPolicy::PerTick
+  /// forces the legacy polling loop (golden-equivalence comparisons).
+  void set_tick_policy(jh::TickPolicy policy) noexcept {
+    machine_.set_tick_policy(policy);
+  }
 
   /// Drive the root driver through `jailhouse cell create && cell start`
   /// for the cell whose config was registered at `config_addr`, bind
@@ -61,6 +72,10 @@ class Testbed {
 
   /// Run the whole machine for `ticks` board ticks.
   void run(std::uint64_t ticks);
+
+  /// Run the whole machine up to the absolute board tick `target` — the
+  /// deadline-driven window primitive (no-op when already past it).
+  void run_until(util::Ticks target);
 
   /// Golden-run profiling (§III): run fault-free and report how often
   /// each candidate hypervisor function was entered.
@@ -104,6 +119,7 @@ class Testbed {
   guest::OsekImage osek_;
   jh::CellId cell_id_ = 0;
   bool enabled_ = false;
+  jh::CellTuning tuning_;
 };
 
 }  // namespace mcs::fi

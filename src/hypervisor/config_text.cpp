@@ -197,4 +197,65 @@ util::Expected<CellConfig> parse_cell_config(std::string_view text) {
   return config;
 }
 
+util::Expected<CellTuning> parse_cell_tuning(std::string_view text) {
+  CellTuning tuning;
+  int line_number = 0;
+  const auto fail = [&line_number](const std::string& what) {
+    return util::invalid_argument("line " + std::to_string(line_number) + ": " +
+                                  what);
+  };
+
+  for (const std::string& raw_line : util::split(text, '\n')) {
+    ++line_number;
+    const std::string_view line = util::trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+
+    const std::vector<std::string> tokens = tokens_of(line);
+    const std::string& keyword = tokens.front();
+    if (keyword == "ram") {
+      if (tokens.size() != 2) return fail("ram needs one size");
+      auto value = parse_number(tokens[1]);
+      if (!value.is_ok() || value.value() == 0) return fail("bad ram size");
+      tuning.ram_size = value.value();
+    } else if (keyword == "console") {
+      if (tokens.size() != 2) return fail("console tuning needs a kind");
+      if (tokens[1] == "none") {
+        tuning.console_kind = ConsoleKind::None;
+      } else if (tokens[1] == "passthrough") {
+        tuning.console_kind = ConsoleKind::Passthrough;
+      } else if (tokens[1] == "trapped") {
+        tuning.console_kind = ConsoleKind::Trapped;
+      } else {
+        return fail("unknown console kind '" + tokens[1] + "'");
+      }
+      tuning.has_console_kind = true;
+    } else {
+      return fail("unknown tuning keyword '" + keyword + "'");
+    }
+  }
+  return tuning;
+}
+
+void apply_cell_tuning(CellConfig& config, const CellTuning& tuning) {
+  if (tuning.ram_size != 0) {
+    for (mem::MemRegion& region : config.mem_regions) {
+      if (region.name == "ram") region.size = tuning.ram_size;
+    }
+  }
+  if (tuning.has_console_kind) {
+    config.console.kind = tuning.console_kind;
+    if (tuning.console_kind == ConsoleKind::None) {
+      config.console.uart_base = 0;
+    } else if (tuning.console_kind == ConsoleKind::Trapped) {
+      // Unmap the console UART so every access raises a stage-2 fault the
+      // hypervisor emulates (one arch_handle_trap entry per byte).
+      std::erase_if(config.mem_regions, [&config](const mem::MemRegion& region) {
+        return (region.flags & mem::kMemIo) != 0 &&
+               config.console.uart_base >= region.phys_start &&
+               config.console.uart_base - region.phys_start < region.size;
+      });
+    }
+  }
+}
+
 }  // namespace mcs::jh

@@ -40,4 +40,33 @@ namespace mcs::jh {
 /// Parse the compact letter form; EINVAL on unknown letters.
 [[nodiscard]] util::Expected<std::uint32_t> letters_to_flags(std::string_view letters);
 
+// ---------------------------------------------------------------------------
+// Workload-cell tuning: the scenario-parameterisation knobs, expressed in
+// the same line-based vocabulary as full cell configs and applied on top
+// of a factory config. Format (blank lines and # comments allowed):
+//
+//   ram 0x00200000        # resize the cell's "ram" region (bytes)
+//   console trapped       # none | passthrough | trapped (base preserved)
+// ---------------------------------------------------------------------------
+
+struct CellTuning {
+  std::uint64_t ram_size = 0;  ///< 0 → keep the factory default
+  bool has_console_kind = false;
+  ConsoleKind console_kind = ConsoleKind::None;  ///< valid when has_console_kind
+
+  [[nodiscard]] bool empty() const noexcept {
+    return ram_size == 0 && !has_console_kind;
+  }
+};
+
+/// Parse tuning text; EINVAL with a line-numbered message on malformed
+/// input, like parse_cell_config.
+[[nodiscard]] util::Expected<CellTuning> parse_cell_tuning(std::string_view text);
+
+/// Apply tuning to a workload cell config: resize its "ram" region and/or
+/// switch the console kind. Switching to a trapped console also removes
+/// the IO mapping that covers the console UART, so every console access
+/// takes the stage-2 trap path (the hypervisor's UART emulation).
+void apply_cell_tuning(CellConfig& config, const CellTuning& tuning);
+
 }  // namespace mcs::jh

@@ -1,5 +1,7 @@
 #include "hypervisor/machine.hpp"
 
+#include <algorithm>
+
 #include "hypervisor/watchdog.hpp"
 #include "util/bitops.hpp"
 
@@ -84,8 +86,50 @@ void Machine::run_guest_quantum(int cpu) {
   image->run_quantum(ctx);
 }
 
+std::uint64_t Machine::inert_span(util::Ticks target) const {
+  // A core that is online runs a quantum every tick; a core in bring-up
+  // takes its HYP entry next tick. Either forces the per-tick sequence.
+  // (A parked/failed/off core is skipped by run_tick entirely, and on a
+  // panicked machine nothing executes at all — those spans are inert.)
+  if (!hv_->is_panicked()) {
+    for (int cpu = 0; cpu < platform::BananaPiBoard::num_cpus(); ++cpu) {
+      const arch::PowerState state = board_->cpu(cpu).power_state();
+      if (state == arch::PowerState::On || state == arch::PowerState::Booting) {
+        return 0;
+      }
+    }
+  }
+  const util::Ticks now = board_->now();
+  std::uint64_t span = (target - now).value;
+  const util::Ticks deadline = board_->next_device_deadline();
+  if (deadline != platform::kNoDeadline) {
+    span = std::min(span, (deadline - now).value);
+  }
+  if (watchdog_ != nullptr) {
+    span = std::min(span, watchdog_->ticks_to_next_check());
+  }
+  return span;
+}
+
+void Machine::run_until(util::Ticks target) {
+  while (board_->now() < target) {
+    std::uint64_t leap = 0;
+    if (policy_ == TickPolicy::EventDriven) leap = inert_span(target);
+    if (leap == 0) {
+      run_tick();
+      continue;
+    }
+    // Inert span: leap the board to the next event (devices fire there),
+    // then account the elapsed ticks to the watchdog — the same
+    // board-then-watchdog order the per-tick sequence uses, at the same
+    // board time, so alarms and log records land on identical ticks.
+    board_->advance_to(board_->now() + util::Ticks{leap});
+    if (watchdog_ != nullptr) watchdog_->on_ticks(leap);
+  }
+}
+
 void Machine::run_ticks(std::uint64_t n) {
-  for (std::uint64_t i = 0; i < n; ++i) run_tick();
+  run_until(board_->now() + util::Ticks{n});
 }
 
 // ---------------------------------------------------------------------------

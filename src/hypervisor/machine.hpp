@@ -4,6 +4,15 @@
 // quantum in the order the silicon would: device ticks raise interrupt
 // lines → cores in bring-up take their first HYP entry → pending IRQs
 // enter irqchip_handle_irq → online vCPUs run their guest quantum.
+//
+// Time advancement is event-driven by default: run_until() executes the
+// full per-tick sequence only while some core can actually run (online or
+// in bring-up, hypervisor alive), and otherwise leaps straight to the
+// next event — a device deadline, a watchdog check boundary, or the
+// window end. Leaps skip only provably-inert spans, so execution is
+// bit-identical to the legacy per-tick loop (asserted by the
+// tick-equivalence suite); TickPolicy::PerTick forces the legacy loop for
+// those golden comparisons.
 #pragma once
 
 #include <array>
@@ -16,6 +25,12 @@
 namespace mcs::jh {
 
 class CellWatchdog;
+
+/// How run_until()/run_ticks() advance time.
+enum class TickPolicy : std::uint8_t {
+  EventDriven,  ///< leap inert spans between deadlines (default)
+  PerTick,      ///< legacy: full tick sequence every board tick
+};
 
 class Machine {
  public:
@@ -33,11 +48,20 @@ class Machine {
   /// is owned by the caller and ticks after each board tick.
   void install_watchdog(CellWatchdog* watchdog) noexcept { watchdog_ = watchdog; }
 
+  void set_tick_policy(TickPolicy policy) noexcept { policy_ = policy; }
+  [[nodiscard]] TickPolicy tick_policy() const noexcept { return policy_; }
+
   /// One board tick: devices, bring-up entries, IRQ routing, quanta.
   void run_tick();
 
+  /// Advance machine time to the absolute tick `target` under the current
+  /// tick policy. The deadline-driven window primitive: scenarios land
+  /// injection windows on exact ticks by aiming run_until at them.
+  void run_until(util::Ticks target);
+
   /// Convenience: run `n` ticks (stops early only at hypervisor panic —
   /// time itself keeps flowing, but nothing executes on a dead machine).
+  /// Delegates to run_until(): one loop owns time advancement.
   void run_ticks(std::uint64_t n);
 
   [[nodiscard]] platform::BananaPiBoard& board() noexcept { return *board_; }
@@ -49,9 +73,15 @@ class Machine {
   void deliver_irqs(int cpu);
   void run_guest_quantum(int cpu);
 
+  /// Ticks of the span starting now during which no core can execute
+  /// (0 = some core needs per-tick service), bounded by `target`, the
+  /// earliest device deadline and the next watchdog check boundary.
+  [[nodiscard]] std::uint64_t inert_span(util::Ticks target) const;
+
   platform::BananaPiBoard* board_;
   Hypervisor* hv_;
   CellWatchdog* watchdog_ = nullptr;
+  TickPolicy policy_ = TickPolicy::EventDriven;
   std::array<GuestImage*, 16> images_{};         // by cell id, small & flat
   std::array<bool, irq::kMaxCpus> started_{};    // on_start() issued per cpu
 };

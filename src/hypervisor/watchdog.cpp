@@ -1,5 +1,8 @@
 #include "hypervisor/watchdog.hpp"
 
+#include <algorithm>
+#include <limits>
+
 namespace mcs::jh {
 
 std::string_view watchdog_alarm_name(WatchdogAlarm alarm) noexcept {
@@ -11,10 +14,22 @@ std::string_view watchdog_alarm_name(WatchdogAlarm alarm) noexcept {
   return "?";
 }
 
-void CellWatchdog::on_tick() {
-  ++ticks_;
-  if (ticks_ % options_.check_period != 0) return;
-  check_now();
+std::uint64_t CellWatchdog::ticks_to_next_check() const noexcept {
+  if (options_.check_period == 0) return std::numeric_limits<std::uint64_t>::max();
+  return options_.check_period - (ticks_ % options_.check_period);
+}
+
+void CellWatchdog::on_ticks(std::uint64_t n) {
+  if (options_.check_period == 0) {
+    ticks_ += n;
+    return;
+  }
+  while (n > 0) {
+    const std::uint64_t step = std::min(n, ticks_to_next_check());
+    ticks_ += step;
+    n -= step;
+    if (ticks_ % options_.check_period == 0) check_now();
+  }
 }
 
 void CellWatchdog::check_now() {

@@ -62,7 +62,16 @@ class CellWatchdog {
 
   /// Call once per board tick (the Machine does this when the watchdog is
   /// installed); cheap no-op between check periods.
-  void on_tick();
+  void on_tick() { on_ticks(1); }
+
+  /// Batch form for the event-driven scheduler: account `n` elapsed board
+  /// ticks at once, running a check round at every check-period boundary
+  /// the span crosses — identical to `n` on_tick() calls.
+  void on_ticks(std::uint64_t n);
+
+  /// Ticks until the next check round fires; the Machine never leaps past
+  /// this, so batched accounting stays check-for-check identical.
+  [[nodiscard]] std::uint64_t ticks_to_next_check() const noexcept;
 
   /// Force one check round immediately (tests).
   void check_now();

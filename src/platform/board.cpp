@@ -1,5 +1,7 @@
 #include "platform/board.hpp"
 
+#include <algorithm>
+
 namespace mcs::platform {
 
 BananaPiBoard::BananaPiBoard()
@@ -8,7 +10,7 @@ BananaPiBoard::BananaPiBoard()
       bus_(dram_),
       uart0_("uart0", kUart0Base, &gic_, kUart0Irq),
       uart1_("uart1", kUart1Base, &gic_, kUart1Irq),
-      timer_("timer", kTimerBase, gic_, kNumCpus),
+      timer_("timer", kTimerBase, gic_, kNumCpus, clock_),
       gpio_("gpio", kGpioBase) {
   for (int i = 0; i < kNumCpus; ++i) {
     cpus_[static_cast<std::size_t>(i)] = std::make_unique<arch::Cpu>(i);
@@ -18,18 +20,47 @@ BananaPiBoard::BananaPiBoard()
   (void)bus_.attach(uart1_);
   (void)bus_.attach(timer_);
   (void)bus_.attach(gpio_);
+  scheduled_ = {&uart0_, &uart1_, &timer_, &gpio_};
+}
+
+util::Ticks BananaPiBoard::next_device_deadline() const {
+  const util::Ticks now = clock_.now();
+  util::Ticks earliest = kNoDeadline;
+  for (const Device* device : scheduled_) {
+    earliest = std::min(earliest, device->next_deadline(now));
+  }
+  return earliest;
+}
+
+void BananaPiBoard::service_due_devices(util::Ticks now) {
+  for (Device* device : scheduled_) {
+    if (device->next_deadline(now) <= now) device->tick(now);
+  }
 }
 
 void BananaPiBoard::tick() {
   clock_.tick();
-  uart0_.tick(clock_.now());
-  uart1_.tick(clock_.now());
-  timer_.tick(clock_.now());
-  gpio_.tick(clock_.now());
+  service_due_devices(clock_.now());
+}
+
+void BananaPiBoard::advance_to(util::Ticks target) {
+  while (clock_.now() < target) {
+    const util::Ticks deadline = next_device_deadline();
+    if (deadline > target) {
+      // Nothing can fire before the window closes: one leap.
+      clock_.advance(target - clock_.now());
+      return;
+    }
+    // Deadlines are strictly future by contract; guard against a device
+    // that violates it so time always makes progress.
+    const util::Ticks stop = std::max(deadline, clock_.now() + util::Ticks{1});
+    clock_.advance(stop - clock_.now());
+    service_due_devices(clock_.now());
+  }
 }
 
 void BananaPiBoard::run_ticks(std::uint64_t n) {
-  for (std::uint64_t i = 0; i < n; ++i) tick();
+  advance_to(clock_.now() + util::Ticks{n});
 }
 
 void BananaPiBoard::reset() {

@@ -60,17 +60,33 @@ class BananaPiBoard {
   [[nodiscard]] Gpio& gpio() noexcept { return gpio_; }
   [[nodiscard]] util::EventLog& log() noexcept { return log_; }
 
-  /// Advance board time by one tick: clock, then every device.
+  /// Advance board time by one tick: clock, then every device whose
+  /// published deadline is due (O(changed devices), not O(devices)).
   void tick();
 
-  /// Advance by `n` ticks.
+  /// Advance by `n` ticks. Delegates to advance_to(): one loop owns time
+  /// advancement for the whole platform layer.
   void run_ticks(std::uint64_t n);
+
+  /// Event-driven time advance: leap straight from device deadline to
+  /// device deadline until `target`, servicing only the devices that are
+  /// due at each stop. Equivalent to ticking every device every tick —
+  /// devices keep absolute deadlines — but idle spans cost O(1).
+  void advance_to(util::Ticks target);
+
+  /// Earliest deadline any device has published (kNoDeadline when the
+  /// whole board is quiescent). Re-polled before every leap, so devices
+  /// reprogrammed mid-quantum are picked up without notification.
+  [[nodiscard]] util::Ticks next_device_deadline() const;
 
   /// Cold reset: CPUs, devices, interrupt state. DRAM contents survive
   /// (warm reboot semantics); the event log survives (it is the record).
   void reset();
 
  private:
+  /// Service every device whose deadline is due at `now`.
+  void service_due_devices(util::Ticks now);
+
   util::SimClock clock_;
   util::EventLog log_;
   mem::PhysicalMemory dram_;
@@ -81,6 +97,8 @@ class BananaPiBoard {
   PeriodicTimer timer_;
   Gpio gpio_;
   std::array<std::unique_ptr<arch::Cpu>, kNumCpus> cpus_;
+  /// The deadline queue: every ticking device, in legacy tick order.
+  std::array<Device*, 4> scheduled_{};
 };
 
 }  // namespace mcs::platform

@@ -1,8 +1,22 @@
 // MMIO device interface. Devices live in the Allwinner A20 peripheral
 // window (below DRAM); the bus routes physical accesses by range.
+//
+// Time contract (the event-driven tick scheduler):
+//
+//   Devices no longer receive an unconditional tick() callback on every
+//   board tick. Instead each device *publishes* the absolute tick of the
+//   next moment it needs service through next_deadline(), and the board
+//   calls tick(now) only when that deadline arrives. The board may leap
+//   the clock across any span that contains no published deadline, so
+//   tick(now) must treat `now` as authoritative absolute time — never
+//   count invocations. A device whose deadline can move outside tick()
+//   (e.g. a timer reprogrammed via MMIO mid-quantum) simply reports the
+//   new deadline on the next next_deadline() query; the board re-polls
+//   before every leap, so no explicit invalidation callback is needed.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <string_view>
 
@@ -12,6 +26,10 @@
 namespace mcs::platform {
 
 using PhysAddr = std::uint64_t;
+
+/// "Nothing scheduled": a deadline no simulation can reach.
+inline constexpr util::Ticks kNoDeadline{
+    std::numeric_limits<std::uint64_t>::max()};
 
 class Device {
  public:
@@ -36,7 +54,16 @@ class Device {
   /// Register write at byte offset from base.
   virtual util::Status mmio_write(std::uint64_t offset, std::uint32_t value) = 0;
 
-  /// Advance device time by one board tick (default: nothing to do).
+  /// Absolute tick of the next self-scheduled event (strictly in the
+  /// future), or kNoDeadline when the device is quiescent. The board
+  /// skips straight to the earliest published deadline.
+  [[nodiscard]] virtual util::Ticks next_deadline(util::Ticks /*now*/) const {
+    return kNoDeadline;
+  }
+
+  /// Service the device at absolute time `now`. Called only when a
+  /// published deadline is due; `now` may be arbitrarily far past the
+  /// previous call (default: nothing to do).
   virtual void tick(util::Ticks /*now*/) {}
 
   /// Cold reset.

@@ -15,6 +15,9 @@ inline constexpr std::uint64_t kGpioData = 0x0;   ///< bit per line, RW
 inline constexpr std::uint64_t kGpioDir = 0x4;    ///< 1 = output
 inline constexpr unsigned kGreenLedLine = 24;      ///< PH24 on the Banana Pi
 
+/// Time-quiescent device: lines change only under MMIO writes, so the
+/// GPIO block publishes no deadline (inherits kNoDeadline) and never
+/// constrains the board's event-driven leaps.
 class Gpio final : public Device {
  public:
   Gpio(std::string name, PhysAddr base);

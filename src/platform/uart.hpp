@@ -24,6 +24,9 @@ inline constexpr std::uint64_t kUartLsr = 0x14;  ///< line status
 inline constexpr std::uint32_t kLsrThrEmpty = 1u << 5;
 inline constexpr std::uint32_t kLsrDataReady = 1u << 0;
 
+/// Time-quiescent device: transmission is instantaneous in the model, so
+/// the UART publishes no deadline (inherits kNoDeadline) and never
+/// constrains the board's event-driven leaps.
 class Uart final : public Device {
  public:
   /// `gic`/`tx_irq` may be null/0 for a polled-only port.

@@ -170,8 +170,12 @@ TEST(LogSink, RoundTripsThroughTheRunLogParser) {
   EXPECT_EQ(parsed.entries[0].injections, 7u);
   EXPECT_EQ(parsed.entries[0].uart_bytes, 123u);
   EXPECT_EQ(parsed.entries[0].detect_latency_ms, 42u);
+  EXPECT_TRUE(parsed.entries[0].failure_detected);
   EXPECT_FALSE(parsed.entries[0].shutdown_reclaimed);
   EXPECT_EQ(parsed.entries[1].outcome, fi::Outcome::Correct);
+  // An undetected run carries no latency field: the flag — not a zero
+  // value — is what offline latency analytics must key on.
+  EXPECT_FALSE(parsed.entries[1].failure_detected);
   EXPECT_EQ(parsed.distribution().count(fi::Outcome::PanicPark), 1u);
 }
 

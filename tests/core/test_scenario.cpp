@@ -138,6 +138,84 @@ TEST(Scenario, SetupFailureIsAHarnessErrorNotASilentHang) {
   EXPECT_EQ(dist.count(Outcome::HarnessError), 2u);
 }
 
+// --- ScenarioRegistry::make: parameterised plans ----------------------------
+
+TEST(ScenarioRegistry, MakeBuildsTunedPlans) {
+  ScenarioRegistry& registry = ScenarioRegistry::instance();
+  ScenarioRegistry::MakeOptions options;
+  options.cell_tuning = "ram 0x00400000\nconsole trapped\n";
+  const auto plan = registry.make("freertos-steady", options);
+  ASSERT_TRUE(plan.is_ok());
+  EXPECT_EQ(plan.value().scenario, "freertos-steady");
+  EXPECT_EQ(plan.value().cell_tuning, options.cell_tuning);
+}
+
+TEST(ScenarioRegistry, MakeRejectsUnknownScenarioAndBadTuning) {
+  ScenarioRegistry& registry = ScenarioRegistry::instance();
+  EXPECT_FALSE(registry.make("no-such-scenario").is_ok());
+  ScenarioRegistry::MakeOptions bad;
+  bad.cell_tuning = "ram banana";
+  EXPECT_FALSE(registry.make("freertos-steady", bad).is_ok());
+}
+
+TEST(Scenario, TunedCellBootsWithResizedRamAndTrappedConsole) {
+  Testbed testbed;
+  jh::CellTuning tuning;
+  tuning.ram_size = 0x0040'0000;  // 4 MiB
+  tuning.has_console_kind = true;
+  tuning.console_kind = jh::ConsoleKind::Trapped;
+  testbed.set_cell_tuning(tuning);
+  ASSERT_TRUE(testbed.enable_hypervisor().is_ok());
+  testbed.boot_freertos_cell();
+  jh::Cell* cell = testbed.workload_cell();
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->config().console.kind, jh::ConsoleKind::Trapped);
+  bool found_ram = false;
+  for (const mem::MemRegion& region : cell->config().mem_regions) {
+    if (region.name == "ram") {
+      EXPECT_EQ(region.size, 0x0040'0000u);
+      found_ram = true;
+    }
+  }
+  EXPECT_TRUE(found_ram);
+
+  const std::uint64_t traps_before = testbed.hypervisor().counters().traps;
+  const std::size_t bytes_before = testbed.board().uart1().total_bytes();
+  testbed.run(1'000);
+  // Every console byte now takes the stage-2 trap path, yet still reaches
+  // the USART capture — the observable the monitor classifies.
+  EXPECT_GT(testbed.board().uart1().total_bytes(), bytes_before);
+  EXPECT_GT(testbed.hypervisor().counters().traps - traps_before, 100u);
+}
+
+TEST(Scenario, TunedCampaignRunsWithoutHarnessErrors) {
+  ScenarioRegistry::MakeOptions options;
+  options.cell_tuning = "ram 0x00200000\nconsole trapped\n";
+  auto made = ScenarioRegistry::instance().make("freertos-steady", options);
+  ASSERT_TRUE(made.is_ok());
+  TestPlan plan = made.value();
+  plan.runs = 2;
+  plan.duration_ticks = 1'500;
+  plan.phase = 2;
+  CampaignExecutor executor(plan);
+  const CampaignResult result = executor.execute();
+  ASSERT_EQ(result.runs.size(), 2u);
+  for (const RunResult& run : result.runs) {
+    EXPECT_NE(run.outcome, Outcome::HarnessError) << run.detail;
+  }
+}
+
+TEST(Scenario, MalformedTuningIsAHarnessError) {
+  TestPlan plan = paper_medium_trap_plan();
+  plan.cell_tuning = "ram banana";
+  plan.runs = 1;
+  CampaignExecutor executor(plan);
+  const CampaignResult result = executor.execute();
+  ASSERT_EQ(result.runs.size(), 1u);
+  EXPECT_EQ(result.runs[0].outcome, Outcome::HarnessError);
+  EXPECT_NE(result.runs[0].detail.find("cell tuning"), std::string::npos);
+}
+
 TEST(Scenario, UnknownScenarioKeyIsAHarnessError) {
   TestPlan plan = paper_medium_trap_plan();
   plan.scenario = "typo-scenario";

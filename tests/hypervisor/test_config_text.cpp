@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "platform/board.hpp"
 #include "util/rng.hpp"
 
 namespace mcs::jh {
@@ -132,6 +133,73 @@ TEST_P(ConfigFuzz, MutatedConfigsNeverCrashParser) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ConfigFuzz, ::testing::Values(1, 2, 3, 4, 5));
+
+// --- workload-cell tuning ---------------------------------------------------
+
+TEST(CellTuning, ParsesRamAndConsoleLines) {
+  const auto tuning = parse_cell_tuning(
+      "# tuned cell\n"
+      "ram 0x00200000\n"
+      "console trapped\n");
+  ASSERT_TRUE(tuning.is_ok());
+  EXPECT_EQ(tuning.value().ram_size, 0x20'0000u);
+  ASSERT_TRUE(tuning.value().has_console_kind);
+  EXPECT_EQ(tuning.value().console_kind, ConsoleKind::Trapped);
+}
+
+TEST(CellTuning, EmptyTextIsEmptyTuning) {
+  const auto tuning = parse_cell_tuning("\n  \n# nothing\n");
+  ASSERT_TRUE(tuning.is_ok());
+  EXPECT_TRUE(tuning.value().empty());
+}
+
+TEST(CellTuning, RejectsMalformedLinesWithLineNumbers) {
+  for (const char* bad : {"ram", "ram zero", "ram 0", "console",
+                          "console serial", "cpus 3", "ram 0x100 extra"}) {
+    const auto tuning = parse_cell_tuning(bad);
+    EXPECT_FALSE(tuning.is_ok()) << bad;
+    EXPECT_NE(tuning.status().message().find("line 1"), std::string::npos) << bad;
+  }
+}
+
+TEST(CellTuning, ApplyResizesRamRegion) {
+  CellConfig config = make_freertos_cell_config();
+  CellTuning tuning;
+  tuning.ram_size = 0x0020'0000;  // 2 MiB instead of 16
+  apply_cell_tuning(config, tuning);
+  bool found = false;
+  for (const mem::MemRegion& region : config.mem_regions) {
+    if (region.name == "ram") {
+      EXPECT_EQ(region.size, 0x0020'0000u);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(config.validate(2).is_ok());
+}
+
+TEST(CellTuning, ApplyTrappedConsoleUnmapsTheUartWindow) {
+  CellConfig config = make_freertos_cell_config();
+  CellTuning tuning;
+  tuning.has_console_kind = true;
+  tuning.console_kind = ConsoleKind::Trapped;
+  apply_cell_tuning(config, tuning);
+  EXPECT_EQ(config.console.kind, ConsoleKind::Trapped);
+  EXPECT_EQ(config.console.uart_base, platform::kUart1Base);
+  for (const mem::MemRegion& region : config.mem_regions) {
+    EXPECT_FALSE(region.phys_start <= platform::kUart1Base &&
+                 platform::kUart1Base < region.phys_start + region.size)
+        << "uart window '" << region.name << "' still mapped";
+  }
+  EXPECT_TRUE(config.validate(2).is_ok());
+}
+
+TEST(CellTuning, ApplyEmptyTuningIsIdentity) {
+  const CellConfig original = make_freertos_cell_config();
+  CellConfig tuned = make_freertos_cell_config();
+  apply_cell_tuning(tuned, CellTuning{});
+  EXPECT_EQ(to_text(tuned), to_text(original));
+}
 
 }  // namespace
 }  // namespace mcs::jh

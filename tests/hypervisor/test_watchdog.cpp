@@ -141,6 +141,32 @@ TEST_F(WatchdogTest, SilentAfterPanic) {
   testbed_.machine().install_watchdog(nullptr);
 }
 
+TEST_F(WatchdogTest, BatchedTicksMatchPerTickAccounting) {
+  // on_ticks(n) is the event-driven scheduler's accounting primitive; it
+  // must run check rounds at exactly the boundaries n on_tick() calls do.
+  testbed_.boot_freertos_cell();
+  testbed_.board().cpu(1).fail_boot("batch probe");
+
+  CellWatchdog stepped = make_watchdog(RemediationPolicy::ReportOnly);
+  CellWatchdog batched = make_watchdog(RemediationPolicy::ReportOnly);
+  for (int i = 0; i < 250; ++i) stepped.on_tick();
+  batched.on_ticks(37);   // crosses no boundary
+  batched.on_ticks(100);  // crosses the 100-tick boundary mid-span
+  batched.on_ticks(113);  // lands exactly on the 250th tick
+  EXPECT_EQ(stepped.alarms(), batched.alarms());
+  ASSERT_GE(batched.alarms(), 1u);
+  EXPECT_EQ(stepped.events()[0].alarm, batched.events()[0].alarm);
+}
+
+TEST_F(WatchdogTest, TicksToNextCheckTracksBoundaries) {
+  CellWatchdog watchdog = make_watchdog(RemediationPolicy::ReportOnly);
+  EXPECT_EQ(watchdog.ticks_to_next_check(), 100u);
+  watchdog.on_ticks(37);
+  EXPECT_EQ(watchdog.ticks_to_next_check(), 63u);
+  watchdog.on_ticks(63);
+  EXPECT_EQ(watchdog.ticks_to_next_check(), 100u);
+}
+
 TEST_F(WatchdogTest, AlarmNames) {
   EXPECT_EQ(watchdog_alarm_name(WatchdogAlarm::CpuDead), "cpu-dead");
   EXPECT_EQ(watchdog_alarm_name(WatchdogAlarm::CpuParked), "cpu-parked");

@@ -61,5 +61,41 @@ TEST(Board, EventLogIsShared) {
   EXPECT_EQ(board.log().size(), 1u);
 }
 
+// --- the deadline scheduler -------------------------------------------------
+
+TEST(Board, QuiescentBoardPublishesNoDeadline) {
+  BananaPiBoard board;
+  EXPECT_EQ(board.next_device_deadline(), kNoDeadline);
+  board.advance_to(util::Ticks{100'000});  // one leap, no device service
+  EXPECT_EQ(board.now().value, 100'000u);
+}
+
+TEST(Board, AdvanceToStopsAtEveryTimerDeadline) {
+  BananaPiBoard board;
+  board.timer().start(0, 100);
+  board.advance_to(util::Ticks{1'000});
+  EXPECT_EQ(board.now().value, 1'000u);
+  EXPECT_EQ(board.timer().fires(0), 10u);
+  EXPECT_TRUE(board.gic().is_pending(kVirtualTimerPpi, 0));
+}
+
+TEST(Board, AdvanceToMatchesPerTickPolling) {
+  // The golden property at board level: leaping produces exactly the
+  // state per-tick polling does.
+  BananaPiBoard polled;
+  BananaPiBoard leaped;
+  for (BananaPiBoard* board : {&polled, &leaped}) {
+    board->timer().start(0, 7);
+    board->timer().start(1, 13);
+  }
+  for (int i = 0; i < 200; ++i) polled.tick();
+  leaped.advance_to(util::Ticks{200});
+  EXPECT_EQ(polled.now(), leaped.now());
+  EXPECT_EQ(polled.timer().fires(0), leaped.timer().fires(0));
+  EXPECT_EQ(polled.timer().fires(1), leaped.timer().fires(1));
+  EXPECT_EQ(polled.timer().fires(0), 200u / 7u);
+  EXPECT_EQ(polled.timer().fires(1), 200u / 13u);
+}
+
 }  // namespace
 }  // namespace mcs::platform
