@@ -16,8 +16,12 @@
 #include <chrono>
 #include <cstring>
 #include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "core/executor.hpp"
+#include "platform/board_registry.hpp"
 
 namespace {
 
@@ -30,30 +34,36 @@ using namespace mcs;
 // irq-heavy: the full FreeRTOS testbed, where every tick bears the guest
 // tick interrupt and a scheduling quantum — nothing is leapable, so the
 // event-driven path must cost the same as per-tick polling.
+// Both run on each registered board so the perf trajectory can compare
+// topologies (the 4-CPU board bears double the per-tick IRQ traffic).
 
 /// Seconds spent advancing the idle-heavy board by `ticks` (fixture cost
 /// excluded).
-double time_idle_board(bool event_driven, std::uint64_t ticks) {
-  platform::BananaPiBoard board;
-  board.timer().start(0, 100);
+double time_idle_board(const std::string& board_name, bool event_driven,
+                       std::uint64_t ticks) {
+  std::unique_ptr<platform::Board> board = platform::make_board(board_name);
+  board->timer().start(0, 100);
   const auto begin = std::chrono::steady_clock::now();
   if (event_driven) {
-    board.run_ticks(ticks);
+    board->run_ticks(ticks);
   } else {
-    for (std::uint64_t i = 0; i < ticks; ++i) board.tick();
+    for (std::uint64_t i = 0; i < ticks; ++i) board->tick();
   }
   const auto end = std::chrono::steady_clock::now();
-  benchmark::DoNotOptimize(board.timer().fires(0));
+  benchmark::DoNotOptimize(board->timer().fires(0));
   return std::chrono::duration<double>(end - begin).count();
 }
 
 /// Seconds spent advancing the IRQ-heavy testbed by `ticks` (boot cost
-/// excluded).
-double time_irq_heavy_testbed(jh::TickPolicy policy, std::uint64_t ticks) {
-  fi::Testbed testbed;
+/// excluded). On boards with spare cores the OSEK cell runs concurrently,
+/// so the measured path carries both guests' interrupt traffic.
+double time_irq_heavy_testbed(const std::string& board_name,
+                              jh::TickPolicy policy, std::uint64_t ticks) {
+  fi::Testbed testbed(platform::make_board(board_name));
   testbed.set_tick_policy(policy);
   (void)testbed.enable_hypervisor();
   testbed.boot_freertos_cell();
+  if (testbed.supports_concurrent_cells()) testbed.boot_secondary_osek_cell();
   const auto begin = std::chrono::steady_clock::now();
   testbed.run(ticks);
   const auto end = std::chrono::steady_clock::now();
@@ -269,38 +279,53 @@ BENCHMARK(BM_ExecutorThroughput)
 
 // --- machine-readable tick-throughput summary ---------------------------------
 
-void emit_json_entry(std::ostream& out, const char* workload,
-                     const char* policy, std::uint64_t ticks, double seconds,
-                     bool last) {
-  out << "    {\"workload\": \"" << workload << "\", \"policy\": \"" << policy
-      << "\", \"ticks\": " << ticks << ", \"seconds\": " << seconds
-      << ", \"ticks_per_sec\": "
+void emit_json_entry(std::ostream& out, const std::string& board,
+                     const char* workload, const char* policy,
+                     std::uint64_t ticks, double seconds, bool last) {
+  out << "    {\"board\": \"" << board << "\", \"workload\": \"" << workload
+      << "\", \"policy\": \"" << policy << "\", \"ticks\": " << ticks
+      << ", \"seconds\": " << seconds << ", \"ticks_per_sec\": "
       << (seconds > 0 ? static_cast<double>(ticks) / seconds : 0.0) << "}"
       << (last ? "\n" : ",\n");
 }
 
-/// `--ticks-json`: measure the four tick-scheduler workloads and print one
-/// JSON document — the CI artifact that trends the deadline scheduler.
+/// `--ticks-json`: measure the idle-heavy / IRQ-heavy workload pair under
+/// both tick policies on each board variant and print one JSON document —
+/// the CI artifact that trends the deadline scheduler across topologies.
 int run_ticks_json() {
   constexpr std::uint64_t kIdleTicks = 2'000'000;
   constexpr std::uint64_t kIrqTicks = 100'000;
-  const double idle_per_tick = time_idle_board(false, kIdleTicks);
-  const double idle_event = time_idle_board(true, kIdleTicks);
-  const double irq_per_tick =
-      time_irq_heavy_testbed(jh::TickPolicy::PerTick, kIrqTicks);
-  const double irq_event =
-      time_irq_heavy_testbed(jh::TickPolicy::EventDriven, kIrqTicks);
+  const std::vector<std::string> boards = {"bananapi", "quad-a7"};
 
   std::ostream& out = std::cout;
   out << "{\n  \"tick_throughput\": [\n";
-  emit_json_entry(out, "idle-heavy", "per-tick", kIdleTicks, idle_per_tick, false);
-  emit_json_entry(out, "idle-heavy", "event-driven", kIdleTicks, idle_event, false);
-  emit_json_entry(out, "irq-heavy", "per-tick", kIrqTicks, irq_per_tick, false);
-  emit_json_entry(out, "irq-heavy", "event-driven", kIrqTicks, irq_event, true);
-  out << "  ],\n  \"speedup\": {\"idle_heavy\": "
-      << (idle_event > 0 ? idle_per_tick / idle_event : 0.0)
-      << ", \"irq_heavy\": "
-      << (irq_event > 0 ? irq_per_tick / irq_event : 0.0) << "}\n}\n";
+  double first_idle_speedup = 0.0;
+  double first_irq_speedup = 0.0;
+  for (std::size_t i = 0; i < boards.size(); ++i) {
+    const std::string& board = boards[i];
+    const bool last_board = i + 1 == boards.size();
+    const double idle_per_tick = time_idle_board(board, false, kIdleTicks);
+    const double idle_event = time_idle_board(board, true, kIdleTicks);
+    const double irq_per_tick =
+        time_irq_heavy_testbed(board, jh::TickPolicy::PerTick, kIrqTicks);
+    const double irq_event =
+        time_irq_heavy_testbed(board, jh::TickPolicy::EventDriven, kIrqTicks);
+    emit_json_entry(out, board, "idle-heavy", "per-tick", kIdleTicks,
+                    idle_per_tick, false);
+    emit_json_entry(out, board, "idle-heavy", "event-driven", kIdleTicks,
+                    idle_event, false);
+    emit_json_entry(out, board, "irq-heavy", "per-tick", kIrqTicks,
+                    irq_per_tick, false);
+    emit_json_entry(out, board, "irq-heavy", "event-driven", kIrqTicks,
+                    irq_event, last_board);
+    if (i == 0) {
+      first_idle_speedup = idle_event > 0 ? idle_per_tick / idle_event : 0.0;
+      first_irq_speedup = irq_event > 0 ? irq_per_tick / irq_event : 0.0;
+    }
+  }
+  // Headline speedups keep the original (bananapi) trend-line keys.
+  out << "  ],\n  \"speedup\": {\"idle_heavy\": " << first_idle_speedup
+      << ", \"irq_heavy\": " << first_irq_speedup << "}\n}\n";
   return 0;
 }
 

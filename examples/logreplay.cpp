@@ -10,6 +10,7 @@
 //   $ ./fault_campaign dual-cell 64 > campaign.log
 //   $ ./logreplay campaign.log
 //   $ ./logreplay - < campaign.log        # read stdin
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -28,28 +29,59 @@ int main(int argc, char** argv) {
     return argc == 2 ? 0 : 1;
   }
 
+  // Exit codes: 0 replayed, 1 malformed/empty log, 2 unreadable input.
   std::string text;
   const std::string path = argv[1];
   if (path == "-") {
     std::ostringstream buffer;
     buffer << std::cin.rdbuf();
+    if (std::cin.bad()) {
+      std::cerr << "logreplay: error reading stdin\n";
+      return 2;
+    }
     text = buffer.str();
   } else {
+    // ifstream::open happily opens a directory on Linux and the read
+    // merely sets failbit, so catch that case explicitly.
+    std::error_code ec;
+    if (std::filesystem::is_directory(path, ec)) {
+      std::cerr << "logreplay: '" << path << "' is a directory\n";
+      return 2;
+    }
     std::ifstream file(path);
     if (!file) {
       std::cerr << "logreplay: cannot open '" << path << "'\n";
-      return 1;
+      return 2;
     }
     std::ostringstream buffer;
     buffer << file.rdbuf();
+    if (file.bad() || buffer.bad()) {
+      // Opened but not readable (I/O error).
+      std::cerr << "logreplay: error reading '" << path << "'\n";
+      return 2;
+    }
     text = buffer.str();
+  }
+
+  if (text.empty()) {
+    std::cerr << "logreplay: no data in '" << path
+              << "' (empty file or unreadable path) — not a campaign log\n";
+    return 1;
   }
 
   const analysis::ParsedRunLog parsed = analysis::parse_run_log(text);
   if (parsed.entries.empty()) {
-    std::cerr << "logreplay: no run lines found ("
-              << parsed.malformed_lines << " non-run lines skipped)\n";
+    std::cerr << "logreplay: no run lines found in '" << path << "' ("
+              << parsed.malformed_lines
+              << " non-run lines skipped) — is this a campaign log "
+                 "(fault_campaign stdout)?\n";
     return 1;
+  }
+  if (parsed.malformed_lines > 0) {
+    // Headers/footers are expected in a full campaign capture; still
+    // surface the count so truncated or mangled logs are noticed.
+    std::cerr << "logreplay: note: " << parsed.malformed_lines
+              << " non-run lines skipped\n";
   }
 
   // Rebuild the mergeable aggregates the live LogSink would have kept.

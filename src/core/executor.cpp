@@ -7,6 +7,7 @@
 
 #include "core/injector.hpp"
 #include "core/monitor.hpp"
+#include "platform/board_registry.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -45,7 +46,15 @@ RunResult CampaignExecutor::run_with(const Scenario* scenario,
     return harness_error("bad cell tuning: " + tuning_status_.to_string());
   }
 
-  Testbed testbed;
+  // Each run gets a private board built from the registry: the tuning's
+  // `board` key (if any) overrides the plan's.
+  const std::string& board_name =
+      !tuning_.board.empty() ? tuning_.board : plan_.board;
+  std::unique_ptr<platform::Board> board = platform::make_board(board_name);
+  if (board == nullptr) {
+    return harness_error("unknown board '" + board_name + "'");
+  }
+  Testbed testbed(std::move(board));
   testbed.set_tick_policy(config_.tick_policy);
   if (!tuning_.empty()) testbed.set_cell_tuning(tuning_);
   // An unbootable testbed is a harness bug, not an experiment outcome.

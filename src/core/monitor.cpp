@@ -7,6 +7,8 @@ void RunMonitor::begin(Testbed& testbed) {
   uart1_mark_ = testbed.board().uart1().total_bytes();
   led_mark_ = testbed.board().gpio().led_toggles();
   validated_mark_ = testbed.freertos().messages_validated();
+  jh::Cell* workload = testbed.workload_cell();
+  workload_console_mark_ = workload != nullptr ? workload->console_bytes : 0;
 }
 
 // The monitored workload cell is whatever the scenario last booted on the
@@ -16,7 +18,7 @@ void RunMonitor::begin(Testbed& testbed) {
 
 RunResult RunMonitor::finish(Testbed& testbed) const {
   RunResult result;
-  platform::BananaPiBoard& board = testbed.board();
+  platform::Board& board = testbed.board();
   jh::Hypervisor& hv = testbed.hypervisor();
 
   result.uart1_bytes = board.uart1().bytes_since(uart1_mark_);
@@ -59,7 +61,11 @@ RunResult RunMonitor::finish(Testbed& testbed) const {
     return result;
   }
 
-  const arch::Cpu& cpu1 = board.cpu(Testbed::kFreeRtosCpu);
+  // The workload CPU comes from the cell's own config: board variants pin
+  // cells to different cores (e.g. the OSEK cell on core 2 of quad-a7).
+  const int workload_cpu =
+      cell->config().cpus.empty() ? Testbed::kFreeRtosCpu : cell->config().cpus.front();
+  const arch::Cpu& cpu1 = board.cpu(workload_cpu);
   switch (cpu1.power_state()) {
     case arch::PowerState::Parked:
       result.outcome = Outcome::CpuPark;
@@ -89,14 +95,68 @@ RunResult RunMonitor::finish(Testbed& testbed) const {
       break;
   }
 
-  // 3. CPU online, cell running: the USART decides.
-  if (result.uart1_bytes >= kLiveOutputThreshold) {
+  // 3. Secondary (concurrent) cell: the same bookkeeping-vs-physical-
+  //    truth checks as the monitored cell — its failures must not hide
+  //    behind a healthy workload on the other core.
+  jh::Cell* secondary = testbed.secondary_cell();
+  if (secondary != nullptr && secondary->state() == jh::CellState::Running &&
+      !secondary->config().cpus.empty()) {
+    const arch::Cpu& cpu2 = board.cpu(secondary->config().cpus.front());
+    switch (cpu2.power_state()) {
+      case arch::PowerState::Parked:
+        result.outcome = Outcome::CpuPark;
+        result.detail =
+            "secondary cell '" + secondary->name() + "': " + cpu2.halt_reason();
+        return result;
+      case arch::PowerState::Failed:
+      case arch::PowerState::Booting:
+      case arch::PowerState::Off:
+        result.outcome = Outcome::InconsistentCell;
+        result.detail = "secondary cell '" + secondary->name() +
+                        "' state=" +
+                        std::string(jh::cell_state_name(secondary->state())) +
+                        " but CPU " +
+                        std::string(arch::power_state_name(cpu2.power_state()));
+        return result;
+      case arch::PowerState::On:
+        break;
+    }
+  }
+
+  // 4. Cross-cell traffic: a monitored cell that looks alive can still
+  //    have had its inter-cell channel corrupted — lost doorbells, stale
+  //    or mismatched payloads, ring faults. Only the ivshmem-traffic
+  //    scenario feeds these stats; they are all-zero otherwise. The
+  //    hypervisor-detected failures above stay the more precise verdicts.
+  const IvshmemTrafficStats& xcell = testbed.ivshmem_stats();
+  if (xcell.traffic_disrupted()) {
+    result.outcome = Outcome::CrossCellCorruption;
+    result.detail = "cross-cell traffic disrupted (corrupted=" +
+                    std::to_string(xcell.corrupted) + ", lost_doorbells=" +
+                    std::to_string(xcell.lost_doorbells) + ", ring_errors=" +
+                    std::to_string(xcell.protocol_errors + xcell.send_failures) +
+                    ", ok=" + std::to_string(xcell.received) + "/" +
+                    std::to_string(xcell.sent) + ")";
+    return result;
+  }
+
+  // 5. CPU online, cell running: console output decides. With a
+  //    concurrent secondary cell resident the shared USART carries both
+  //    consoles, so the monitored cell is judged by its *own* console
+  //    byte counter — a hung workload cannot hide behind its peer's
+  //    output. Single-cell deployments keep the USART observable the
+  //    paper's analysts watched.
+  const std::uint64_t live_bytes =
+      secondary != nullptr ? cell->console_bytes - workload_console_mark_
+                           : result.uart1_bytes;
+  if (live_bytes >= kLiveOutputThreshold) {
     result.outcome = Outcome::Correct;
-    result.detail = "workload live (" + std::to_string(result.uart1_bytes) +
-                    " USART bytes)";
+    result.detail = "workload live (" + std::to_string(live_bytes) +
+                    (secondary != nullptr ? " console bytes)" : " USART bytes)");
   } else {
     result.outcome = Outcome::SilentHang;
-    result.detail = "CPU online but USART silent";
+    result.detail = secondary != nullptr ? "CPU online but workload console silent"
+                                         : "CPU online but USART silent";
   }
   return result;
 }
@@ -107,11 +167,15 @@ bool probe_shutdown_reclaims(Testbed& testbed) {
   const jh::CellId id = testbed.workload_cell_id();
   if (id == 0 || hv.find_cell(id) == nullptr) return false;
 
+  const jh::Cell* pre = hv.find_cell(id);
+  const int workload_cpu = (pre != nullptr && !pre->config().cpus.empty())
+                               ? pre->config().cpus.front()
+                               : Testbed::kFreeRtosCpu;
   testbed.shutdown_workload_cell();
   const jh::Cell* cell = hv.find_cell(id);
   const bool state_ok =
       cell != nullptr && cell->state() == jh::CellState::ShutDown;
-  const bool cpu_back = hv.cpu_owner(Testbed::kFreeRtosCpu) == jh::kRootCellId;
+  const bool cpu_back = hv.cpu_owner(workload_cpu) == jh::kRootCellId;
   return state_ok && cpu_back && !hv.is_panicked();
 }
 

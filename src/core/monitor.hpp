@@ -39,6 +39,10 @@ class RunMonitor {
   std::uint64_t uart1_mark_ = 0;
   std::uint64_t led_mark_ = 0;
   std::uint64_t validated_mark_ = 0;
+  /// Workload cell's own console-byte counter at window open: on boards
+  /// hosting a concurrent secondary cell the shared USART aggregates both
+  /// consoles, so workload liveness is judged by the cell's counter.
+  std::uint64_t workload_console_mark_ = 0;
 };
 
 /// Post-mortem probe for §III's recovery claims: issue `jailhouse cell

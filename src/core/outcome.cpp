@@ -11,6 +11,7 @@ std::string_view outcome_name(Outcome outcome) noexcept {
     case Outcome::CpuPark: return "cpu-park";
     case Outcome::SilentHang: return "silent-hang";
     case Outcome::HarnessError: return "harness-error";
+    case Outcome::CrossCellCorruption: return "cross-cell-corruption";
   }
   return "?";
 }

@@ -36,9 +36,15 @@ enum class Outcome : std::uint8_t {
   /// taxonomy: runs in this bucket indicate a broken setup, not a fault
   /// effect, and must be investigated rather than aggregated.
   HarnessError,
+  /// Inter-cell (ivshmem) traffic between two concurrent cells was
+  /// corrupted or disrupted — stale/lost doorbells, mismatched payloads,
+  /// ring protocol errors — while the monitored cell itself still looked
+  /// alive. The isolation-threat bucket the ivshmem-traffic scenario
+  /// classifies; invisible to single-cell observables.
+  CrossCellCorruption,
 };
 
-inline constexpr std::size_t kNumOutcomes = 7;
+inline constexpr std::size_t kNumOutcomes = 8;
 
 [[nodiscard]] std::string_view outcome_name(Outcome outcome) noexcept;
 

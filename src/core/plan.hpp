@@ -34,6 +34,9 @@ struct TestPlan {
   std::string name = "unnamed";
   /// ScenarioRegistry key selecting the per-run workload lifecycle.
   std::string scenario = "freertos-steady";
+  /// platform::BoardRegistry key selecting the testbed hardware variant
+  /// each run is built on ("bananapi", "quad-a7", …).
+  std::string board = "bananapi";
   jh::HookPoint target = jh::HookPoint::ArchHandleTrap;
   FaultModelKind fault = FaultModelKind::SingleBitFlip;
   std::vector<arch::Reg> fault_registers;  ///< empty → model default

@@ -71,13 +71,18 @@ class Scenario {
   [[nodiscard]] TestPlan make_plan(TestPlan base) const;
 };
 
-/// String-keyed scenario registry. The four built-in scenarios are
+/// String-keyed scenario registry. The five built-in scenarios are
 /// registered on first access:
 ///
 ///   freertos-steady     Fig. 3: boot FreeRTOS clean, inject steady state
 ///   inject-during-boot  §III high intensity: injector live during boot
 ///   osek-cell           AUTOSAR/OSEK payload in the non-root partition
-///   dual-cell           FreeRTOS first half, managed swap to OSEK second
+///   dual-cell           both payloads: concurrent cells on dedicated
+///                       cores (≥4-CPU boards), else the managed
+///                       mid-window swap on the shared non-root core
+///   ivshmem-traffic     two concurrent cells exchanging doorbell +
+///                       shared-memory traffic under injection
+///                       (quad-a7 by default; needs spare cores)
 ///
 /// Lookup is thread-safe; registration of additional scenarios must happen
 /// before campaigns start executing.
@@ -93,7 +98,9 @@ class ScenarioRegistry {
   [[nodiscard]] const Scenario* find(std::string_view name) const;
 
   /// Options for make(): a base plan plus workload-cell tuning text in
-  /// the config-text vocabulary ("ram 0x200000\nconsole trapped").
+  /// the config-text vocabulary ("ram 0x200000\nconsole trapped\nboard
+  /// quad-a7"). A `board` line selects the testbed hardware variant and
+  /// overrides the scenario's default board.
   struct MakeOptions {
     const TestPlan* base = nullptr;  ///< nullptr → the paper's medium plan
     std::string cell_tuning;         ///< validated with parse_cell_tuning
@@ -101,7 +108,8 @@ class ScenarioRegistry {
 
   /// Build a ready-to-execute plan for a registered scenario: scenario
   /// defaults applied on top of the base, cell tuning validated and
-  /// attached. EINVAL for an unknown scenario key or malformed tuning.
+  /// attached. EINVAL for an unknown scenario key, malformed tuning, or
+  /// an unregistered board key.
   [[nodiscard]] util::Expected<TestPlan> make(std::string_view name,
                                               const MakeOptions& options) const;
   [[nodiscard]] util::Expected<TestPlan> make(std::string_view name) const {

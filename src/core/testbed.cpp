@@ -1,19 +1,50 @@
 #include "core/testbed.hpp"
 
 #include "hypervisor/cell_config.hpp"
+#include "hypervisor/ivshmem.hpp"
 
 namespace mcs::fi {
 
-Testbed::Testbed() : hv_(board_), machine_(board_, hv_) {}
+Testbed::Testbed() : Testbed(std::make_unique<platform::BananaPiBoard>()) {}
+
+Testbed::Testbed(std::unique_ptr<platform::Board> board)
+    : board_(board != nullptr ? std::move(board)
+                              : std::make_unique<platform::BananaPiBoard>()),
+      hv_(*board_),
+      machine_(*board_, hv_) {}
 
 util::Status Testbed::enable_hypervisor() {
   if (enabled_) return util::ok_status();
-  MCS_RETURN_IF_ERROR(hv_.enable(jh::make_root_cell_config()));
+  MCS_RETURN_IF_ERROR(hv_.enable(jh::make_root_cell_config(board_->spec())));
   machine_.bind_guest(jh::kRootCellId, linux_);
   jh::CellConfig freertos_config = jh::make_freertos_cell_config();
-  jh::CellConfig osek_config = jh::make_osek_cell_config();
+  jh::CellConfig osek_config = jh::make_osek_cell_config(osek_cpu());
   jh::apply_cell_tuning(freertos_config, tuning_);
   jh::apply_cell_tuning(osek_config, tuning_);
+  if (supports_concurrent_cells()) {
+    // Both non-root cells can be resident at once on this board, and
+    // there is exactly one spare USART and one PIO block between them:
+    // declare the peripheral windows ROOTSHARED in both inmate configs
+    // (the Jailhouse pattern for shared devices) so neither cell carves
+    // them out of its peer — an exclusive claim by the first create
+    // would make the second create fail root-coverage validation.
+    const auto share_io_windows = [](jh::CellConfig& config) {
+      for (mem::MemRegion& region : config.mem_regions) {
+        if ((region.flags & mem::kMemIo) != 0) {
+          region.flags |= mem::kMemRootShared;
+        }
+      }
+    };
+    share_io_windows(freertos_config);
+    share_io_windows(osek_config);
+  }
+  if (ivshmem_) {
+    // Both non-root cells map the whole ROOTSHARED window; the create
+    // path leaves shared windows resident in the root map, so two
+    // concurrent cells can both declare it.
+    freertos_config.mem_regions.push_back(jh::make_ivshmem_region());
+    osek_config.mem_regions.push_back(jh::make_ivshmem_region());
+  }
   hv_.register_config(kFreeRtosConfigAddr, std::move(freertos_config));
   hv_.register_config(kOsekConfigAddr, std::move(osek_config));
   enabled_ = true;
@@ -37,6 +68,21 @@ void Testbed::boot_cell(std::uint64_t config_addr, jh::GuestImage& image) {
   run(20);  // ioctl + CPU hot-plug bring-up window
 }
 
+void Testbed::boot_secondary_osek_cell() {
+  const std::uint32_t created_before = linux_.last_created_cell();
+  linux_.cell_create(static_cast<std::uint32_t>(kOsekConfigAddr));
+  run(5);
+  const std::uint32_t created = linux_.last_created_cell();
+  if (created != 0 && created != created_before) {
+    secondary_cell_id_ = created;
+    machine_.bind_guest(secondary_cell_id_, osek_);
+    linux_.cell_start(secondary_cell_id_);
+  } else {
+    linux_.cell_start(0);
+  }
+  run(20);
+}
+
 void Testbed::shutdown_workload_cell() {
   if (cell_id_ == 0) return;
   linux_.cell_shutdown(cell_id_);
@@ -56,17 +102,23 @@ void Testbed::run(std::uint64_t ticks) { machine_.run_ticks(ticks); }
 void Testbed::run_until(util::Ticks target) { machine_.run_until(target); }
 
 Testbed::GoldenProfile Testbed::profile_golden(std::uint64_t ticks) {
+  const int cpus = board_->num_cpus();
   const jh::Counters before = hv_.counters();
-  const std::uint64_t cpu0_before = board_.cpu(0).trap_entries;
-  const std::uint64_t cpu1_before = board_.cpu(1).trap_entries;
+  std::vector<std::uint64_t> traps_before(static_cast<std::size_t>(cpus));
+  for (int cpu = 0; cpu < cpus; ++cpu) {
+    traps_before[static_cast<std::size_t>(cpu)] = board_->cpu(cpu).trap_entries;
+  }
   run(ticks);
   const jh::Counters& after = hv_.counters();
   GoldenProfile profile;
   profile.irqchip_entries = after.irqs - before.irqs;
   profile.trap_entries = after.traps - before.traps;
   profile.hvc_entries = after.hvcs - before.hvcs;
-  profile.per_cpu_traps[0] = board_.cpu(0).trap_entries - cpu0_before;
-  profile.per_cpu_traps[1] = board_.cpu(1).trap_entries - cpu1_before;
+  profile.per_cpu_traps.resize(static_cast<std::size_t>(cpus));
+  for (int cpu = 0; cpu < cpus; ++cpu) {
+    profile.per_cpu_traps[static_cast<std::size_t>(cpu)] =
+        board_->cpu(cpu).trap_entries - traps_before[static_cast<std::size_t>(cpu)];
+  }
   return profile;
 }
 

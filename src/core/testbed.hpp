@@ -6,11 +6,17 @@
 // purpose Linux was running and a non-root cell in which we run FreeRTOS
 // [...]. We statically assigned the board CPU core 0 to the root cell and
 // the CPU core 1 to the non-root cell."
+//
+// The board itself is pluggable: by default the paper's Banana Pi, but any
+// platform::Board (e.g. the 4-CPU quad-a7 variant) can be injected, in
+// which case a *secondary* non-root cell can run concurrently on its own
+// core and the two cells can exchange ivshmem traffic.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "guests/freertos_image.hpp"
 #include "guests/linux_root.hpp"
@@ -28,9 +34,29 @@ namespace mcs::fi {
 inline constexpr std::uint64_t kFreeRtosConfigAddr = 0x4800'0000;
 inline constexpr std::uint64_t kOsekConfigAddr = 0x4810'0000;
 
+/// Harness-side counters for the ivshmem cross-cell-traffic protocol
+/// (filled by the ivshmem-traffic scenario, classified by the monitor).
+struct IvshmemTrafficStats {
+  std::uint64_t sent = 0;             ///< messages queued on either ring
+  std::uint64_t received = 0;         ///< messages popped and validated OK
+  std::uint64_t corrupted = 0;        ///< payload mismatch on receive
+  std::uint64_t protocol_errors = 0;  ///< ring faults (corrupt length, EBUSY…)
+  std::uint64_t lost_doorbells = 0;   ///< doorbell rung but never delivered
+  std::uint64_t send_failures = 0;    ///< ring full / unmapped on send
+
+  [[nodiscard]] bool traffic_disrupted() const noexcept {
+    return corrupted + protocol_errors + lost_doorbells + send_failures > 0;
+  }
+};
+
 class Testbed {
  public:
+  /// The paper's default testbed (Banana Pi board).
   Testbed();
+
+  /// Testbed on an injected board variant (from the BoardRegistry). A
+  /// null board falls back to the default Banana Pi.
+  explicit Testbed(std::unique_ptr<platform::Board> board);
 
   Testbed(const Testbed&) = delete;
   Testbed& operator=(const Testbed&) = delete;
@@ -42,6 +68,12 @@ class Testbed {
   /// Workload-cell tuning (RAM size, console kind) applied to the staged
   /// non-root cell configs. Must be set before enable_hypervisor().
   void set_cell_tuning(const jh::CellTuning& tuning) { tuning_ = tuning; }
+
+  /// Stage the ivshmem shared window in both non-root cell configs so two
+  /// concurrent cells can exchange doorbell + shared-memory traffic. Must
+  /// be set before enable_hypervisor().
+  void set_ivshmem(bool enabled) noexcept { ivshmem_ = enabled; }
+  [[nodiscard]] bool ivshmem_enabled() const noexcept { return ivshmem_; }
 
   /// Time-advance policy for the underlying machine; TickPolicy::PerTick
   /// forces the legacy polling loop (golden-equivalence comparisons).
@@ -57,9 +89,17 @@ class Testbed {
   /// monitored workload cell.
   void boot_cell(std::uint64_t config_addr, jh::GuestImage& image);
 
-  /// The paper's two non-root payloads, both on CPU 1 (one at a time).
+  /// The paper's two non-root payloads (one at a time on the Banana Pi;
+  /// concurrently on boards with spare cores).
   void boot_freertos_cell() { boot_cell(kFreeRtosConfigAddr, freertos_); }
   void boot_osek_cell() { boot_cell(kOsekConfigAddr, osek_); }
+
+  /// Boot the OSEK cell as a *secondary* cell alongside the monitored
+  /// workload cell — its own core, the monitored cell untouched. Only
+  /// meaningful on boards with ≥ 2 spare CPUs (osek_cpu() != the
+  /// FreeRTOS CPU); the dual-cell and ivshmem-traffic scenarios use it
+  /// for true concurrency instead of the time-shared swap.
+  void boot_secondary_osek_cell();
 
   /// Management operations from the root shell, post-boot, against the
   /// current workload cell.
@@ -83,12 +123,12 @@ class Testbed {
     std::uint64_t irqchip_entries = 0;
     std::uint64_t trap_entries = 0;
     std::uint64_t hvc_entries = 0;
-    std::uint64_t per_cpu_traps[2] = {0, 0};
+    std::vector<std::uint64_t> per_cpu_traps;  ///< sized board.num_cpus()
   };
   GoldenProfile profile_golden(std::uint64_t ticks);
 
   // --- accessors ----------------------------------------------------------
-  [[nodiscard]] platform::BananaPiBoard& board() noexcept { return board_; }
+  [[nodiscard]] platform::Board& board() noexcept { return *board_; }
   [[nodiscard]] jh::Hypervisor& hypervisor() noexcept { return hv_; }
   [[nodiscard]] jh::Machine& machine() noexcept { return machine_; }
   [[nodiscard]] guest::LinuxRootImage& linux_root() noexcept { return linux_; }
@@ -102,24 +142,54 @@ class Testbed {
     return cell_id_ == 0 ? nullptr : hv_.find_cell(cell_id_);
   }
 
+  /// The secondary (concurrent) non-root cell — 0/nullptr while none.
+  [[nodiscard]] jh::CellId secondary_cell_id() const noexcept {
+    return secondary_cell_id_;
+  }
+  [[nodiscard]] jh::Cell* secondary_cell() noexcept {
+    return secondary_cell_id_ == 0 ? nullptr : hv_.find_cell(secondary_cell_id_);
+  }
+
+  /// Cross-cell traffic bookkeeping (mutated by the ivshmem-traffic
+  /// scenario, read by the monitor's classification).
+  [[nodiscard]] IvshmemTrafficStats& ivshmem_stats() noexcept { return ivshmem_stats_; }
+  [[nodiscard]] const IvshmemTrafficStats& ivshmem_stats() const noexcept {
+    return ivshmem_stats_;
+  }
+
   // Legacy names; the FreeRTOS cell is the default workload.
   [[nodiscard]] jh::CellId freertos_cell_id() const noexcept { return cell_id_; }
   [[nodiscard]] jh::Cell* freertos_cell() noexcept { return workload_cell(); }
 
-  /// The CPU statically assigned to the non-root cell.
+  /// The CPU statically assigned to the primary non-root cell.
   static constexpr int kFreeRtosCpu = 1;
   static constexpr int kRootCpu = 0;
 
+  /// CPU the OSEK cell is pinned to on this board: the first core beyond
+  /// the FreeRTOS cell's when the board has one (true concurrency),
+  /// otherwise the shared non-root core 1 (the paper's time-shared swap).
+  [[nodiscard]] int osek_cpu() const noexcept {
+    return board_->num_cpus() >= 3 ? 2 : kFreeRtosCpu;
+  }
+
+  /// Whether this board can host both non-root payloads concurrently.
+  [[nodiscard]] bool supports_concurrent_cells() const noexcept {
+    return osek_cpu() != kFreeRtosCpu;
+  }
+
  private:
-  platform::BananaPiBoard board_;
+  std::unique_ptr<platform::Board> board_;
   jh::Hypervisor hv_;
   jh::Machine machine_;
   guest::LinuxRootImage linux_;
   guest::FreeRtosImage freertos_;
   guest::OsekImage osek_;
   jh::CellId cell_id_ = 0;
+  jh::CellId secondary_cell_id_ = 0;
   bool enabled_ = false;
+  bool ivshmem_ = false;
   jh::CellTuning tuning_;
+  IvshmemTrafficStats ivshmem_stats_;
 };
 
 }  // namespace mcs::fi

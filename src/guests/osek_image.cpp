@@ -2,6 +2,7 @@
 
 #include "hypervisor/hypercall.hpp"
 #include "hypervisor/hypervisor.hpp"
+#include "hypervisor/ivshmem.hpp"
 
 namespace mcs::guest {
 
@@ -76,6 +77,18 @@ void OsekImage::run_quantum(jh::GuestContext& ctx) {
 void OsekImage::on_timer(jh::GuestContext& ctx) {
   (void)ctx;
   os_.on_counter_tick();
+}
+
+void OsekImage::on_irq(jh::GuestContext& ctx, std::uint32_t irq) {
+  (void)ctx;
+  if (irq == jh::kIvshmemDoorbellSgi) {
+    // ivshmem peer rang: a CAN-gateway task would drain the ring here.
+    ++doorbells_;
+    return;
+  }
+  // Any other delivered vector is counted and ignored (predictable error
+  // handling, as §III expects from corrupted IRQ vectors).
+  ++unknown_irqs_;
 }
 
 }  // namespace mcs::guest

@@ -21,6 +21,7 @@ class OsekImage final : public jh::GuestImage {
   void on_start(jh::GuestContext& ctx) override;
   void run_quantum(jh::GuestContext& ctx) override;
   void on_timer(jh::GuestContext& ctx) override;
+  void on_irq(jh::GuestContext& ctx, std::uint32_t irq) override;
 
   [[nodiscard]] osek::Os& os() noexcept { return os_; }
 
@@ -29,6 +30,8 @@ class OsekImage final : public jh::GuestImage {
   [[nodiscard]] std::uint64_t frames_sent() const noexcept { return frames_; }
   [[nodiscard]] std::uint64_t wdg_kicks() const noexcept { return kicks_; }
   [[nodiscard]] std::uint64_t data_errors() const noexcept { return errors_; }
+  [[nodiscard]] std::uint64_t doorbells() const noexcept { return doorbells_; }
+  [[nodiscard]] std::uint64_t unknown_irqs() const noexcept { return unknown_irqs_; }
 
  private:
   void declare_workload();
@@ -40,6 +43,8 @@ class OsekImage final : public jh::GuestImage {
   std::uint64_t frames_ = 0;
   std::uint64_t kicks_ = 0;
   std::uint64_t errors_ = 0;
+  std::uint64_t doorbells_ = 0;
+  std::uint64_t unknown_irqs_ = 0;
   std::uint32_t pressure_raw_ = 0x800;  ///< simulated ADC mid-scale
   std::uint32_t frame_seq_ = 0;
   bool pending_frame_ = false;

@@ -40,10 +40,14 @@ util::Status CellConfig::validate(int board_cpus) const {
   return util::ok_status();
 }
 
-CellConfig make_root_cell_config() {
+CellConfig make_root_cell_config() { return make_root_cell_config(platform::bananapi_spec()); }
+
+CellConfig make_root_cell_config(const platform::BoardSpec& spec) {
   CellConfig config;
-  config.name = "banana-pi";  // Jailhouse root-cell configs carry the board name
-  config.cpus = {0, 1};
+  // Jailhouse root-cell configs carry the board name; keep the paper's
+  // "banana-pi" spelling for the paper's board.
+  config.name = spec.name == "bananapi" ? "banana-pi" : spec.name;
+  for (int cpu = 0; cpu < spec.num_cpus; ++cpu) config.cpus.push_back(cpu);
 
   // DRAM below the hypervisor reservation at the top of the GiB.
   mem::MemRegion ram;
@@ -149,10 +153,10 @@ CellConfig make_freertos_cell_config() {
   return config;
 }
 
-CellConfig make_osek_cell_config() {
+CellConfig make_osek_cell_config(int cpu) {
   CellConfig config;
   config.name = "osek-cell";
-  config.cpus = {1};
+  config.cpus = {cpu};
 
   mem::MemRegion ram;
   ram.name = "ram";

@@ -14,6 +14,7 @@
 #include "arch/registers.hpp"
 #include "irq/gic.hpp"
 #include "mem/memory_map.hpp"
+#include "platform/board_spec.hpp"
 #include "util/status.hpp"
 
 namespace mcs::jh {
@@ -57,9 +58,13 @@ inline constexpr std::uint64_t kFreeRtosRamBase = 0x7800'0000;
 inline constexpr std::uint64_t kFreeRtosRamSize = 0x0100'0000;  // 16 MiB
 inline constexpr arch::Word kFreeRtosEntry = 0x7800'0000;
 
-/// Root cell: all of DRAM below the hypervisor reservation, both CPUs at
-/// boot, UART0 console passthrough, all SPIs initially owned.
+/// Root cell: all of DRAM below the hypervisor reservation, every board
+/// CPU at boot, UART0 console passthrough, all SPIs initially owned. The
+/// spec decides the CPU set and the cell name (Jailhouse root-cell
+/// configs carry the board name); the no-argument form builds the
+/// paper's Banana Pi deployment.
 [[nodiscard]] CellConfig make_root_cell_config();
+[[nodiscard]] CellConfig make_root_cell_config(const platform::BoardSpec& spec);
 
 /// FreeRTOS non-root cell: CPU 1, a 16 MiB DRAM slice, UART1 console routed
 /// through trapped MMIO (hypervisor-emulated, as for Jailhouse's hypervisor
@@ -67,12 +72,14 @@ inline constexpr arch::Word kFreeRtosEntry = 0x7800'0000;
 [[nodiscard]] CellConfig make_freertos_cell_config();
 
 /// OSEK/AUTOSAR-classic non-root cell: same shape as the FreeRTOS cell
-/// (CPU 1, UART1 console, GPIO passthrough) but a disjoint 16 MiB slice of
-/// the loanable pool, so either payload can occupy the non-root partition.
+/// (UART1 console, GPIO passthrough) but a disjoint 16 MiB slice of the
+/// loanable pool, so either payload can occupy a non-root partition. The
+/// CPU defaults to 1 (the Banana Pi's only spare core); boards with more
+/// cores pin it elsewhere so both payloads can run *concurrently*.
 inline constexpr std::uint64_t kOsekRamBase = 0x7900'0000;
 inline constexpr std::uint64_t kOsekRamSize = 0x0100'0000;  // 16 MiB
 inline constexpr arch::Word kOsekEntry = 0x7900'0000;
 
-[[nodiscard]] CellConfig make_osek_cell_config();
+[[nodiscard]] CellConfig make_osek_cell_config(int cpu = 1);
 
 }  // namespace mcs::jh

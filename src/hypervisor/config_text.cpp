@@ -229,6 +229,9 @@ util::Expected<CellTuning> parse_cell_tuning(std::string_view text) {
         return fail("unknown console kind '" + tokens[1] + "'");
       }
       tuning.has_console_kind = true;
+    } else if (keyword == "board") {
+      if (tokens.size() != 2) return fail("board needs one registry key");
+      tuning.board = tokens[1];
     } else {
       return fail("unknown tuning keyword '" + keyword + "'");
     }

@@ -47,15 +47,20 @@ namespace mcs::jh {
 //
 //   ram 0x00200000        # resize the cell's "ram" region (bytes)
 //   console trapped       # none | passthrough | trapped (base preserved)
+//   board quad-a7         # testbed board variant (BoardRegistry key)
 // ---------------------------------------------------------------------------
 
 struct CellTuning {
   std::uint64_t ram_size = 0;  ///< 0 → keep the factory default
   bool has_console_kind = false;
   ConsoleKind console_kind = ConsoleKind::None;  ///< valid when has_console_kind
+  /// Board-registry key the run's testbed is built from; empty → the
+  /// plan/scenario default. Plan-level (consumed by the executor), not
+  /// applied to cell configs by apply_cell_tuning().
+  std::string board;
 
   [[nodiscard]] bool empty() const noexcept {
-    return ram_size == 0 && !has_console_kind;
+    return ram_size == 0 && !has_console_kind && board.empty();
   }
 };
 

@@ -19,7 +19,7 @@ std::string_view hook_point_name(HookPoint point) noexcept {
   return "?";
 }
 
-Hypervisor::Hypervisor(platform::BananaPiBoard& board) : board_(&board) {
+Hypervisor::Hypervisor(platform::Board& board) : board_(&board) {
   cpu_owner_.fill(kRootCellId);
 }
 
@@ -29,7 +29,7 @@ void Hypervisor::log(util::Severity severity, int cpu, std::string message) {
 
 util::Status Hypervisor::enable(CellConfig root_config) {
   if (enabled_) return util::busy("hypervisor already enabled");
-  MCS_RETURN_IF_ERROR(root_config.validate(platform::BananaPiBoard::num_cpus()));
+  MCS_RETURN_IF_ERROR(root_config.validate(board_->num_cpus()));
   auto root = std::make_unique<Cell>(kRootCellId, std::move(root_config),
                                      board_->dram());
   // `jailhouse enable` runs from Linux, which is already live on all root
@@ -74,12 +74,12 @@ std::vector<Cell*> Hypervisor::cells() noexcept {
 }
 
 Cell* Hypervisor::cell_on_cpu(int cpu) noexcept {
-  if (cpu < 0 || cpu >= platform::BananaPiBoard::num_cpus()) return nullptr;
+  if (cpu < 0 || cpu >= board_->num_cpus()) return nullptr;
   return find_cell(cpu_owner_[static_cast<std::size_t>(cpu)]);
 }
 
 CellId Hypervisor::cpu_owner(int cpu) const noexcept {
-  if (cpu < 0 || cpu >= platform::BananaPiBoard::num_cpus()) return kRootCellId;
+  if (cpu < 0 || cpu >= board_->num_cpus()) return kRootCellId;
   return cpu_owner_[static_cast<std::size_t>(cpu)];
 }
 
@@ -111,7 +111,7 @@ void Hypervisor::panic(int cpu, std::string reason) {
     (void)board_->uart0().mmio_write(platform::kUartThr,
                                      static_cast<std::uint32_t>(c));
   }
-  for (int i = 0; i < platform::BananaPiBoard::num_cpus(); ++i) {
+  for (int i = 0; i < board_->num_cpus(); ++i) {
     board_->cpu(i).park("hypervisor panic: " + reason);
   }
 }
@@ -347,7 +347,7 @@ HvcResult Hypervisor::do_cell_create(int cpu, std::uint32_t config_addr) {
     return kHvcEInval;
   }
   const CellConfig& config = it->second;
-  if (!config.validate(platform::BananaPiBoard::num_cpus()).is_ok()) {
+  if (!config.validate(board_->num_cpus()).is_ok()) {
     return kHvcEInval;
   }
   for (auto& [id, cell] : cells_) {
@@ -373,6 +373,10 @@ HvcResult Hypervisor::do_cell_create(int cpu, std::uint32_t config_addr) {
   }
   auto cell = std::make_unique<Cell>(id, config, board_->dram());
   for (const mem::MemRegion& region : config.mem_regions) {
+    // JAILHOUSE_MEM_ROOTSHARED windows stay mapped in the root cell (and
+    // in any peer cell that declares them) — the ivshmem model. Only
+    // exclusive regions are carved out of the root map.
+    if ((region.flags & mem::kMemRootShared) != 0) continue;
     auto loaned = root.memory_map().carve_out_phys(region.phys_start, region.size);
     for (auto& piece : loaned) cell->loaned_regions().push_back(std::move(piece));
   }
@@ -477,7 +481,7 @@ HvcResult Hypervisor::do_cell_get_state(std::uint32_t id) {
 }
 
 HvcResult Hypervisor::do_cpu_get_info(std::uint32_t cpu) {
-  if (cpu >= static_cast<std::uint32_t>(platform::BananaPiBoard::num_cpus())) {
+  if (cpu >= static_cast<std::uint32_t>(board_->num_cpus())) {
     return kHvcEInval;
   }
   return static_cast<HvcResult>(

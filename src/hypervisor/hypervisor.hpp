@@ -99,7 +99,7 @@ struct Counters {
 class Hypervisor {
  public:
   /// The board must outlive the hypervisor.
-  explicit Hypervisor(platform::BananaPiBoard& board);
+  explicit Hypervisor(platform::Board& board);
 
   Hypervisor(const Hypervisor&) = delete;
   Hypervisor& operator=(const Hypervisor&) = delete;
@@ -162,7 +162,7 @@ class Hypervisor {
   }
 
   [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
-  [[nodiscard]] platform::BananaPiBoard& board() noexcept { return *board_; }
+  [[nodiscard]] platform::Board& board() noexcept { return *board_; }
 
  private:
   // Hypercall implementations (validation-first, per the real ABI).
@@ -213,7 +213,7 @@ class Hypervisor {
   /// false after initiating a panic.
   bool check_entry_integrity(const arch::EntryFrame& frame);
 
-  platform::BananaPiBoard* board_;
+  platform::Board* board_;
   bool enabled_ = false;
   bool panicked_ = false;
   std::string panic_reason_;

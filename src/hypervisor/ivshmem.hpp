@@ -29,6 +29,13 @@ inline constexpr std::uint64_t kIvshmemSize = 0x1'0000;  // 64 KiB
 /// Doorbell SGI id (software-generated interrupt 14).
 inline constexpr irq::IrqId kIvshmemDoorbellSgi = 14;
 
+/// Directed-ring layout the cross-cell-traffic scenario uses inside the
+/// shared window: one SPSC ring per direction, far enough apart that the
+/// headers can never alias.
+inline constexpr std::uint64_t kIvshmemRingAToB = kIvshmemBase;
+inline constexpr std::uint64_t kIvshmemRingBToA = kIvshmemBase + 0x8000;
+inline constexpr std::uint32_t kIvshmemRingCapacity = 0x1000;
+
 /// Build the memory region both cell configs must contain to share the
 /// window. Both sides map the same physical range read-write.
 [[nodiscard]] mem::MemRegion make_ivshmem_region(

@@ -24,7 +24,7 @@ void Machine::run_tick() {
   if (watchdog_ != nullptr) watchdog_->on_tick();
   if (hv_->is_panicked()) return;
 
-  for (int cpu = 0; cpu < platform::BananaPiBoard::num_cpus(); ++cpu) {
+  for (int cpu = 0; cpu < board_->num_cpus(); ++cpu) {
     arch::Cpu& core = board_->cpu(cpu);
     if (core.power_state() == arch::PowerState::Booting) {
       started_[static_cast<std::size_t>(cpu)] = false;
@@ -92,7 +92,7 @@ std::uint64_t Machine::inert_span(util::Ticks target) const {
   // (A parked/failed/off core is skipped by run_tick entirely, and on a
   // panicked machine nothing executes at all — those spans are inert.)
   if (!hv_->is_panicked()) {
-    for (int cpu = 0; cpu < platform::BananaPiBoard::num_cpus(); ++cpu) {
+    for (int cpu = 0; cpu < board_->num_cpus(); ++cpu) {
       const arch::PowerState state = board_->cpu(cpu).power_state();
       if (state == arch::PowerState::On || state == arch::PowerState::Booting) {
         return 0;

@@ -35,7 +35,7 @@ enum class TickPolicy : std::uint8_t {
 class Machine {
  public:
   /// Board and hypervisor must outlive the machine.
-  Machine(platform::BananaPiBoard& board, Hypervisor& hv) noexcept
+  Machine(platform::Board& board, Hypervisor& hv) noexcept
       : board_(&board), hv_(&hv) {}
 
   /// Bind a guest image to a cell. Images are owned by the caller and
@@ -64,7 +64,7 @@ class Machine {
   /// Delegates to run_until(): one loop owns time advancement.
   void run_ticks(std::uint64_t n);
 
-  [[nodiscard]] platform::BananaPiBoard& board() noexcept { return *board_; }
+  [[nodiscard]] platform::Board& board() noexcept { return *board_; }
   [[nodiscard]] Hypervisor& hypervisor() noexcept { return *hv_; }
 
  private:
@@ -78,7 +78,7 @@ class Machine {
   /// earliest device deadline and the next watchdog check boundary.
   [[nodiscard]] std::uint64_t inert_span(util::Ticks target) const;
 
-  platform::BananaPiBoard* board_;
+  platform::Board* board_;
   Hypervisor* hv_;
   CellWatchdog* watchdog_ = nullptr;
   TickPolicy policy_ = TickPolicy::EventDriven;

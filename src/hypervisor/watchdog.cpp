@@ -46,7 +46,7 @@ void CellWatchdog::check_now() {
 
 void CellWatchdog::check_cell(Cell& cell) {
   Tracked& state = tracked_[cell.id()];
-  platform::BananaPiBoard& board = hv_->board();
+  platform::Board& board = hv_->board();
 
   // 1. Bookkeeping vs physical truth.
   for (const int cpu : cell.config().cpus) {

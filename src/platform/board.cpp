@@ -4,16 +4,51 @@
 
 namespace mcs::platform {
 
-BananaPiBoard::BananaPiBoard()
-    : dram_(mem::kDramBase, mem::kDramSize),
-      gic_(kNumCpus),
+namespace {
+
+// Enforced before any member sizes itself from the spec: the GIC, the
+// hypervisor's per-CPU ownership tables and the machine's bring-up flags
+// are all bounded by irq::kMaxCpus, so a registered variant can never
+// exceed it (or go below one core).
+BoardSpec sanitize(BoardSpec spec) {
+  spec.num_cpus = std::clamp(spec.num_cpus, 1, irq::kMaxCpus);
+  return spec;
+}
+
+}  // namespace
+
+BoardSpec bananapi_spec() {
+  BoardSpec spec;
+  spec.name = "bananapi";
+  spec.model = "Banana Pi (Allwinner A20, dual-core Cortex-A7, 1 GiB)";
+  spec.num_cpus = 2;
+  spec.ram_size = mem::kDramSize;
+  spec.devices = {"uart0", "uart1", "timer", "gpio"};
+  return spec;
+}
+
+BoardSpec quad_a7_spec() {
+  BoardSpec spec;
+  spec.name = "quad-a7";
+  spec.model = "quad-core Cortex-A7 (A20 peripheral block, 1 GiB)";
+  spec.num_cpus = 4;
+  spec.ram_size = mem::kDramSize;
+  spec.devices = {"uart0", "uart1", "timer", "gpio"};
+  return spec;
+}
+
+Board::Board(BoardSpec spec)
+    : spec_(sanitize(std::move(spec))),
+      dram_(mem::kDramBase, spec_.ram_size),
+      gic_(spec_.num_cpus),
       bus_(dram_),
       uart0_("uart0", kUart0Base, &gic_, kUart0Irq),
       uart1_("uart1", kUart1Base, &gic_, kUart1Irq),
-      timer_("timer", kTimerBase, gic_, kNumCpus, clock_),
+      timer_("timer", kTimerBase, gic_, spec_.num_cpus, clock_),
       gpio_("gpio", kGpioBase) {
-  for (int i = 0; i < kNumCpus; ++i) {
-    cpus_[static_cast<std::size_t>(i)] = std::make_unique<arch::Cpu>(i);
+  cpus_.reserve(static_cast<std::size_t>(spec_.num_cpus));
+  for (int i = 0; i < spec_.num_cpus; ++i) {
+    cpus_.push_back(std::make_unique<arch::Cpu>(i));
   }
   // Window overlaps are a wiring bug, not a runtime condition.
   (void)bus_.attach(uart0_);
@@ -23,7 +58,7 @@ BananaPiBoard::BananaPiBoard()
   scheduled_ = {&uart0_, &uart1_, &timer_, &gpio_};
 }
 
-util::Ticks BananaPiBoard::next_device_deadline() const {
+util::Ticks Board::next_device_deadline() const {
   const util::Ticks now = clock_.now();
   util::Ticks earliest = kNoDeadline;
   for (const Device* device : scheduled_) {
@@ -32,18 +67,18 @@ util::Ticks BananaPiBoard::next_device_deadline() const {
   return earliest;
 }
 
-void BananaPiBoard::service_due_devices(util::Ticks now) {
+void Board::service_due_devices(util::Ticks now) {
   for (Device* device : scheduled_) {
     if (device->next_deadline(now) <= now) device->tick(now);
   }
 }
 
-void BananaPiBoard::tick() {
+void Board::tick() {
   clock_.tick();
   service_due_devices(clock_.now());
 }
 
-void BananaPiBoard::advance_to(util::Ticks target) {
+void Board::advance_to(util::Ticks target) {
   while (clock_.now() < target) {
     const util::Ticks deadline = next_device_deadline();
     if (deadline > target) {
@@ -59,17 +94,17 @@ void BananaPiBoard::advance_to(util::Ticks target) {
   }
 }
 
-void BananaPiBoard::run_ticks(std::uint64_t n) {
+void Board::run_ticks(std::uint64_t n) {
   advance_to(clock_.now() + util::Ticks{n});
 }
 
-void BananaPiBoard::reset() {
+void Board::reset() {
   for (auto& cpu : cpus_) cpu->reset();
   uart0_.reset();
   uart1_.reset();
   timer_.reset();
   gpio_.reset();
-  for (int i = 0; i < kNumCpus; ++i) gic_.reset_cpu(i);
+  for (int i = 0; i < num_cpus(); ++i) gic_.reset_cpu(i);
 }
 
 }  // namespace mcs::platform

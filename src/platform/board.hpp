@@ -1,17 +1,26 @@
-// Banana Pi board model: the paper's testbed.
+// Board models: the testbed hardware behind every layer above.
 //
-// "The tested hardware comprises a Banana PI, which is a dual-core
-// Cortex-A7 board, equipped with 1 GB of RAM" (§III). Device windows use
-// the real Allwinner A20 physical addresses so cell configs read like the
-// genuine Jailhouse ones.
+// `Board` is the interface the hypervisor, machine and testbed program
+// against: a spec-described SoC (CPU count and DRAM size taken from the
+// BoardSpec at construction, never from a compile-time constant) composed
+// with the Allwinner A20 peripheral block — two UARTs, the PIO controller
+// and the per-CPU timer, at the real physical addresses so cell configs
+// read like the genuine Jailhouse ones.
+//
+// Variants are thin subclasses that pass their spec: `BananaPiBoard` is
+// the paper's dual-core testbed ("The tested hardware comprises a Banana
+// PI, which is a dual-core Cortex-A7 board, equipped with 1 GB of RAM",
+// §III); `QuadA7Board` is a 4-CPU variant hosting two concurrent non-root
+// cells. New variants register in the BoardRegistry (board_registry.hpp).
 #pragma once
 
-#include <array>
 #include <memory>
+#include <vector>
 
 #include "arch/cpu.hpp"
 #include "irq/gic.hpp"
 #include "mem/phys_mem.hpp"
+#include "platform/board_spec.hpp"
 #include "platform/bus.hpp"
 #include "platform/gpio.hpp"
 #include "platform/timer.hpp"
@@ -31,16 +40,19 @@ inline constexpr PhysAddr kTimerBase = 0x01c2'0c00;  ///< timer block
 inline constexpr irq::IrqId kUart0Irq = 33;
 inline constexpr irq::IrqId kUart1Irq = 34;
 
-inline constexpr int kNumCpus = 2;
-
 /// The composed board. Owns every hardware model; higher layers hold
 /// references. Copying a board is meaningless — moved/copied never.
-class BananaPiBoard {
+/// CPU storage is sized from the spec at construction.
+class Board {
  public:
-  BananaPiBoard();
+  explicit Board(BoardSpec spec);
+  virtual ~Board() = default;
 
-  BananaPiBoard(const BananaPiBoard&) = delete;
-  BananaPiBoard& operator=(const BananaPiBoard&) = delete;
+  Board(const Board&) = delete;
+  Board& operator=(const Board&) = delete;
+
+  [[nodiscard]] const BoardSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const std::string& name() const noexcept { return spec_.name; }
 
   [[nodiscard]] util::SimClock& clock() noexcept { return clock_; }
   [[nodiscard]] util::Ticks now() const noexcept { return clock_.now(); }
@@ -49,7 +61,9 @@ class BananaPiBoard {
   [[nodiscard]] const arch::Cpu& cpu(int index) const noexcept {
     return *cpus_[static_cast<std::size_t>(index)];
   }
-  [[nodiscard]] static constexpr int num_cpus() noexcept { return kNumCpus; }
+  [[nodiscard]] int num_cpus() const noexcept {
+    return static_cast<int>(cpus_.size());
+  }
 
   [[nodiscard]] mem::PhysicalMemory& dram() noexcept { return dram_; }
   [[nodiscard]] irq::Gic& gic() noexcept { return gic_; }
@@ -87,6 +101,7 @@ class BananaPiBoard {
   /// Service every device whose deadline is due at `now`.
   void service_due_devices(util::Ticks now);
 
+  BoardSpec spec_;
   util::SimClock clock_;
   util::EventLog log_;
   mem::PhysicalMemory dram_;
@@ -96,9 +111,21 @@ class BananaPiBoard {
   Uart uart1_;
   PeriodicTimer timer_;
   Gpio gpio_;
-  std::array<std::unique_ptr<arch::Cpu>, kNumCpus> cpus_;
+  std::vector<std::unique_ptr<arch::Cpu>> cpus_;
   /// The deadline queue: every ticking device, in legacy tick order.
   std::array<Device*, 4> scheduled_{};
+};
+
+/// The paper's testbed: dual-core Cortex-A7, 1 GiB DRAM.
+class BananaPiBoard final : public Board {
+ public:
+  BananaPiBoard() : Board(bananapi_spec()) {}
+};
+
+/// 4-CPU Cortex-A7 variant: root cell plus two concurrent non-root cells.
+class QuadA7Board final : public Board {
+ public:
+  QuadA7Board() : Board(quad_a7_spec()) {}
 };
 
 }  // namespace mcs::platform

@@ -1,0 +1,74 @@
+#include "platform/board_registry.hpp"
+
+#include <map>
+#include <mutex>
+
+namespace mcs::platform {
+
+struct BoardRegistry::Impl {
+  struct Entry {
+    BoardSpec spec;
+    Factory factory;
+  };
+  mutable std::mutex mutex;
+  std::map<std::string, Entry, std::less<>> boards;
+};
+
+BoardRegistry::BoardRegistry() : impl_(std::make_shared<Impl>()) {}
+
+BoardRegistry& BoardRegistry::instance() {
+  static BoardRegistry registry = [] {
+    BoardRegistry r;
+    r.add(bananapi_spec(), [] { return std::make_unique<BananaPiBoard>(); });
+    r.add(quad_a7_spec(), [] { return std::make_unique<QuadA7Board>(); });
+    return r;
+  }();
+  return registry;
+}
+
+void BoardRegistry::add(BoardSpec spec, Factory factory) {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::string key = spec.name;
+  impl_->boards.insert_or_assign(std::move(key),
+                                 Impl::Entry{std::move(spec), std::move(factory)});
+}
+
+std::unique_ptr<Board> BoardRegistry::make(std::string_view name) const {
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    const auto it = impl_->boards.find(name);
+    if (it == impl_->boards.end()) return nullptr;
+    factory = it->second.factory;
+  }
+  return factory();
+}
+
+const BoardSpec* BoardRegistry::find_spec(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->boards.find(name);
+  return it == impl_->boards.end() ? nullptr : &it->second.spec;
+}
+
+std::vector<std::string> BoardRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<std::string> out;
+  out.reserve(impl_->boards.size());
+  for (const auto& [key, entry] : impl_->boards) out.push_back(key);
+  return out;  // std::map iteration is already sorted
+}
+
+std::size_t BoardRegistry::size() const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->boards.size();
+}
+
+const BoardSpec* find_board_spec(std::string_view name) {
+  return BoardRegistry::instance().find_spec(name);
+}
+
+std::unique_ptr<Board> make_board(std::string_view name) {
+  return BoardRegistry::instance().make(name);
+}
+
+}  // namespace mcs::platform

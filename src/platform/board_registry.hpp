@@ -1,0 +1,58 @@
+// String-keyed board registry: the platform-layer twin of the scenario
+// registry. Campaign plans select their testbed hardware by name
+// ("board quad-a7" in the config-text vocabulary); the executor builds a
+// fresh board per run through this registry, so adding a variant is one
+// add() call — no layer above the platform names a concrete board type.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "platform/board.hpp"
+
+namespace mcs::platform {
+
+/// The registry key every plan defaults to (the paper's testbed).
+inline constexpr std::string_view kDefaultBoard = "bananapi";
+
+class BoardRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Board>()>;
+
+  /// Singleton with the built-in variants ("bananapi", "quad-a7")
+  /// registered on first access. Lookup is thread-safe; registration of
+  /// additional boards must happen before campaigns start executing.
+  static BoardRegistry& instance();
+
+  /// Register a variant. Replaces an existing entry with the same key.
+  void add(BoardSpec spec, Factory factory);
+
+  /// Construct a fresh board; nullptr when the name is unknown.
+  [[nodiscard]] std::unique_ptr<Board> make(std::string_view name) const;
+
+  /// Spec lookup without constructing hardware (plan validation);
+  /// nullptr when unknown.
+  [[nodiscard]] const BoardSpec* find_spec(std::string_view name) const;
+
+  /// All registered names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  BoardRegistry();
+
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+};
+
+/// Convenience: spec lookup in the singleton registry.
+[[nodiscard]] const BoardSpec* find_board_spec(std::string_view name);
+
+/// Convenience: build a board from the singleton registry.
+[[nodiscard]] std::unique_ptr<Board> make_board(std::string_view name);
+
+}  // namespace mcs::platform

@@ -1,0 +1,37 @@
+// BoardSpec: the compile-time-free description of a board variant.
+//
+// The paper's testbed is a dual-core Banana Pi, but the methodology is
+// board-agnostic: a partitioning hypervisor pins cells to *cores*, so
+// hosting two concurrent non-root cells merely needs a board with spare
+// CPUs. A BoardSpec carries everything that differs between variants —
+// name, CPU count, DRAM size, the peripheral set — so every layer above
+// the platform can size itself from the spec instead of a constant.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/phys_mem.hpp"
+
+namespace mcs::platform {
+
+struct BoardSpec {
+  std::string name;         ///< registry key ("bananapi", "quad-a7")
+  std::string model;        ///< human-readable description
+  /// Clamped by Board construction to [1, irq::kMaxCpus]: every per-CPU
+  /// table above the platform layer is bounded by that constant.
+  int num_cpus = 2;
+  std::uint64_t ram_size = mem::kDramSize;
+  /// Peripheral windows the board instantiates, in legacy tick order.
+  std::vector<std::string> devices;
+};
+
+/// The paper's board: dual-core Cortex-A7 Allwinner A20, 1 GiB DRAM.
+[[nodiscard]] BoardSpec bananapi_spec();
+
+/// A 4-CPU Cortex-A7 variant with the same A20 peripheral block: room for
+/// the root cell plus two *concurrent* non-root cells on dedicated cores.
+[[nodiscard]] BoardSpec quad_a7_spec();
+
+}  // namespace mcs::platform

@@ -42,6 +42,47 @@ TEST(CampaignExecutor, SixtyFourRunsIdenticalAcrossOneTwoEightThreads) {
   expect_identical(serial, eight);
 }
 
+// Sharding determinism is a property of the engine, not of one board:
+// the same campaign on every registered board variant must stay
+// bit-identical at 1, 4 and 8 worker threads.
+TEST(CampaignExecutor, ShardingDeterministicOnEveryBoardVariant) {
+  for (const char* board : {"bananapi", "quad-a7"}) {
+    TestPlan plan = quick_plan(24);
+    plan.board = board;
+    const CampaignResult one = CampaignExecutor(plan, {1, true}).execute();
+    const CampaignResult four = CampaignExecutor(plan, {4, true}).execute();
+    const CampaignResult eight = CampaignExecutor(plan, {8, true}).execute();
+    SCOPED_TRACE(board);
+    expect_identical(one, four);
+    expect_identical(one, eight);
+  }
+}
+
+TEST(CampaignExecutor, UnknownBoardIsAHarnessError) {
+  TestPlan plan = quick_plan(2);
+  plan.board = "hexa-a53";
+  const CampaignResult result = CampaignExecutor(plan, {2, true}).execute();
+  ASSERT_EQ(result.runs.size(), 2u);
+  for (const RunResult& run : result.runs) {
+    EXPECT_EQ(run.outcome, Outcome::HarnessError);
+    EXPECT_NE(run.detail.find("hexa-a53"), std::string::npos);
+  }
+}
+
+TEST(CampaignExecutor, TuningBoardKeyOverridesPlanBoard) {
+  // A plan pinned to the Banana Pi but tuned with `board quad-a7` must
+  // run on the quad board — visible through the ivshmem-traffic setup,
+  // which refuses boards without spare cores.
+  TestPlan plan = quick_plan(1);
+  plan.scenario = "ivshmem-traffic";
+  plan.board = "bananapi";
+  plan.cell_tuning = "board quad-a7";
+  const CampaignResult result = CampaignExecutor(plan, {1, true}).execute();
+  ASSERT_EQ(result.runs.size(), 1u);
+  EXPECT_NE(result.runs[0].outcome, Outcome::HarnessError)
+      << result.runs[0].detail;
+}
+
 TEST(CampaignExecutor, MatchesSerialCampaignClass) {
   const TestPlan plan = quick_plan(12);
   const CampaignResult via_campaign = Campaign(plan).execute();

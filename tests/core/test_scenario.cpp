@@ -6,16 +6,18 @@
 
 #include "core/executor.hpp"
 #include "core/monitor.hpp"
+#include "platform/board_registry.hpp"
 
 namespace mcs::fi {
 namespace {
 
-TEST(ScenarioRegistry, ShipsAtLeastFourScenarios) {
+TEST(ScenarioRegistry, ShipsAtLeastFiveScenarios) {
   ScenarioRegistry& registry = ScenarioRegistry::instance();
-  EXPECT_GE(registry.size(), 4u);
+  EXPECT_GE(registry.size(), 5u);
   const std::vector<std::string> names = registry.names();
   for (const char* expected :
-       {"freertos-steady", "inject-during-boot", "osek-cell", "dual-cell"}) {
+       {"freertos-steady", "inject-during-boot", "osek-cell", "dual-cell",
+        "ivshmem-traffic"}) {
     EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
         << expected;
   }
@@ -91,6 +93,7 @@ TEST(Scenario, DualCellScenarioSwapsPayloadMidWindow) {
   jh::Cell* first = testbed.workload_cell();
   ASSERT_NE(first, nullptr);
   EXPECT_EQ(first->name(), "freertos-cell");
+  EXPECT_EQ(testbed.secondary_cell(), nullptr);  // 2 CPUs: no spare core
 
   TestPlan plan = scenario->make_plan();
   plan.duration_ticks = 4'000;
@@ -102,6 +105,125 @@ TEST(Scenario, DualCellScenarioSwapsPayloadMidWindow) {
   // Both payloads actually ran in the fault-free window.
   EXPECT_GT(testbed.freertos().blink_count(), 0u);
   EXPECT_GT(testbed.osek().brake_samples(), 0u);
+}
+
+TEST(Scenario, DualCellRunsBothCellsConcurrentlyOnQuadBoard) {
+  const Scenario* scenario = find_scenario("dual-cell");
+  ASSERT_NE(scenario, nullptr);
+  Testbed testbed(platform::make_board("quad-a7"));
+  ASSERT_TRUE(testbed.supports_concurrent_cells());
+  ASSERT_TRUE(scenario->setup(testbed).is_ok());
+  scenario->boot(testbed);
+
+  // Both non-root cells resident at once, on dedicated cores — no swap.
+  jh::Cell* freertos = testbed.workload_cell();
+  jh::Cell* osek = testbed.secondary_cell();
+  ASSERT_NE(freertos, nullptr);
+  ASSERT_NE(osek, nullptr);
+  EXPECT_EQ(freertos->name(), "freertos-cell");
+  EXPECT_EQ(osek->name(), "osek-cell");
+  EXPECT_NE(freertos->id(), osek->id());
+  EXPECT_EQ(testbed.hypervisor().cpu_owner(Testbed::kFreeRtosCpu), freertos->id());
+  EXPECT_EQ(testbed.hypervisor().cpu_owner(testbed.osek_cpu()), osek->id());
+  EXPECT_NE(testbed.osek_cpu(), Testbed::kFreeRtosCpu);
+
+  TestPlan plan = scenario->make_plan();
+  plan.duration_ticks = 4'000;
+  scenario->observe(testbed, plan);
+
+  // Still both resident after the window (the swap never happened), both
+  // CPUs online, both payloads having made progress *simultaneously*.
+  EXPECT_EQ(testbed.workload_cell(), freertos);
+  EXPECT_EQ(testbed.secondary_cell(), osek);
+  EXPECT_TRUE(testbed.board().cpu(Testbed::kFreeRtosCpu).is_online());
+  EXPECT_TRUE(testbed.board().cpu(testbed.osek_cpu()).is_online());
+  EXPECT_GT(testbed.freertos().blink_count(), 0u);
+  EXPECT_GT(testbed.osek().brake_samples(), 0u);
+  EXPECT_EQ(freertos->state(), jh::CellState::Running);
+  EXPECT_EQ(osek->state(), jh::CellState::Running);
+}
+
+TEST(Scenario, SecondaryCellFailureIsNotMaskedByHealthyWorkload) {
+  // Concurrent deployment: the FreeRTOS cell keeps printing, but the
+  // OSEK cell's core gets parked — the monitor must classify the park,
+  // not report Correct off the surviving cell's output.
+  const Scenario* scenario = find_scenario("dual-cell");
+  Testbed testbed(platform::make_board("quad-a7"));
+  ASSERT_TRUE(scenario->setup(testbed).is_ok());
+  scenario->boot(testbed);
+  ASSERT_NE(testbed.secondary_cell(), nullptr);
+  RunMonitor monitor;
+  monitor.begin(testbed);
+  testbed.run(500);
+  testbed.board().cpu(testbed.osek_cpu()).park("secondary probe");
+  testbed.run(500);
+  const RunResult result = monitor.finish(testbed);
+  EXPECT_EQ(result.outcome, Outcome::CpuPark) << result.detail;
+  EXPECT_NE(result.detail.find("secondary"), std::string::npos) << result.detail;
+}
+
+TEST(Scenario, IvshmemTrafficExchangesMessagesFaultFree) {
+  const Scenario* scenario = find_scenario("ivshmem-traffic");
+  ASSERT_NE(scenario, nullptr);
+  TestPlan plan = scenario->make_plan();
+  EXPECT_EQ(plan.board, "quad-a7");  // scenario default: needs spare cores
+  plan.duration_ticks = 3'000;
+
+  Testbed testbed(platform::make_board(plan.board));
+  ASSERT_TRUE(scenario->setup(testbed).is_ok());
+  ASSERT_TRUE(testbed.ivshmem_enabled());
+  scenario->boot(testbed);
+  scenario->observe(testbed, plan);
+
+  // Fault-free: every request delivered, echoed and validated; doorbells
+  // arrived in both directions.
+  const IvshmemTrafficStats& stats = testbed.ivshmem_stats();
+  EXPECT_GT(stats.sent, 0u);
+  EXPECT_EQ(stats.received, stats.sent);
+  EXPECT_FALSE(stats.traffic_disrupted());
+  EXPECT_GT(testbed.osek().doorbells(), 0u);
+  EXPECT_GT(testbed.freertos().doorbells(), 0u);
+
+  RunMonitor monitor;
+  const RunResult result = monitor.finish(testbed);
+  EXPECT_EQ(result.outcome, Outcome::Correct) << result.detail;
+}
+
+TEST(Scenario, IvshmemTrafficRefusesBoardsWithoutSpareCores) {
+  TestPlan plan = find_scenario("ivshmem-traffic")->make_plan();
+  plan.board = "bananapi";  // force the paper's 2-CPU board
+  plan.runs = 1;
+  const CampaignResult result = CampaignExecutor(plan).execute();
+  ASSERT_EQ(result.runs.size(), 1u);
+  EXPECT_EQ(result.runs[0].outcome, Outcome::HarnessError);
+  EXPECT_NE(result.runs[0].detail.find("spare cores"), std::string::npos)
+      << result.runs[0].detail;
+}
+
+TEST(Scenario, IvshmemTrafficCampaignClassifiesCrossCellCorruption) {
+  // Under irqchip injection some runs must land in the new bucket — the
+  // doorbell wake-ups run through the corrupted handler — and the
+  // campaign must stay deterministic across thread counts.
+  TestPlan plan = find_scenario("ivshmem-traffic")->make_plan();
+  plan.runs = 10;
+  plan.rate = 50;
+  plan.phase = 2;
+  plan.duration_ticks = 6'000;
+  plan.seed = 0xC0FFEE;
+  const CampaignResult one = CampaignExecutor(plan, {1, false}).execute();
+  const CampaignResult four = CampaignExecutor(plan, {4, false}).execute();
+  const CampaignResult eight = CampaignExecutor(plan, {8, false}).execute();
+  const OutcomeDistribution dist = one.distribution();
+  EXPECT_GT(dist.count(Outcome::CrossCellCorruption), 0u);
+  EXPECT_EQ(dist.count(Outcome::HarnessError), 0u);
+  ASSERT_EQ(one.runs.size(), four.runs.size());
+  ASSERT_EQ(one.runs.size(), eight.runs.size());
+  for (std::size_t i = 0; i < one.runs.size(); ++i) {
+    EXPECT_EQ(one.runs[i].outcome, four.runs[i].outcome) << i;
+    EXPECT_EQ(one.runs[i].outcome, eight.runs[i].outcome) << i;
+    EXPECT_EQ(one.runs[i].detail, eight.runs[i].detail) << i;
+    EXPECT_EQ(one.runs[i].uart1_bytes, eight.runs[i].uart1_bytes) << i;
+  }
 }
 
 // The satellite bugfix: a harness that cannot even start its experiment
@@ -156,6 +278,27 @@ TEST(ScenarioRegistry, MakeRejectsUnknownScenarioAndBadTuning) {
   ScenarioRegistry::MakeOptions bad;
   bad.cell_tuning = "ram banana";
   EXPECT_FALSE(registry.make("freertos-steady", bad).is_ok());
+}
+
+TEST(ScenarioRegistry, MakeThreadsBoardSelectionThroughTuning) {
+  ScenarioRegistry& registry = ScenarioRegistry::instance();
+  ScenarioRegistry::MakeOptions options;
+  options.cell_tuning = "board quad-a7\n";
+  const auto plan = registry.make("dual-cell", options);
+  ASSERT_TRUE(plan.is_ok());
+  EXPECT_EQ(plan.value().board, "quad-a7");
+
+  // No board line → the scenario/base default survives.
+  const auto untuned = registry.make("dual-cell");
+  ASSERT_TRUE(untuned.is_ok());
+  EXPECT_EQ(untuned.value().board, std::string(platform::kDefaultBoard));
+
+  // An unregistered board key fails plan construction, not the runs.
+  ScenarioRegistry::MakeOptions bad;
+  bad.cell_tuning = "board octo-a72";
+  const auto rejected = registry.make("dual-cell", bad);
+  ASSERT_FALSE(rejected.is_ok());
+  EXPECT_NE(rejected.status().message().find("octo-a72"), std::string::npos);
 }
 
 TEST(Scenario, TunedCellBootsWithResizedRamAndTrappedConsole) {

@@ -153,9 +153,24 @@ TEST(CellTuning, EmptyTextIsEmptyTuning) {
   EXPECT_TRUE(tuning.value().empty());
 }
 
+TEST(CellTuning, ParsesBoardSelectionLine) {
+  const auto tuning = parse_cell_tuning("board quad-a7\n");
+  ASSERT_TRUE(tuning.is_ok());
+  EXPECT_EQ(tuning.value().board, "quad-a7");
+  EXPECT_FALSE(tuning.value().empty());  // board selection is a real knob
+
+  // Plan-level knob: apply_cell_tuning must leave cell configs alone.
+  CellConfig config = make_freertos_cell_config();
+  const CellConfig reference = make_freertos_cell_config();
+  apply_cell_tuning(config, tuning.value());
+  EXPECT_EQ(config.mem_regions.size(), reference.mem_regions.size());
+  EXPECT_EQ(config.console.kind, reference.console.kind);
+}
+
 TEST(CellTuning, RejectsMalformedLinesWithLineNumbers) {
   for (const char* bad : {"ram", "ram zero", "ram 0", "console",
-                          "console serial", "cpus 3", "ram 0x100 extra"}) {
+                          "console serial", "cpus 3", "ram 0x100 extra",
+                          "board", "board quad extra"}) {
     const auto tuning = parse_cell_tuning(bad);
     EXPECT_FALSE(tuning.is_ok()) << bad;
     EXPECT_NE(tuning.status().message().find("line 1"), std::string::npos) << bad;

@@ -9,6 +9,7 @@
 
 #include "analysis/trace.hpp"
 #include "core/campaign.hpp"
+#include "core/scenario.hpp"
 #include "hypervisor/ivshmem.hpp"
 
 namespace mcs::fi {
@@ -57,6 +58,35 @@ TEST(GoldenSnapshot, ManifestIsStableForFixedSeed) {
   b.set_probe_recovery(false);
   EXPECT_EQ(analysis::campaign_manifest(a.execute()),
             analysis::campaign_manifest(b.execute()));
+}
+
+TEST(GoldenSnapshot, IvshmemTrafficCampaignReplaysExactly) {
+  // The new scenario joins the replay contract: a fixed-seed campaign on
+  // the quad-a7 board — two concurrent cells, staggered doorbell traffic,
+  // irqchip injection — regenerates bit-identically, run for run.
+  TestPlan plan = find_scenario("ivshmem-traffic")->make_plan();
+  plan.runs = 6;
+  plan.rate = 50;
+  plan.phase = 2;
+  plan.duration_ticks = 4'000;
+  plan.seed = 0x5EED;
+  Campaign a(plan);
+  a.set_probe_recovery(false);
+  Campaign b(plan);
+  b.set_probe_recovery(false);
+  const CampaignResult first = a.execute();
+  const CampaignResult again = b.execute();
+  ASSERT_EQ(first.runs.size(), again.runs.size());
+  for (std::size_t i = 0; i < first.runs.size(); ++i) {
+    EXPECT_EQ(first.runs[i].outcome, again.runs[i].outcome) << i;
+    EXPECT_EQ(first.runs[i].detail, again.runs[i].detail) << i;
+    EXPECT_EQ(first.runs[i].injections, again.runs[i].injections) << i;
+    EXPECT_EQ(first.runs[i].uart1_bytes, again.runs[i].uart1_bytes) << i;
+    EXPECT_EQ(first.runs[i].failure_tick, again.runs[i].failure_tick) << i;
+  }
+  EXPECT_EQ(analysis::campaign_manifest(first), analysis::campaign_manifest(again));
+  // No run may fall out of the experiment: the harness itself holds.
+  EXPECT_EQ(first.distribution().count(Outcome::HarnessError), 0u);
 }
 
 TEST(GoldenSnapshot, IvshmemDoorbellReachesGuest) {

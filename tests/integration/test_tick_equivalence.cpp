@@ -16,6 +16,7 @@
 #include "core/executor.hpp"
 #include "core/monitor.hpp"
 #include "hypervisor/watchdog.hpp"
+#include "platform/board_registry.hpp"
 
 namespace mcs::fi {
 namespace {
@@ -102,6 +103,21 @@ TEST(TickEquivalence, EventDrivenCampaignsExerciseFailingRuns) {
 }
 
 TEST(TickEquivalence, AggregateIdenticalAcrossOneFourEightThreads) {
+  // {board} × {threads}: the executor's thread-count independence must
+  // hold on every registered board variant, including the 4-CPU board
+  // hosting two concurrent cells.
+  for (const std::string& board : platform::BoardRegistry::instance().names()) {
+    TestPlan plan = equivalence_plan("dual-cell");
+    plan.board = board;
+    const CampaignCapture one =
+        run_campaign(plan, jh::TickPolicy::EventDriven, 1);
+    const CampaignCapture four =
+        run_campaign(plan, jh::TickPolicy::EventDriven, 4);
+    const CampaignCapture eight =
+        run_campaign(plan, jh::TickPolicy::EventDriven, 8);
+    expect_identical_runs(one, four, board + ": threads 1 vs 4");
+    expect_identical_runs(one, eight, board + ": threads 1 vs 8");
+  }
   const TestPlan plan = equivalence_plan("freertos-steady");
   const CampaignCapture one = run_campaign(plan, jh::TickPolicy::EventDriven, 1);
   const CampaignCapture four = run_campaign(plan, jh::TickPolicy::EventDriven, 4);
@@ -113,20 +129,21 @@ TEST(TickEquivalence, AggregateIdenticalAcrossOneFourEightThreads) {
 
 TEST(TickEquivalence, WindowsCloseExactlyAtOpenPlusDuration) {
   // Deadline-driven windows: whatever a scenario does inside its window
-  // (including dual-cell's mid-window swap, whose management phases have
-  // their own tick costs), the window must close exactly duration ticks
-  // after the monitor opened it, under either tick policy.
-  for (const char* name : {"freertos-steady", "dual-cell"}) {
+  // (dual-cell's mid-window swap, ivshmem-traffic's staggered exchange
+  // slices — phases with their own tick costs), the window must close
+  // exactly duration ticks after the monitor opened it, under either
+  // tick policy, on the scenario's own default board.
+  for (const char* name : {"freertos-steady", "dual-cell", "ivshmem-traffic"}) {
     for (const jh::TickPolicy policy :
          {jh::TickPolicy::PerTick, jh::TickPolicy::EventDriven}) {
       const Scenario* scenario = find_scenario(name);
       ASSERT_NE(scenario, nullptr);
-      Testbed testbed;
-      testbed.set_tick_policy(policy);
-      ASSERT_TRUE(scenario->setup(testbed).is_ok());
-      scenario->boot(testbed);
       TestPlan plan = scenario->make_plan();
       plan.duration_ticks = 2'500;
+      Testbed testbed(platform::make_board(plan.board));
+      testbed.set_tick_policy(policy);
+      ASSERT_TRUE(scenario->setup(testbed).is_ok()) << name;
+      scenario->boot(testbed);
       RunMonitor monitor;
       monitor.begin(testbed);
       scenario->observe(testbed, plan);

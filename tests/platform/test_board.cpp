@@ -2,15 +2,69 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "platform/board_registry.hpp"
+
 namespace mcs::platform {
 namespace {
 
 TEST(Board, ComposesThePaperTestbed) {
   BananaPiBoard board;
-  EXPECT_EQ(BananaPiBoard::num_cpus(), 2);  // dual-core Cortex-A7
+  EXPECT_EQ(board.num_cpus(), 2);  // dual-core Cortex-A7
   EXPECT_EQ(board.dram().size(), 1ull << 30);  // 1 GB of RAM
   EXPECT_EQ(board.cpu(0).id(), 0);
   EXPECT_EQ(board.cpu(1).id(), 1);
+  EXPECT_EQ(board.name(), "bananapi");
+  EXPECT_EQ(board.spec().num_cpus, 2);
+}
+
+TEST(Board, QuadVariantSizesCpuStorageFromSpec) {
+  QuadA7Board board;
+  EXPECT_EQ(board.num_cpus(), 4);
+  for (int cpu = 0; cpu < board.num_cpus(); ++cpu) {
+    EXPECT_EQ(board.cpu(cpu).id(), cpu);
+  }
+  EXPECT_EQ(board.gic().num_cpus(), 4);
+  // Same A20 peripheral block at the same physical windows.
+  EXPECT_EQ(board.bus().find_device(kUart1Base), &board.uart1());
+  // Per-CPU timers exist for every core.
+  board.timer().start(3, 5);
+  board.run_ticks(5);
+  EXPECT_EQ(board.timer().fires(3), 1u);
+  EXPECT_TRUE(board.gic().is_pending(kVirtualTimerPpi, 3));
+}
+
+TEST(BoardRegistry, ShipsBothBuiltinVariants) {
+  BoardRegistry& registry = BoardRegistry::instance();
+  EXPECT_GE(registry.size(), 2u);
+  const std::vector<std::string> names = registry.names();
+  for (const char* expected : {"bananapi", "quad-a7"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(BoardRegistry, MakeBuildsFreshBoardsByName) {
+  std::unique_ptr<Board> pi = make_board("bananapi");
+  std::unique_ptr<Board> quad = make_board("quad-a7");
+  ASSERT_NE(pi, nullptr);
+  ASSERT_NE(quad, nullptr);
+  EXPECT_EQ(pi->num_cpus(), 2);
+  EXPECT_EQ(quad->num_cpus(), 4);
+  EXPECT_NE(pi.get(), make_board("bananapi").get());  // fresh instances
+  EXPECT_EQ(make_board("no-such-board"), nullptr);
+}
+
+TEST(BoardRegistry, FindSpecWithoutConstructingHardware) {
+  const BoardSpec* spec = find_board_spec("quad-a7");
+  ASSERT_NE(spec, nullptr);
+  EXPECT_EQ(spec->num_cpus, 4);
+  EXPECT_EQ(spec->ram_size, mem::kDramSize);
+  EXPECT_EQ(spec->devices.size(), 4u);
+  EXPECT_EQ(find_board_spec("no-such-board"), nullptr);
+  EXPECT_NE(find_board_spec(kDefaultBoard), nullptr);
 }
 
 TEST(Board, DevicesAttachedToBus) {
@@ -81,20 +135,28 @@ TEST(Board, AdvanceToStopsAtEveryTimerDeadline) {
 
 TEST(Board, AdvanceToMatchesPerTickPolling) {
   // The golden property at board level: leaping produces exactly the
-  // state per-tick polling does.
-  BananaPiBoard polled;
-  BananaPiBoard leaped;
-  for (BananaPiBoard* board : {&polled, &leaped}) {
-    board->timer().start(0, 7);
-    board->timer().start(1, 13);
+  // state per-tick polling does — on every registered board variant,
+  // with a timer armed on every core the variant has.
+  for (const std::string& name : BoardRegistry::instance().names()) {
+    std::unique_ptr<Board> polled = make_board(name);
+    std::unique_ptr<Board> leaped = make_board(name);
+    ASSERT_NE(polled, nullptr) << name;
+    for (Board* board : {polled.get(), leaped.get()}) {
+      for (int cpu = 0; cpu < board->num_cpus(); ++cpu) {
+        board->timer().start(cpu, 7 + 6 * static_cast<std::uint32_t>(cpu));
+      }
+    }
+    for (int i = 0; i < 200; ++i) polled->tick();
+    leaped->advance_to(util::Ticks{200});
+    EXPECT_EQ(polled->now(), leaped->now()) << name;
+    for (int cpu = 0; cpu < polled->num_cpus(); ++cpu) {
+      EXPECT_EQ(polled->timer().fires(cpu), leaped->timer().fires(cpu))
+          << name << " cpu" << cpu;
+      EXPECT_EQ(polled->timer().fires(cpu),
+                200u / (7u + 6u * static_cast<std::uint32_t>(cpu)))
+          << name << " cpu" << cpu;
+    }
   }
-  for (int i = 0; i < 200; ++i) polled.tick();
-  leaped.advance_to(util::Ticks{200});
-  EXPECT_EQ(polled.now(), leaped.now());
-  EXPECT_EQ(polled.timer().fires(0), leaped.timer().fires(0));
-  EXPECT_EQ(polled.timer().fires(1), leaped.timer().fires(1));
-  EXPECT_EQ(polled.timer().fires(0), 200u / 7u);
-  EXPECT_EQ(polled.timer().fires(1), 200u / 13u);
 }
 
 }  // namespace
