@@ -1,0 +1,60 @@
+// Sweep-driver throughput: what the multi-campaign outer loop costs on
+// top of the sharded executor it drives.
+//
+// BM_SweepThroughput runs a fixed 2×2 grid (two scenarios × the paper's
+// two intensity rates) end to end — grid expansion, per-cell campaign
+// execution, aggregate folding — at 1/2/4/8 executor threads, so the
+// sweep layer's scaling can be tracked next to BM_ExecutorThroughput's.
+//
+//   $ ./bench_sweep
+#include <benchmark/benchmark.h>
+
+#include "core/sweep.hpp"
+
+namespace {
+
+using namespace mcs;
+
+fi::SweepSpec small_grid() {
+  fi::SweepSpec spec;
+  spec.name = "bench-grid";
+  spec.scenarios = {"freertos-steady", "inject-during-boot"};
+  spec.rates = {fi::kMediumRate, fi::kHighRate};
+  spec.runs = 4;
+  spec.duration_ticks = 1'000;  // short windows: measure the driver, not
+                                // the paper's one-minute observation
+  spec.seed = 0xC0FFEE;
+  return spec;
+}
+
+void BM_SweepThroughput(benchmark::State& state) {
+  const fi::SweepSpec spec = small_grid();
+  fi::ExecutorConfig config;
+  config.threads = static_cast<unsigned>(state.range(0));
+  const std::uint64_t runs_per_sweep =
+      static_cast<std::uint64_t>(spec.cell_count()) * spec.runs;
+
+  for (auto _ : state) {
+    fi::SweepDriver driver(spec, config);
+    auto result = driver.execute();
+    if (!result.is_ok() ||
+        result.value().total.distribution.total() != runs_per_sweep) {
+      state.SkipWithError("sweep failed");
+      break;
+    }
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(runs_per_sweep));
+}
+
+BENCHMARK(BM_SweepThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,37 +1,35 @@
-// logreplay: offline re-analysis of a persisted campaign log.
+// logreplay: offline re-analysis of persisted campaign logs.
 //
 // The paper's framework writes each run "into a log file, which is
 // further analyzed"; the executor's LogSink streams exactly those lines.
-// This tool closes the loop: feed a saved log back through
+// This tool closes the loop: feed saved logs back through
 // analysis::parse_run_log and rebuild the analytics — outcome
 // distribution, detection-latency summary, recovery counts — with no
 // live testbed and no re-execution.
 //
+// One log replays as the classic single-campaign analytics. Several logs
+// (e.g. a sweep's per-cell files) merge into one side-by-side comparison
+// report, one column per log.
+//
 //   $ ./fault_campaign dual-cell 64 > campaign.log
 //   $ ./logreplay campaign.log
 //   $ ./logreplay - < campaign.log        # read stdin
+//   $ ./logreplay sweep-logs/*.runlog     # sweep comparison report
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "analysis/log_parser.hpp"
 #include "analysis/log_sink.hpp"
 #include "analysis/report.hpp"
 
-int main(int argc, char** argv) {
-  using namespace mcs;
+namespace {
 
-  if (argc != 2 || std::string(argv[1]) == "--help") {
-    std::cerr << "usage: logreplay <campaign.log | ->\n"
-                 "re-analyzes a persisted campaign run log offline\n";
-    return argc == 2 ? 0 : 1;
-  }
-
-  // Exit codes: 0 replayed, 1 malformed/empty log, 2 unreadable input.
-  std::string text;
-  const std::string path = argv[1];
+// Exit codes: 0 replayed, 1 malformed/empty log, 2 unreadable input.
+int read_log(const std::string& path, std::string& text) {
   if (path == "-") {
     std::ostringstream buffer;
     buffer << std::cin.rdbuf();
@@ -40,36 +38,42 @@ int main(int argc, char** argv) {
       return 2;
     }
     text = buffer.str();
-  } else {
-    // ifstream::open happily opens a directory on Linux and the read
-    // merely sets failbit, so catch that case explicitly.
-    std::error_code ec;
-    if (std::filesystem::is_directory(path, ec)) {
-      std::cerr << "logreplay: '" << path << "' is a directory\n";
-      return 2;
-    }
-    std::ifstream file(path);
-    if (!file) {
-      std::cerr << "logreplay: cannot open '" << path << "'\n";
-      return 2;
-    }
-    std::ostringstream buffer;
-    buffer << file.rdbuf();
-    if (file.bad() || buffer.bad()) {
-      // Opened but not readable (I/O error).
-      std::cerr << "logreplay: error reading '" << path << "'\n";
-      return 2;
-    }
-    text = buffer.str();
+    return 0;
   }
+  // ifstream::open happily opens a directory on Linux and the read
+  // merely sets failbit, so catch that case explicitly.
+  std::error_code ec;
+  if (std::filesystem::is_directory(path, ec)) {
+    std::cerr << "logreplay: '" << path << "' is a directory\n";
+    return 2;
+  }
+  std::ifstream file(path);
+  if (!file) {
+    std::cerr << "logreplay: cannot open '" << path << "'\n";
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad() || buffer.bad()) {
+    // Opened but not readable (I/O error).
+    std::cerr << "logreplay: error reading '" << path << "'\n";
+    return 2;
+  }
+  text = buffer.str();
+  return 0;
+}
 
+/// Parse one log into run entries; 0/1/2 like main's exit codes.
+int parse_log(const std::string& path, mcs::analysis::ParsedRunLog& parsed) {
+  std::string text;
+  const int rc = read_log(path, text);
+  if (rc != 0) return rc;
   if (text.empty()) {
     std::cerr << "logreplay: no data in '" << path
               << "' (empty file or unreadable path) — not a campaign log\n";
     return 1;
   }
-
-  const analysis::ParsedRunLog parsed = analysis::parse_run_log(text);
+  parsed = mcs::analysis::parse_run_log(text);
   if (parsed.entries.empty()) {
     std::cerr << "logreplay: no run lines found in '" << path << "' ("
               << parsed.malformed_lines
@@ -80,35 +84,68 @@ int main(int argc, char** argv) {
   if (parsed.malformed_lines > 0) {
     // Headers/footers are expected in a full campaign capture; still
     // surface the count so truncated or mangled logs are noticed.
-    std::cerr << "logreplay: note: " << parsed.malformed_lines
+    std::cerr << "logreplay: note: " << path << ": " << parsed.malformed_lines
               << " non-run lines skipped\n";
   }
+  return 0;
+}
+
+/// Column label for a merged report: the file stem ("cell_r100.runlog" →
+/// "cell_r100"), or "<stdin>" for the - pseudo-path.
+std::string column_label(const std::string& path) {
+  if (path == "-") return "<stdin>";
+  return std::filesystem::path(path).stem().string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mcs;
+
+  if (argc < 2 || std::string(argv[1]) == "--help") {
+    std::cerr << "usage: logreplay <campaign.log | -> [more.log ...]\n"
+                 "re-analyzes persisted campaign run logs offline; several\n"
+                 "logs merge into one side-by-side comparison report\n";
+    return argc >= 2 ? 0 : 1;
+  }
+
+  if (argc > 2) {
+    // Merge mode: one comparison column per log, labelled by file stem.
+    std::vector<analysis::ComparisonColumn> columns;
+    for (int i = 1; i < argc; ++i) {
+      analysis::ParsedRunLog parsed;
+      const int rc = parse_log(argv[i], parsed);
+      if (rc != 0) return rc;
+      columns.push_back(
+          {column_label(argv[i]), analysis::aggregate_from_log(parsed)});
+    }
+    std::cout << analysis::render_comparison_report(
+        columns, "Campaign comparison — " + std::to_string(columns.size()) +
+                     " logs");
+    return 0;
+  }
+
+  const std::string path = argv[1];
+  analysis::ParsedRunLog parsed;
+  const int rc = parse_log(path, parsed);
+  if (rc != 0) return rc;
 
   // Rebuild the mergeable aggregates the live LogSink would have kept.
-  analysis::RunningStats latency;
-  std::uint64_t injections = 0;
+  const analysis::CampaignAggregate aggregate =
+      analysis::aggregate_from_log(parsed);
   std::uint64_t failures = 0;
-  std::uint64_t reclaimed = 0;
   for (const analysis::RunLogEntry& entry : parsed.entries) {
-    injections += entry.injections;
-    // Latency aggregates only over *detected* failures — the flag, not
-    // the value, since same-tick detection legitimately reads 0 ms.
-    if (entry.failure_detected) {
-      latency.add(static_cast<double>(entry.detect_latency_ms));
-    }
-    if (entry.outcome != fi::Outcome::Correct) {
-      ++failures;
-      if (entry.shutdown_reclaimed) ++reclaimed;
-    }
+    if (entry.outcome != fi::Outcome::Correct) ++failures;
   }
 
   std::cout << parsed.entries.size() << " runs replayed from " << path << " ("
             << parsed.malformed_lines << " non-run lines skipped)\n\n";
-  std::cout << analysis::render_distribution_table(parsed.distribution())
+  std::cout << analysis::render_distribution_table(aggregate.distribution)
             << "\n";
-  std::cout << analysis::render_latency_summary(latency);
-  std::cout << injections << " injections total; " << failures
-            << " failed runs, " << reclaimed
+  std::cout << analysis::render_latency_summary(aggregate.detection_latency);
+  std::cout << aggregate.injections << " injections total; " << failures
+            << " failed runs, " << aggregate.cell_failures
+            << " cell failures, " << aggregate.reclaimed
             << " recovered by post-mortem shutdown\n";
   return 0;
 }

@@ -1,0 +1,213 @@
+// sweep: run the paper's full assessment grid — scenarios × fault
+// intensities (rates) × boards — as one resumable campaign sweep.
+//
+// Each grid cell executes through the sharded CampaignExecutor; its run
+// log streams to <logdir>/<cell>.runlog. Re-invoking with the same spec
+// and logdir resumes: completed cells are rebuilt from their logs and
+// skipped, and the final comparison report is byte-identical to an
+// uninterrupted run's (the determinism the resume CI step diffs).
+//
+//   $ ./sweep --scenarios freertos-steady,dual-cell --rates 100,50 \
+//             --runs 8 --logdir sweep-logs > report.txt
+//   $ ./sweep --spec grid.sweep            # config-text spec file
+//   $ ./sweep --spec -                     # spec from stdin
+//
+// The comparison report goes to stdout; progress goes to stderr, so the
+// report can be redirected and diffed.
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.hpp"
+#include "core/sweep.hpp"
+#include "hypervisor/config_text.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+void usage(std::ostream& out) {
+  out << "usage: sweep [options]\n"
+         "  --spec <file|->       sweep spec as config text (see README)\n"
+         "  --scenarios a,b,...   scenario axis (ScenarioRegistry keys)\n"
+         "  --rates n,m,...       fault-intensity axis (inject 1/N calls)\n"
+         "  --boards a,b,...      board axis (optional; default: scenario's)\n"
+         "  --runs N              runs per grid cell (default 8)\n"
+         "  --seed S              base seed (decimal or 0x...)\n"
+         "  --duration T          observation window ticks (default: plan's)\n"
+         "  --tuning TEXT         cell tuning, ';'-separated lines\n"
+         "  --logdir DIR          persist per-cell run logs; enables resume\n"
+         "  --threads N           executor threads per cell (default: auto)\n"
+         "flags override the spec file; the comparison report goes to\n"
+         "stdout, progress to stderr\n";
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  for (const std::string& part : mcs::util::split(text, ',')) {
+    if (!mcs::util::trim(part).empty()) {
+      out.emplace_back(mcs::util::trim(part));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mcs;
+
+  fi::SweepSpec spec;
+  fi::ExecutorConfig config;
+  bool have_spec = false;
+
+  // Exit codes: 0 swept, 1 bad spec/flags, 2 unreadable spec input.
+  // Strict numerics: the same vocabulary as the spec file, so "8q" is
+  // rejected here exactly like it would be on a `runs 8q` line.
+  const auto parse_number = [](const char* flag_name, const char* token,
+                               std::uint64_t& out) {
+    auto value = mcs::jh::parse_config_number(token);
+    if (!value.is_ok()) {
+      std::cerr << "sweep: bad " << flag_name << " '" << token << "'\n";
+      return false;
+    }
+    out = value.value();
+    return true;
+  };
+
+  // First pass: load the spec file (if any), so explicit flags override
+  // it regardless of their position on the command line.
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      usage(std::cout);
+      return 0;
+    }
+    if (flag != "--spec") continue;
+    if (i + 1 >= argc) {
+      std::cerr << "sweep: --spec needs a file\n";
+      return 1;
+    }
+    const std::string path = argv[++i];
+    std::string text;
+    if (path == "-") {
+      std::ostringstream buffer;
+      buffer << std::cin.rdbuf();
+      if (std::cin.bad()) {
+        std::cerr << "sweep: error reading stdin\n";
+        return 2;
+      }
+      text = buffer.str();
+    } else {
+      std::ifstream file(path);
+      if (!file) {
+        std::cerr << "sweep: cannot open spec '" << path << "'\n";
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << file.rdbuf();
+      if (file.bad()) {
+        std::cerr << "sweep: error reading spec '" << path << "'\n";
+        return 2;
+      }
+      text = buffer.str();
+    }
+    auto parsed = fi::parse_sweep_spec(text);
+    if (!parsed.is_ok()) {
+      std::cerr << "sweep: spec: " << parsed.status().to_string() << "\n";
+      return 1;
+    }
+    spec = std::move(parsed).value();
+    have_spec = true;
+  }
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* arg = nullptr;
+    std::uint64_t number = 0;
+    if (flag == "--spec" && (arg = value()) != nullptr) {
+      // Handled by the first pass.
+    } else if (flag == "--scenarios" && (arg = value()) != nullptr) {
+      spec.scenarios = split_csv(arg);
+    } else if (flag == "--rates" && (arg = value()) != nullptr) {
+      spec.rates.clear();
+      for (const std::string& token : split_csv(arg)) {
+        if (!parse_number("rate", token.c_str(), number)) return 1;
+        if (number == 0) {
+          std::cerr << "sweep: bad rate '" << token << "' (need ≥ 1)\n";
+          return 1;
+        }
+        spec.rates.push_back(static_cast<std::uint32_t>(number));
+      }
+    } else if (flag == "--boards" && (arg = value()) != nullptr) {
+      spec.boards = split_csv(arg);
+    } else if (flag == "--runs" && (arg = value()) != nullptr) {
+      if (!parse_number("runs", arg, number)) return 1;
+      spec.runs = static_cast<std::uint32_t>(number);
+    } else if (flag == "--seed" && (arg = value()) != nullptr) {
+      if (!parse_number("seed", arg, number)) return 1;
+      spec.seed = number;
+    } else if (flag == "--duration" && (arg = value()) != nullptr) {
+      if (!parse_number("duration", arg, number)) return 1;
+      spec.duration_ticks = number;
+    } else if (flag == "--tuning" && (arg = value()) != nullptr) {
+      spec.cell_tuning = arg;
+      std::replace(spec.cell_tuning.begin(), spec.cell_tuning.end(), ';',
+                   '\n');
+    } else if (flag == "--logdir" && (arg = value()) != nullptr) {
+      spec.log_dir = arg;
+    } else if (flag == "--threads" && (arg = value()) != nullptr) {
+      if (!parse_number("threads", arg, number)) return 1;
+      config.threads = static_cast<unsigned>(number);
+    } else {
+      std::cerr << "sweep: unknown or incomplete flag '" << flag << "'\n";
+      usage(std::cerr);
+      return 1;
+    }
+  }
+
+  if (spec.scenarios.empty() || spec.rates.empty()) {
+    if (!have_spec) usage(std::cerr);
+    std::cerr << "sweep: need at least one scenario and one rate\n";
+    return 1;
+  }
+
+  std::cerr << "sweep '" << spec.name << "': " << spec.cell_count()
+            << " grid cells × " << spec.runs << " runs, base seed 0x"
+            << std::hex << spec.seed << std::dec;
+  if (!spec.log_dir.empty()) std::cerr << ", logs in " << spec.log_dir;
+  std::cerr << "\n";
+
+  fi::SweepDriver driver(std::move(spec), config);
+  driver.set_cell_progress([](const fi::SweepCellResult& cell) {
+    std::cerr << "  " << cell.id << ": "
+              << (cell.resumed ? "resumed from log" : "executed") << ", "
+              << cell.aggregate.distribution.total() << " runs, "
+              << cell.aggregate.cell_failures << " cell failures\n";
+  });
+  auto swept = driver.execute();
+  if (!swept.is_ok()) {
+    std::cerr << "sweep: " << swept.status().to_string() << "\n";
+    return 1;
+  }
+  const fi::SweepResult& result = swept.value();
+  std::cerr << result.executed << " cells executed, " << result.resumed
+            << " resumed\n";
+
+  // The report — and only the report — on stdout, so an interrupted+
+  // resumed sweep can be diffed byte-for-byte against a fresh one.
+  std::vector<analysis::ComparisonColumn> columns;
+  columns.reserve(result.cells.size());
+  for (const fi::SweepCellResult& cell : result.cells) {
+    columns.push_back({cell.id, cell.aggregate});
+  }
+  std::cout << analysis::render_comparison_report(
+      columns, "Sweep comparison — " + result.spec.name);
+  return 0;
+}

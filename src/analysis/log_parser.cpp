@@ -191,6 +191,26 @@ fi::OutcomeDistribution ParsedRunLog::distribution() const {
   return dist;
 }
 
+CampaignAggregate aggregate_from_log(const ParsedRunLog& log) {
+  // Mirrors CampaignAggregate::add field for field; the run log carries
+  // everything the aggregate consumes (the outcome, the injection count,
+  // the detection flag + latency, the reclaim verdict).
+  CampaignAggregate aggregate;
+  for (const RunLogEntry& entry : log.entries) {
+    aggregate.distribution.add(entry.outcome);
+    aggregate.injections += entry.injections;
+    if (entry.failure_detected) {
+      aggregate.detection_latency.add(
+          static_cast<double>(entry.detect_latency_ms));
+    }
+    if (fi::is_cell_failure(entry.outcome)) {
+      ++aggregate.cell_failures;
+      if (entry.shutdown_reclaimed) ++aggregate.reclaimed;
+    }
+  }
+  return aggregate;
+}
+
 ParsedRunLog parse_run_log(std::string_view text) {
   ParsedRunLog parsed;
   for (const std::string& line : util::split(text, '\n')) {

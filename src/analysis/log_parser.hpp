@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "analysis/log_sink.hpp"
 #include "core/outcome.hpp"
 #include "util/log.hpp"
 #include "util/status.hpp"
@@ -68,5 +69,13 @@ struct ParsedRunLog {
 };
 
 [[nodiscard]] ParsedRunLog parse_run_log(std::string_view text);
+
+/// Rebuild the live LogSink's CampaignAggregate from a persisted run log,
+/// folding entries in file order (= run order). Because the sink also
+/// folds in run order, the rebuilt aggregate is bit-identical — including
+/// the floating-point latency stats — to the one the live campaign kept,
+/// for any executor thread count. This is the campaign-resume primitive:
+/// a completed cell's aggregate can be recovered from its log file alone.
+[[nodiscard]] CampaignAggregate aggregate_from_log(const ParsedRunLog& log);
 
 }  // namespace mcs::analysis

@@ -45,8 +45,7 @@ void CampaignAggregate::add(const fi::RunResult& run) {
   if (run.failure_detected()) {
     detection_latency.add(static_cast<double>(run.detection_latency()));
   }
-  if (run.outcome == fi::Outcome::CpuPark ||
-      run.outcome == fi::Outcome::InconsistentCell) {
+  if (fi::is_cell_failure(run.outcome)) {
     ++cell_failures;
     if (run.shutdown_reclaimed) ++reclaimed;
   }
@@ -60,23 +59,39 @@ void CampaignAggregate::merge(const CampaignAggregate& other) {
   reclaimed += other.reclaimed;
 }
 
-void LogSink::record(std::uint32_t index, const fi::RunResult& run) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+void LogSink::release(std::uint32_t index, const fi::RunResult& run) {
+  // Folding here — in run order, not completion order — keeps the
+  // aggregate's floating-point accumulation deterministic across thread
+  // counts and identical to a replay of the persisted log.
   aggregate_.add(run);
   ++records_;
-  pending_.emplace(index, fi::run_log_line(index, run));
-  // Release the contiguous prefix. A streaming sink hands lines straight
-  // to its stream; only a retaining sink keeps the body (an unbounded
-  // campaign must not also grow an unread in-memory copy).
+  const std::string line = fi::run_log_line(index, run);
+  // A streaming sink hands lines straight to its stream; only a retaining
+  // sink keeps the body (an unbounded campaign must not also grow an
+  // unread in-memory copy).
+  if (stream_ != nullptr) {
+    (*stream_) << line << '\n';
+  } else {
+    text_ += line;
+    text_ += '\n';
+  }
+}
+
+void LogSink::record(std::uint32_t index, const fi::RunResult& run) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // Duplicate or already-released index: drop. Without this, a replayed
+  // run double-counts in the aggregate and — for a released index —
+  // parks in pending_ forever, below next_index_.
+  if (index < next_index_ || pending_.find(index) != pending_.end()) {
+    ++duplicates_;
+    return;
+  }
+  pending_.emplace(index, run);
+  // Release the contiguous prefix.
   for (auto it = pending_.begin();
        it != pending_.end() && it->first == next_index_;
        it = pending_.erase(it), ++next_index_) {
-    if (stream_ != nullptr) {
-      (*stream_) << it->second << '\n';
-    } else {
-      text_ += it->second;
-      text_ += '\n';
-    }
+    release(it->first, it->second);
   }
 }
 
@@ -94,6 +109,11 @@ CampaignAggregate LogSink::aggregate() const {
 std::uint64_t LogSink::records() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return records_;
+}
+
+std::uint64_t LogSink::duplicates() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return duplicates_;
 }
 
 std::string LogSink::text() const {

@@ -47,7 +47,7 @@ struct CampaignAggregate {
   fi::OutcomeDistribution distribution;
   RunningStats detection_latency;  ///< ms, over detected failures only
   std::uint64_t injections = 0;
-  std::uint64_t cell_failures = 0;  ///< cpu-park + inconsistent-cell runs
+  std::uint64_t cell_failures = 0;  ///< fi::is_cell_failure() runs
   std::uint64_t reclaimed = 0;      ///< …of those, recovered by shutdown
 
   void add(const fi::RunResult& run);
@@ -70,25 +70,42 @@ class LogSink {
   explicit LogSink(std::ostream& stream) : stream_(&stream) {}
 
   /// Fold in one finished run. Matches CampaignExecutor::ProgressFn.
+  ///
+  /// Idempotent: an index that was already recorded — still pending or
+  /// already released (`< next_index_`) — is dropped and counted in
+  /// duplicates(), never double-counted in the aggregate or re-emitted
+  /// to the log. Replaying an already-ingested log over a live sink is
+  /// therefore safe, which is what campaign resume relies on.
   void record(std::uint32_t index, const fi::RunResult& run);
 
   /// Fold an entire result in run order (serial campaigns, replays).
   void record_all(const fi::CampaignResult& result);
 
+  /// Aggregate over the *released* (contiguous-from-0) runs, folded in
+  /// run order — not completion order — so the final aggregate of a
+  /// sharded campaign is bit-identical for any thread count, and to the
+  /// aggregate rebuilt offline from the persisted log.
   [[nodiscard]] CampaignAggregate aggregate() const;
+  /// Runs released (and aggregated) so far.
   [[nodiscard]] std::uint64_t records() const;
+  /// record() calls dropped as duplicate / already-released indices.
+  [[nodiscard]] std::uint64_t duplicates() const;
 
   /// The ordered log body retained so far (always empty for a streaming
   /// sink — read the stream instead).
   [[nodiscard]] std::string text() const;
 
  private:
+  /// Render + fold one run, in run order. Caller holds mutex_.
+  void release(std::uint32_t index, const fi::RunResult& run);
+
   mutable std::mutex mutex_;
   std::ostream* stream_ = nullptr;
-  std::map<std::uint32_t, std::string> pending_;  ///< out-of-order backlog
+  std::map<std::uint32_t, fi::RunResult> pending_;  ///< out-of-order backlog
   std::uint32_t next_index_ = 0;
   std::string text_;
   std::uint64_t records_ = 0;
+  std::uint64_t duplicates_ = 0;
   CampaignAggregate aggregate_;
 };
 

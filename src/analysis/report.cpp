@@ -61,6 +61,9 @@ std::string render_distribution_table(const fi::OutcomeDistribution& dist) {
   for (std::size_t i = 0; i < fi::kNumOutcomes; ++i) {
     const auto outcome = static_cast<fi::Outcome>(i);
     const std::uint64_t count = dist.count(outcome);
+    // Zero-count classes are noise in a sparse comparison; skip them like
+    // the chart does. The total line below still accounts for every run.
+    if (count == 0) continue;
     const Proportion ci = wilson_interval(count, dist.total());
     out << std::left << std::setw(20) << fi::outcome_name(outcome) << std::right
         << std::setw(8) << count << std::setw(8) << std::fixed
@@ -68,6 +71,7 @@ std::string render_distribution_table(const fi::OutcomeDistribution& dist) {
         << "    [" << std::setw(5) << ci.lower * 100.0 << "%, " << std::setw(5)
         << ci.upper * 100.0 << "%]\n";
   }
+  if (dist.total() == 0) out << "(no runs)\n";
   out << std::string(57, '-') << "\n";
   out << std::left << std::setw(20) << "total" << std::right << std::setw(8)
       << dist.total() << "\n";
@@ -76,6 +80,99 @@ std::string render_distribution_table(const fi::OutcomeDistribution& dist) {
 
 std::string render_distribution_table(const fi::CampaignResult& result) {
   return render_distribution_table(result.distribution());
+}
+
+namespace {
+
+constexpr int kCompareLabelWidth = 22;
+constexpr int kCompareColWidth = 31;
+
+/// Pad (or clip) to the comparison column width.
+std::string compare_cell(std::string text) {
+  text.resize(static_cast<std::size_t>(kCompareColWidth), ' ');
+  return text;
+}
+
+std::string compare_count_cell(std::uint64_t count, std::uint64_t total) {
+  const Proportion ci = wilson_interval(count, total);
+  std::ostringstream out;
+  out << std::setw(5) << count << "  " << std::fixed << std::setprecision(1)
+      << std::setw(5) << ci.estimate * 100.0 << "% [" << std::setw(5)
+      << ci.lower * 100.0 << "%," << std::setw(5) << ci.upper * 100.0 << "%]";
+  return compare_cell(out.str());
+}
+
+std::string compare_number_cell(std::uint64_t value) {
+  std::ostringstream out;
+  out << std::setw(5) << value;
+  return compare_cell(out.str());
+}
+
+}  // namespace
+
+std::string render_comparison_report(
+    const std::vector<ComparisonColumn>& columns, const std::string& title) {
+  std::ostringstream out;
+  out << title << "\n" << std::string(title.size(), '=') << "\n";
+  if (columns.empty()) {
+    out << "(no cells)\n";
+    return out.str();
+  }
+
+  const std::size_t rule_width =
+      kCompareLabelWidth + columns.size() * kCompareColWidth;
+  out << "\n" << std::left << std::setw(kCompareLabelWidth) << "outcome";
+  for (const ComparisonColumn& column : columns) {
+    out << compare_cell(column.label);
+  }
+  out << "\n" << std::string(rule_width, '-') << "\n";
+
+  for (std::size_t i = 0; i < fi::kNumOutcomes; ++i) {
+    const auto outcome = static_cast<fi::Outcome>(i);
+    // A row earns its place if the class occurred in any cell; the cells
+    // where it did not then legitimately show 0, for the comparison.
+    bool occurred = false;
+    for (const ComparisonColumn& column : columns) {
+      occurred = occurred || column.aggregate.distribution.count(outcome) > 0;
+    }
+    if (!occurred) continue;
+    out << std::left << std::setw(kCompareLabelWidth)
+        << fi::outcome_name(outcome);
+    for (const ComparisonColumn& column : columns) {
+      out << compare_count_cell(column.aggregate.distribution.count(outcome),
+                                column.aggregate.distribution.total());
+    }
+    out << "\n";
+  }
+
+  out << std::string(rule_width, '-') << "\n";
+  const auto footer_row = [&out, &columns](
+                              const std::string& label,
+                              const auto& value_of) {
+    out << std::left << std::setw(kCompareLabelWidth) << label;
+    for (const ComparisonColumn& column : columns) out << value_of(column);
+    out << "\n";
+  };
+  footer_row("runs", [](const ComparisonColumn& c) {
+    return compare_number_cell(c.aggregate.distribution.total());
+  });
+  footer_row("injections", [](const ComparisonColumn& c) {
+    return compare_number_cell(c.aggregate.injections);
+  });
+  footer_row("cell failures", [](const ComparisonColumn& c) {
+    return compare_number_cell(c.aggregate.cell_failures);
+  });
+  footer_row("shutdown reclaimed", [](const ComparisonColumn& c) {
+    return compare_number_cell(c.aggregate.reclaimed);
+  });
+  footer_row("detect latency", [](const ComparisonColumn& c) {
+    const RunningStats& latency = c.aggregate.detection_latency;
+    std::ostringstream cell;
+    cell << std::fixed << std::setprecision(1) << latency.mean() << "ms (n="
+         << latency.n() << ")";
+    return compare_cell(cell.str());
+  });
+  return out.str();
 }
 
 std::string render_run_log(const fi::CampaignResult& result) {

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "analysis/log_sink.hpp"
 #include "core/campaign.hpp"
@@ -21,9 +22,27 @@ namespace mcs::analysis {
                                                     const std::string& plan_name,
                                                     const std::string& title);
 
-/// One row per outcome class: count, share, confidence interval.
+/// One row per outcome class that actually occurred: count, share,
+/// confidence interval. Zero-count classes are skipped (like the chart),
+/// so sparse multi-scenario comparisons stay readable; an empty campaign
+/// renders a "(no runs)" marker instead of eight zero rows.
 [[nodiscard]] std::string render_distribution_table(const fi::CampaignResult& result);
 [[nodiscard]] std::string render_distribution_table(const fi::OutcomeDistribution& dist);
+
+/// One labelled grid cell of a sweep, as the comparison report consumes it.
+struct ComparisonColumn {
+  std::string label;
+  CampaignAggregate aggregate;
+};
+
+/// Side-by-side sweep comparison: one column per grid cell, one row per
+/// outcome class that occurred in any cell — count, share and Wilson 95 %
+/// interval per cell — plus a footer block (runs, injections, cell
+/// failures, shutdown reclaims, detection latency). Deterministic byte
+/// output for a given input, so resumed sweeps can be diffed against
+/// fresh ones.
+[[nodiscard]] std::string render_comparison_report(
+    const std::vector<ComparisonColumn>& columns, const std::string& title);
 
 /// Per-run detail listing (the campaign log file body).
 [[nodiscard]] std::string render_run_log(const fi::CampaignResult& result);

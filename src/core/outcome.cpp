@@ -32,4 +32,9 @@ bool is_figure3_bucket(Outcome outcome) noexcept {
          outcome == Outcome::CpuPark;
 }
 
+bool is_cell_failure(Outcome outcome) noexcept {
+  return outcome == Outcome::CpuPark || outcome == Outcome::InconsistentCell ||
+         outcome == Outcome::CrossCellCorruption;
+}
+
 }  // namespace mcs::fi

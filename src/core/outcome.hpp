@@ -56,6 +56,13 @@ inline constexpr std::size_t kNumOutcomes = 8;
 /// Figure 3 buckets Correct / PanicPark / CpuPark; helper for that view.
 [[nodiscard]] bool is_figure3_bucket(Outcome outcome) noexcept;
 
+/// Outcomes that leave the workload cell itself failed — CpuPark,
+/// InconsistentCell and CrossCellCorruption — i.e. the runs the
+/// post-mortem `jailhouse cell shutdown` reclaim probe is issued for.
+/// The one predicate both the live CampaignAggregate and the offline
+/// log analytics key cell_failures / reclaimed on.
+[[nodiscard]] bool is_cell_failure(Outcome outcome) noexcept;
+
 /// Everything measured in one run.
 struct RunResult {
   Outcome outcome = Outcome::Correct;

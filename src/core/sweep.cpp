@@ -1,0 +1,344 @@
+#include "core/sweep.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/log_parser.hpp"
+#include "core/scenario.hpp"
+#include "hypervisor/config_text.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace mcs::fi {
+
+namespace {
+
+/// "scenario_rN[_board]": unique per grid cell (the spec parser rejects
+/// duplicated axis values), filesystem-safe for registry-style keys.
+std::string cell_id(const std::string& scenario, std::uint32_t rate,
+                    const std::string& board) {
+  std::string id = scenario + "_r" + std::to_string(rate);
+  if (!board.empty()) id += "_" + board;
+  return id;
+}
+
+template <typename T>
+bool has_duplicates(std::vector<T> values) {
+  std::sort(values.begin(), values.end());
+  return std::adjacent_find(values.begin(), values.end()) != values.end();
+}
+
+/// Grid-level validation shared by the spec parser and expand(): a spec
+/// assembled from CLI flags must obey the same rules as a parsed one —
+/// in particular no duplicated axis values, which would alias cell ids
+/// (and therefore log files), making resume report one cell's data as
+/// another's.
+util::Status validate_grid(const SweepSpec& spec) {
+  if (spec.scenarios.empty()) {
+    return util::invalid_argument("sweep spec names no scenario");
+  }
+  if (spec.rates.empty()) {
+    return util::invalid_argument("sweep spec names no rate");
+  }
+  if (spec.runs == 0) {
+    return util::invalid_argument("sweep needs runs ≥ 1");
+  }
+  for (const std::uint32_t rate : spec.rates) {
+    if (rate == 0) return util::invalid_argument("sweep rate must be ≥ 1");
+  }
+  if (has_duplicates(spec.scenarios)) {
+    return util::invalid_argument("duplicate scenario in sweep spec");
+  }
+  if (has_duplicates(spec.rates)) {
+    return util::invalid_argument("duplicate rate in sweep spec");
+  }
+  if (has_duplicates(spec.boards)) {
+    return util::invalid_argument("duplicate board in sweep spec");
+  }
+  return util::ok_status();
+}
+
+/// Everything that determines a cell's runs, as deterministic text. The
+/// sidecar `<cell>.runlog.meta` persists this; resume refuses a log whose
+/// fingerprint doesn't match the current plan, so reusing a logdir with a
+/// changed seed/rate/duration/tuning re-executes instead of silently
+/// serving stale aggregates.
+std::string plan_fingerprint(const TestPlan& plan) {
+  std::string tuning = plan.cell_tuning;
+  std::replace(tuning.begin(), tuning.end(), '\n', ';');
+  std::ostringstream out;
+  out << "scenario " << plan.scenario << "\n"
+      << "board " << plan.board << "\n"
+      << "target " << static_cast<int>(plan.target) << "\n"
+      << "fault " << static_cast<int>(plan.fault) << "\n"
+      << "fault_registers";
+  for (const arch::Reg reg : plan.fault_registers) {
+    out << ' ' << static_cast<int>(reg);
+  }
+  out << "\n"
+      << "fault_count " << plan.fault_count << "\n"
+      << "rate " << plan.rate << "\n"
+      << "phase " << plan.phase << "\n"
+      << "cpu_filter " << plan.cpu_filter << "\n"
+      << "duration " << plan.duration_ticks << "\n"
+      << "runs " << plan.runs << "\n"
+      << "seed " << plan.seed << "\n"
+      << "inject_during_boot " << (plan.inject_during_boot ? 1 : 0) << "\n"
+      << "tuning " << tuning << "\n";
+  return out.str();
+}
+
+std::string meta_path_of(const std::string& log_path) {
+  return log_path + ".meta";
+}
+
+}  // namespace
+
+util::Expected<SweepSpec> parse_sweep_spec(std::string_view text) {
+  SweepSpec spec;
+  int line_number = 0;
+  const auto fail = [&line_number](const std::string& what) {
+    return util::invalid_argument("line " + std::to_string(line_number) + ": " +
+                                  what);
+  };
+
+  for (const std::string& raw_line : util::split(text, '\n')) {
+    ++line_number;
+    const std::string_view line = util::trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+
+    const std::size_t space = line.find(' ');
+    const std::string_view keyword = line.substr(0, space);
+    const std::string_view rest =
+        space == std::string_view::npos ? std::string_view{}
+                                        : util::trim(line.substr(space + 1));
+
+    if (keyword == "sweep") {
+      // sweep "name" — quoted like the cell-config header.
+      const std::size_t open = rest.find('"');
+      const std::size_t close = rest.rfind('"');
+      if (open == std::string_view::npos || close <= open) {
+        return fail("sweep name must be quoted");
+      }
+      spec.name = std::string(rest.substr(open + 1, close - open - 1));
+    } else if (keyword == "scenario" || keyword == "board") {
+      if (rest.empty()) return fail(std::string(keyword) + " needs a key");
+      auto& axis = keyword == "scenario" ? spec.scenarios : spec.boards;
+      for (const std::string& token : util::split(rest, ' ')) {
+        if (!util::trim(token).empty()) {
+          axis.emplace_back(util::trim(token));
+        }
+      }
+    } else if (keyword == "rate") {
+      if (rest.empty()) return fail("rate needs a value");
+      for (const std::string& token : util::split(rest, ' ')) {
+        if (util::trim(token).empty()) continue;
+        auto value = jh::parse_config_number(util::trim(token));
+        if (!value.is_ok() || value.value() == 0) {
+          return fail("bad rate '" + token + "' (need a call count ≥ 1)");
+        }
+        spec.rates.push_back(static_cast<std::uint32_t>(value.value()));
+      }
+    } else if (keyword == "runs") {
+      auto value = jh::parse_config_number(rest);
+      if (!value.is_ok() || value.value() == 0) return fail("bad runs count");
+      spec.runs = static_cast<std::uint32_t>(value.value());
+    } else if (keyword == "seed") {
+      auto value = jh::parse_config_number(rest);
+      if (!value.is_ok()) return fail("bad seed");
+      spec.seed = value.value();
+    } else if (keyword == "duration") {
+      auto value = jh::parse_config_number(rest);
+      if (!value.is_ok() || value.value() == 0) return fail("bad duration");
+      spec.duration_ticks = value.value();
+    } else if (keyword == "tuning") {
+      // The rest of the line is cell-tuning text, ';'-separated like the
+      // fault_campaign CLI; multiple tuning lines accumulate.
+      std::string tuning(rest);
+      std::replace(tuning.begin(), tuning.end(), ';', '\n');
+      if (!spec.cell_tuning.empty()) spec.cell_tuning += '\n';
+      spec.cell_tuning += tuning;
+    } else if (keyword == "logdir") {
+      if (rest.empty()) return fail("logdir needs a path");
+      spec.log_dir = std::string(rest);
+    } else {
+      return fail("unknown keyword '" + std::string(keyword) + "'");
+    }
+  }
+
+  const util::Status valid = validate_grid(spec);
+  if (!valid.is_ok()) return valid;
+  return spec;
+}
+
+SweepDriver::SweepDriver(SweepSpec spec, ExecutorConfig config)
+    : spec_(std::move(spec)), config_(config) {}
+
+std::string SweepDriver::cell_log_path(const std::string& log_dir,
+                                       const std::string& cell_id) {
+  return (std::filesystem::path(log_dir) / (cell_id + ".runlog")).string();
+}
+
+util::Expected<std::vector<TestPlan>> SweepDriver::expand() const {
+  // Specs can arrive without passing parse_sweep_spec (built from CLI
+  // flags or code), so the grid rules are enforced here too.
+  const util::Status valid = validate_grid(spec_);
+  if (!valid.is_ok()) return valid;
+
+  // No board axis → one pass with the scenario/tuning default board.
+  const std::vector<std::string> boards =
+      spec_.boards.empty() ? std::vector<std::string>{""} : spec_.boards;
+
+  ScenarioRegistry& registry = ScenarioRegistry::instance();
+  std::vector<TestPlan> plans;
+  plans.reserve(spec_.cell_count());
+  // One serial seed expansion over the full grid, in grid order: a cell's
+  // seed depends only on its grid position, never on which cells execute.
+  util::SplitMix64 seeder(spec_.seed);
+  for (const std::string& scenario : spec_.scenarios) {
+    for (const std::uint32_t rate : spec_.rates) {
+      for (const std::string& board : boards) {
+        ScenarioRegistry::MakeOptions options;
+        options.cell_tuning = spec_.cell_tuning;
+        if (!board.empty()) {
+          // The board axis rides the tuning vocabulary; appended last so
+          // it overrides any `board` line in the shared tuning.
+          if (!options.cell_tuning.empty()) options.cell_tuning += '\n';
+          options.cell_tuning += "board " + board;
+        }
+        auto made = registry.make(scenario, options);
+        if (!made.is_ok()) {
+          return util::invalid_argument(
+              "cell " + cell_id(scenario, rate, board) + ": " +
+              made.status().message());
+        }
+        TestPlan plan = std::move(made).value();
+        plan.name = cell_id(scenario, rate, board);
+        plan.rate = rate;
+        plan.runs = spec_.runs;
+        plan.seed = seeder.next();
+        if (spec_.duration_ticks != 0) {
+          plan.duration_ticks = spec_.duration_ticks;
+        }
+        plans.push_back(std::move(plan));
+      }
+    }
+  }
+  return plans;
+}
+
+bool SweepDriver::try_resume(SweepCellResult& cell) const {
+  // The sidecar fingerprint ties the log to the exact plan that wrote
+  // it. Absent (interrupted before completion) or mismatched (the
+  // logdir was reused with a different spec) → the log is not this
+  // cell's data, however complete it looks.
+  {
+    std::ifstream meta(meta_path_of(cell.log_path));
+    if (!meta) return false;
+    std::ostringstream buffer;
+    buffer << meta.rdbuf();
+    if (meta.bad() || buffer.str() != plan_fingerprint(cell.plan)) {
+      return false;
+    }
+  }
+
+  std::ifstream file(cell.log_path);
+  if (!file) return false;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad()) return false;
+
+  // Complete ⇔ every run index 0..runs-1 exactly once, in order, and not
+  // a single malformed line — anything else (truncated tail from an
+  // interrupt, foreign content) re-executes the cell from scratch.
+  const analysis::ParsedRunLog parsed = analysis::parse_run_log(buffer.str());
+  if (parsed.malformed_lines != 0) return false;
+  if (parsed.entries.size() != cell.plan.runs) return false;
+  for (std::size_t i = 0; i < parsed.entries.size(); ++i) {
+    if (parsed.entries[i].index != i) return false;
+  }
+  cell.aggregate = analysis::aggregate_from_log(parsed);
+  cell.resumed = true;
+  return true;
+}
+
+util::Expected<SweepResult> SweepDriver::execute() {
+  auto plans = expand();
+  if (!plans.is_ok()) return plans.status();
+
+  const bool persist = !spec_.log_dir.empty();
+  if (persist) {
+    std::error_code ec;
+    std::filesystem::create_directories(spec_.log_dir, ec);
+    if (ec) {
+      return util::Status(util::Code::EIo, "cannot create sweep log dir '" +
+                                               spec_.log_dir + "': " +
+                                               ec.message());
+    }
+  }
+
+  SweepResult result;
+  result.spec = spec_;
+  result.cells.reserve(plans.value().size());
+  for (TestPlan& plan : plans.value()) {
+    SweepCellResult cell;
+    cell.id = plan.name;
+    cell.plan = std::move(plan);
+
+    if (persist) {
+      cell.log_path = cell_log_path(spec_.log_dir, cell.id);
+      if (try_resume(cell)) ++result.resumed;
+    }
+
+    if (!cell.resumed) {
+      std::ofstream log_file;
+      if (persist) {
+        // A stale fingerprint must never outlive the log it described:
+        // drop it first, and only write the new one once the cell's log
+        // is complete on disk. An interrupt anywhere in between leaves
+        // no fingerprint, so the next invocation re-executes.
+        std::error_code ec;
+        std::filesystem::remove(meta_path_of(cell.log_path), ec);
+        log_file.open(cell.log_path, std::ios::trunc);
+        if (!log_file) {
+          return util::Status(util::Code::EIo, "cannot write cell log '" +
+                                                   cell.log_path + "'");
+        }
+      }
+      // Persisted cells stream straight to their log file; an in-memory
+      // sweep streams into a per-cell scratch buffer that dies here (the
+      // aggregate is all the sweep keeps).
+      std::ostringstream devnull;
+      analysis::LogSink sink(persist ? static_cast<std::ostream&>(log_file)
+                                     : devnull);
+      CampaignExecutor executor(cell.plan, config_);
+      executor.set_progress(
+          [&sink](std::uint32_t index, const RunResult& run) {
+            sink.record(index, run);
+          });
+      const CampaignResult campaign = executor.execute();
+      (void)campaign;  // every run already reached the sink, in order
+      cell.aggregate = sink.aggregate();
+      if (persist) {
+        log_file.close();
+        std::ofstream meta(meta_path_of(cell.log_path), std::ios::trunc);
+        meta << plan_fingerprint(cell.plan);
+        if (!meta) {
+          return util::Status(util::Code::EIo, "cannot write cell meta '" +
+                                                   meta_path_of(cell.log_path) +
+                                                   "'");
+        }
+      }
+      ++result.executed;
+    }
+
+    result.total.merge(cell.aggregate);
+    if (cell_progress_) cell_progress_(cell);
+    result.cells.push_back(std::move(cell));
+  }
+  return result;
+}
+
+}  // namespace mcs::fi

@@ -1,0 +1,131 @@
+// Multi-campaign sweep driver: the paper's assessment grid as one run.
+//
+// The dependability argument of §III is not a single campaign but a grid
+// of them — scenarios × fault-intensity levels (rates) × boards — each
+// summarized and compared (Figure 3 against the high-intensity shapes).
+// SweepSpec names that grid; SweepDriver expands it into one TestPlan per
+// cell, executes every cell through the sharded CampaignExecutor, streams
+// each cell's run log to its own file, and folds the per-cell
+// CampaignAggregates into a sweep-level result the comparison report
+// renders side by side.
+//
+// Determinism: expansion always enumerates the full grid in one fixed
+// order (scenario-major, then rate, then board) and deals per-cell seeds
+// from one serial SplitMix64 expansion of the base seed — so a cell's
+// plan, and therefore its runs, depend only on the spec, never on which
+// cells happen to execute or resume. With per-cell logs persisted, an
+// interrupted sweep re-invoked with the same spec rebuilds completed
+// cells' aggregates from their logs (analysis::aggregate_from_log),
+// re-executes only incomplete cells, and produces a bit-identical result.
+// A sidecar fingerprint per cell ties each log to the exact plan that
+// wrote it, so reusing a log directory with a changed spec re-executes
+// rather than silently resuming stale data.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/log_sink.hpp"
+#include "core/executor.hpp"
+#include "core/plan.hpp"
+#include "util/status.hpp"
+
+namespace mcs::fi {
+
+/// The sweep grid: every list is one axis; the driver takes the cross
+/// product. Value type, cheap to copy, parseable from config text.
+struct SweepSpec {
+  std::string name = "sweep";
+  std::vector<std::string> scenarios;    ///< ScenarioRegistry keys (≥ 1)
+  std::vector<std::uint32_t> rates;      ///< inject-every-Nth-call levels (≥ 1)
+  std::vector<std::string> boards;       ///< BoardRegistry keys; empty → the
+                                         ///< scenario default, no board axis
+  std::uint32_t runs = 8;                ///< runs per grid cell
+  std::uint64_t seed = 0xC0FFEE;         ///< base seed; cells derive from it
+  std::uint64_t duration_ticks = 0;      ///< 0 → the scenario/plan default
+  std::string cell_tuning;               ///< applied to every cell (validated)
+  std::string log_dir;  ///< per-cell run logs + resume; empty → in-memory only
+
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return scenarios.size() * rates.size() *
+           (boards.empty() ? 1 : boards.size());
+  }
+};
+
+/// Parse a sweep spec from config text, same conventions as
+/// jh::parse_cell_tuning (one key per line, # comments, blank lines ok):
+///
+///   sweep "paper-grid"                 # optional name
+///   scenario freertos-steady dual-cell # or one per line, accumulating
+///   rate 100 50
+///   board bananapi quad-a7             # optional axis
+///   runs 8
+///   seed 0xC0FFEE
+///   duration 60000
+///   tuning ram 0x200000; console trapped   # ';' separates tuning lines
+///   logdir sweep-logs
+///
+/// EINVAL with a line-numbered message on malformed input, duplicated
+/// axis values (they would alias per-cell log files) or an empty grid.
+[[nodiscard]] util::Expected<SweepSpec> parse_sweep_spec(std::string_view text);
+
+/// One executed (or resumed) grid cell.
+struct SweepCellResult {
+  std::string id;        ///< "scenario_rN[_board]" — also the log file stem
+  TestPlan plan;         ///< the fully expanded plan the cell ran with
+  std::string log_path;  ///< persisted run log; empty when not persisted
+  analysis::CampaignAggregate aggregate;
+  bool resumed = false;  ///< rebuilt from the persisted log, not executed
+};
+
+struct SweepResult {
+  SweepSpec spec;
+  std::vector<SweepCellResult> cells;       ///< grid order
+  analysis::CampaignAggregate total;        ///< all cells merged, grid order
+  std::size_t executed = 0;
+  std::size_t resumed = 0;
+};
+
+class SweepDriver {
+ public:
+  explicit SweepDriver(SweepSpec spec, ExecutorConfig config = {});
+
+  /// Fired after each cell completes (executed or resumed), in grid order.
+  using CellProgressFn = std::function<void(const SweepCellResult&)>;
+  void set_cell_progress(CellProgressFn fn) { cell_progress_ = std::move(fn); }
+
+  /// The grid as ready-to-execute TestPlans, in the fixed grid order,
+  /// seeds dealt. EINVAL on an invalid spec (empty axis, unknown
+  /// scenario/board key, malformed tuning).
+  [[nodiscard]] util::Expected<std::vector<TestPlan>> expand() const;
+
+  /// Execute the sweep: resume completed cells from their persisted logs
+  /// (when spec.log_dir is set), execute the rest, fold everything into a
+  /// SweepResult. Deterministic in the spec for any thread count and any
+  /// executed/resumed split.
+  [[nodiscard]] util::Expected<SweepResult> execute();
+
+  [[nodiscard]] const SweepSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] const ExecutorConfig& config() const noexcept { return config_; }
+
+  /// The log file a cell persists to under `log_dir` ("<id>.runlog").
+  [[nodiscard]] static std::string cell_log_path(const std::string& log_dir,
+                                                 const std::string& cell_id);
+
+ private:
+  /// True when `cell.log_path` holds a complete run log written by
+  /// exactly `cell.plan`: the sidecar fingerprint (`<id>.runlog.meta`,
+  /// written only after a cell completes) matches the plan, and the log
+  /// has every index 0..runs-1 exactly once with no malformed lines.
+  /// Fills cell.aggregate from the log.
+  [[nodiscard]] bool try_resume(SweepCellResult& cell) const;
+
+  SweepSpec spec_;
+  ExecutorConfig config_;
+  CellProgressFn cell_progress_;
+};
+
+}  // namespace mcs::fi

@@ -15,7 +15,27 @@ constexpr std::pair<char, std::uint32_t> kFlagLetters[] = {
     {'s', mem::kMemRootShared}, {'l', mem::kMemLoadable},
 };
 
-util::Expected<std::uint64_t> parse_number(std::string_view token) {
+/// "key=value" → value for an expected key.
+util::Expected<std::uint64_t> parse_kv_number(std::string_view token,
+                                              std::string_view key) {
+  if (!util::starts_with(token, key) || token.size() <= key.size() ||
+      token[key.size()] != '=') {
+    return util::invalid_argument("expected " + std::string(key) + "=...");
+  }
+  return parse_config_number(token.substr(key.size() + 1));
+}
+
+std::vector<std::string> tokens_of(std::string_view line) {
+  std::vector<std::string> out;
+  for (const std::string& part : util::split(line, ' ')) {
+    if (!util::trim(part).empty()) out.emplace_back(util::trim(part));
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Expected<std::uint64_t> parse_config_number(std::string_view token) {
   int base = 10;
   if (util::starts_with(token, "0x") || util::starts_with(token, "0X")) {
     token.remove_prefix(2);
@@ -29,26 +49,6 @@ util::Expected<std::uint64_t> parse_number(std::string_view token) {
   }
   return value;
 }
-
-/// "key=value" → value for an expected key.
-util::Expected<std::uint64_t> parse_kv_number(std::string_view token,
-                                              std::string_view key) {
-  if (!util::starts_with(token, key) || token.size() <= key.size() ||
-      token[key.size()] != '=') {
-    return util::invalid_argument("expected " + std::string(key) + "=...");
-  }
-  return parse_number(token.substr(key.size() + 1));
-}
-
-std::vector<std::string> tokens_of(std::string_view line) {
-  std::vector<std::string> out;
-  for (const std::string& part : util::split(line, ' ')) {
-    if (!util::trim(part).empty()) out.emplace_back(util::trim(part));
-  }
-  return out;
-}
-
-}  // namespace
 
 std::string flags_to_letters(std::uint32_t flags) {
   std::string out;
@@ -138,13 +138,13 @@ util::Expected<CellConfig> parse_cell_config(std::string_view text) {
     } else if (keyword == "cpus") {
       if (tokens.size() < 2) return fail("cpus needs at least one id");
       for (std::size_t i = 1; i < tokens.size(); ++i) {
-        auto value = parse_number(tokens[i]);
+        auto value = parse_config_number(tokens[i]);
         if (!value.is_ok()) return fail("bad cpu id '" + tokens[i] + "'");
         config.cpus.push_back(static_cast<int>(value.value()));
       }
     } else if (keyword == "entry") {
       if (tokens.size() != 2) return fail("entry needs one address");
-      auto value = parse_number(tokens[1]);
+      auto value = parse_config_number(tokens[1]);
       if (!value.is_ok()) return fail("bad entry address");
       config.entry_point = static_cast<arch::Word>(value.value());
     } else if (keyword == "console") {
@@ -153,7 +153,7 @@ util::Expected<CellConfig> parse_cell_config(std::string_view text) {
         config.console = {ConsoleKind::None, 0};
       } else if (tokens[1] == "passthrough" || tokens[1] == "trapped") {
         if (tokens.size() != 3) return fail("console needs a UART base");
-        auto base = parse_number(tokens[2]);
+        auto base = parse_config_number(tokens[2]);
         if (!base.is_ok()) return fail("bad console base");
         config.console = {tokens[1] == "passthrough" ? ConsoleKind::Passthrough
                                                      : ConsoleKind::Trapped,
@@ -183,7 +183,7 @@ util::Expected<CellConfig> parse_cell_config(std::string_view text) {
       config.mem_regions.push_back(std::move(region));
     } else if (keyword == "irq") {
       if (tokens.size() != 2) return fail("irq needs one id");
-      auto value = parse_number(tokens[1]);
+      auto value = parse_config_number(tokens[1]);
       if (!value.is_ok()) return fail("bad irq id");
       config.irqs.push_back(static_cast<irq::IrqId>(value.value()));
     } else if (keyword == "end") {
@@ -214,7 +214,7 @@ util::Expected<CellTuning> parse_cell_tuning(std::string_view text) {
     const std::string& keyword = tokens.front();
     if (keyword == "ram") {
       if (tokens.size() != 2) return fail("ram needs one size");
-      auto value = parse_number(tokens[1]);
+      auto value = parse_config_number(tokens[1]);
       if (!value.is_ok() || value.value() == 0) return fail("bad ram size");
       tuning.ram_size = value.value();
     } else if (keyword == "console") {

@@ -34,6 +34,11 @@ namespace mcs::jh {
 /// any malformed input; never crashes on garbage (fuzz-tested).
 [[nodiscard]] util::Expected<CellConfig> parse_cell_config(std::string_view text);
 
+/// Parse a config-text number token: decimal or 0x-prefixed hex, the one
+/// numeric form every config-text vocabulary (cell configs, tuning,
+/// sweep specs) shares. EINVAL on anything else.
+[[nodiscard]] util::Expected<std::uint64_t> parse_config_number(std::string_view token);
+
 /// Render region flags as the compact letter form ("rwxl").
 [[nodiscard]] std::string flags_to_letters(std::uint32_t flags);
 

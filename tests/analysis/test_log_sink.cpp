@@ -78,6 +78,21 @@ TEST(CampaignAggregate, TracksRecoveryAndInjections) {
   EXPECT_EQ(aggregate.distribution.total(), 3u);
 }
 
+TEST(CampaignAggregate, CrossCellCorruptionCountsAsCellFailure) {
+  // The executor runs the shutdown-reclaim probe for cross-cell-corruption
+  // runs, so the aggregate must bucket them with the other cell failures
+  // — otherwise reclaimed can never account for them.
+  EXPECT_TRUE(fi::is_cell_failure(fi::Outcome::CrossCellCorruption));
+  CampaignAggregate aggregate;
+  fi::RunResult corrupted =
+      make_run(fi::Outcome::CrossCellCorruption, 2);
+  corrupted.shutdown_reclaimed = true;
+  aggregate.add(corrupted);
+  aggregate.add(make_run(fi::Outcome::PanicPark, 1));  // not a cell failure
+  EXPECT_EQ(aggregate.cell_failures, 1u);
+  EXPECT_EQ(aggregate.reclaimed, 1u);
+}
+
 TEST(CampaignAggregate, ShardsMergeToTheCampaignTotal) {
   CampaignAggregate a;
   CampaignAggregate b;
@@ -129,6 +144,64 @@ TEST(LogSink, RestoresRunOrderFromOutOfOrderCompletions) {
   }
   EXPECT_EQ(sink.records(), 4u);
   EXPECT_EQ(sink.aggregate().distribution.total(), 4u);
+}
+
+TEST(LogSink, DuplicateAndAlreadyReleasedIndicesAreDropped) {
+  LogSink sink;
+  sink.record(0, make_run(fi::Outcome::Correct, 1));   // released
+  sink.record(2, make_run(fi::Outcome::CpuPark, 3));   // pending
+  const std::string text_before = sink.text();
+
+  // A replayed pending index, a replayed released index, and an index
+  // below the release horizon must all drop without touching the
+  // aggregate, the text, or the pending backlog.
+  sink.record(2, make_run(fi::Outcome::PanicPark, 9));
+  sink.record(0, make_run(fi::Outcome::PanicPark, 9));
+  EXPECT_EQ(sink.duplicates(), 2u);
+  EXPECT_EQ(sink.text(), text_before);
+
+  // Index 1 still releases the backlog: nothing parked forever.
+  sink.record(1, make_run(fi::Outcome::Correct, 1));
+  EXPECT_EQ(sink.records(), 3u);
+  const CampaignAggregate aggregate = sink.aggregate();
+  EXPECT_EQ(aggregate.distribution.total(), 3u);
+  EXPECT_EQ(aggregate.distribution.count(fi::Outcome::PanicPark), 0u);
+  EXPECT_EQ(aggregate.injections, 5u);
+  EXPECT_NE(sink.text().find("run 2: cpu-park"), std::string::npos);
+}
+
+TEST(LogSink, AggregateIsIdenticalForAnyCompletionOrder) {
+  // Two completion orders of the same runs: the folded aggregate —
+  // including its floating-point latency accumulation — must match
+  // exactly, because folding happens at release (run order), not at
+  // record (completion order).
+  std::vector<fi::RunResult> runs;
+  for (int i = 0; i < 7; ++i) {
+    fi::RunResult run = make_run(
+        i % 2 == 0 ? fi::Outcome::PanicPark : fi::Outcome::Correct,
+        static_cast<std::uint64_t>(i));
+    run.first_injection_tick = 5;
+    run.failure_tick = run.outcome == fi::Outcome::PanicPark
+                           ? 7 + static_cast<std::uint64_t>(i * i)
+                           : 0;
+    runs.push_back(run);
+  }
+  LogSink in_order;
+  LogSink scrambled;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    in_order.record(static_cast<std::uint32_t>(i), runs[i]);
+  }
+  for (const std::size_t i : {3u, 0u, 6u, 2u, 5u, 1u, 4u}) {
+    scrambled.record(static_cast<std::uint32_t>(i), runs[i]);
+  }
+  const CampaignAggregate a = in_order.aggregate();
+  const CampaignAggregate b = scrambled.aggregate();
+  EXPECT_EQ(a.distribution.total(), b.distribution.total());
+  EXPECT_EQ(a.injections, b.injections);
+  EXPECT_EQ(a.detection_latency.n(), b.detection_latency.n());
+  EXPECT_EQ(a.detection_latency.mean(), b.detection_latency.mean());
+  EXPECT_EQ(a.detection_latency.stddev(), b.detection_latency.stddev());
+  EXPECT_EQ(in_order.text(), scrambled.text());
 }
 
 TEST(LogSink, TextMatchesSerialRenderOfShardedCampaign) {

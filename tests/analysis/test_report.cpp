@@ -46,11 +46,17 @@ TEST(Report, ChartOmitsEmptyClasses) {
   EXPECT_EQ(chart.find("inconsistent-cell"), std::string::npos);
 }
 
-TEST(Report, TableListsEveryClassWithCi) {
+TEST(Report, TableListsOccurringClassesWithCiAndSkipsZeroRows) {
   const std::string table = render_distribution_table(synthetic_result());
   EXPECT_NE(table.find("outcome"), std::string::npos);
   EXPECT_NE(table.find("95% Wilson CI"), std::string::npos);
-  EXPECT_NE(table.find("silent-hang"), std::string::npos);  // zero rows shown
+  EXPECT_NE(table.find("correct"), std::string::npos);
+  EXPECT_NE(table.find("panic-park"), std::string::npos);
+  EXPECT_NE(table.find("cpu-park"), std::string::npos);
+  // Zero-count classes are skipped, like the chart, so sparse
+  // multi-scenario comparisons stay readable.
+  EXPECT_EQ(table.find("silent-hang"), std::string::npos);
+  EXPECT_EQ(table.find("inconsistent-cell"), std::string::npos);
   EXPECT_NE(table.find("total"), std::string::npos);
   EXPECT_NE(table.find("20"), std::string::npos);
 }
@@ -76,9 +82,61 @@ TEST(Report, EmptyCampaignDoesNotCrash) {
   fi::CampaignResult empty;
   empty.plan = fi::paper_medium_trap_plan();
   EXPECT_FALSE(render_distribution_chart(empty, "t").empty());
-  EXPECT_FALSE(render_distribution_table(empty).empty());
+  const std::string table = render_distribution_table(empty);
+  EXPECT_FALSE(table.empty());
+  // No per-class rows (they would all be zero) — an explicit marker plus
+  // the zero total instead.
+  EXPECT_NE(table.find("(no runs)"), std::string::npos);
+  EXPECT_EQ(table.find("correct"), std::string::npos);
   EXPECT_TRUE(render_run_log(empty).empty());
   EXPECT_FALSE(render_latency_summary(empty).empty());
+}
+
+TEST(Report, ComparisonReportTabulatesCellsSideBySide) {
+  CampaignAggregate left;
+  CampaignAggregate right;
+  const auto add = [](CampaignAggregate& aggregate, fi::Outcome outcome,
+                      int n) {
+    for (int i = 0; i < n; ++i) {
+      fi::RunResult run;
+      run.outcome = outcome;
+      run.injections = 2;
+      if (fi::is_cell_failure(outcome)) run.shutdown_reclaimed = true;
+      aggregate.add(run);
+    }
+  };
+  add(left, fi::Outcome::Correct, 9);
+  add(left, fi::Outcome::PanicPark, 3);
+  add(right, fi::Outcome::Correct, 4);
+  add(right, fi::Outcome::CpuPark, 8);
+
+  const std::string report = render_comparison_report(
+      {{"medium_r100", left}, {"high_r50", right}}, "Sweep comparison");
+  EXPECT_NE(report.find("Sweep comparison"), std::string::npos);
+  EXPECT_NE(report.find("medium_r100"), std::string::npos);
+  EXPECT_NE(report.find("high_r50"), std::string::npos);
+  // Rows for classes that occurred in ANY cell; none for classes in none.
+  EXPECT_NE(report.find("correct"), std::string::npos);
+  EXPECT_NE(report.find("panic-park"), std::string::npos);
+  EXPECT_NE(report.find("cpu-park"), std::string::npos);
+  EXPECT_EQ(report.find("silent-hang"), std::string::npos);
+  // Footer: totals per cell, cell failures, reclaims.
+  EXPECT_NE(report.find("runs"), std::string::npos);
+  EXPECT_NE(report.find("injections"), std::string::npos);
+  EXPECT_NE(report.find("cell failures"), std::string::npos);
+  EXPECT_NE(report.find("shutdown reclaimed"), std::string::npos);
+
+  // Deterministic bytes: the resume path diffs reports, so rendering must
+  // be a pure function of the aggregates.
+  EXPECT_EQ(report, render_comparison_report(
+                        {{"medium_r100", left}, {"high_r50", right}},
+                        "Sweep comparison"));
+}
+
+TEST(Report, ComparisonReportHandlesNoCells) {
+  const std::string report = render_comparison_report({}, "empty");
+  EXPECT_NE(report.find("empty"), std::string::npos);
+  EXPECT_NE(report.find("(no cells)"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,206 @@
+#include "core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/scenario.hpp"
+
+namespace mcs::fi {
+namespace {
+
+// --- spec parsing -----------------------------------------------------------
+
+TEST(SweepSpec, ParsesTheFullVocabulary) {
+  auto parsed = parse_sweep_spec(
+      "# the paper's grid\n"
+      "sweep \"paper-grid\"\n"
+      "scenario freertos-steady dual-cell\n"
+      "scenario inject-during-boot\n"
+      "rate 100 50\n"
+      "board bananapi quad-a7\n"
+      "runs 12\n"
+      "seed 0xDEAD\n"
+      "duration 30000\n"
+      "tuning ram 0x200000; console trapped\n"
+      "logdir sweep-logs\n");
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  const SweepSpec& spec = parsed.value();
+  EXPECT_EQ(spec.name, "paper-grid");
+  EXPECT_EQ(spec.scenarios,
+            (std::vector<std::string>{"freertos-steady", "dual-cell",
+                                      "inject-during-boot"}));
+  EXPECT_EQ(spec.rates, (std::vector<std::uint32_t>{100, 50}));
+  EXPECT_EQ(spec.boards, (std::vector<std::string>{"bananapi", "quad-a7"}));
+  EXPECT_EQ(spec.runs, 12u);
+  EXPECT_EQ(spec.seed, 0xDEADu);
+  EXPECT_EQ(spec.duration_ticks, 30000u);
+  EXPECT_EQ(spec.cell_tuning, "ram 0x200000\n console trapped");
+  EXPECT_EQ(spec.log_dir, "sweep-logs");
+  EXPECT_EQ(spec.cell_count(), 3u * 2u * 2u);
+}
+
+TEST(SweepSpec, DefaultsApplyWhenKeysAreOmitted) {
+  auto parsed = parse_sweep_spec("scenario freertos-steady\nrate 100\n");
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().name, "sweep");
+  EXPECT_EQ(parsed.value().runs, 8u);
+  EXPECT_TRUE(parsed.value().boards.empty());
+  EXPECT_EQ(parsed.value().cell_count(), 1u);
+}
+
+TEST(SweepSpec, RejectsMalformedInput) {
+  // Every rejection carries a line number or a grid-level explanation.
+  EXPECT_FALSE(parse_sweep_spec("rate 100\n").is_ok());  // no scenario
+  EXPECT_FALSE(parse_sweep_spec("scenario a\n").is_ok());  // no rate
+  EXPECT_FALSE(parse_sweep_spec("scenario a\nrate 0\n").is_ok());
+  EXPECT_FALSE(parse_sweep_spec("scenario a\nrate x\n").is_ok());
+  EXPECT_FALSE(parse_sweep_spec("scenario a\nrate 100\nwibble 3\n").is_ok());
+  EXPECT_FALSE(parse_sweep_spec("sweep unquoted\nscenario a\nrate 100\n").is_ok());
+  EXPECT_FALSE(parse_sweep_spec("scenario a\nrate 100\nruns 0\n").is_ok());
+  // Duplicated axis values would alias per-cell log files.
+  EXPECT_FALSE(parse_sweep_spec("scenario a a\nrate 100\n").is_ok());
+  EXPECT_FALSE(parse_sweep_spec("scenario a\nrate 100 100\n").is_ok());
+  EXPECT_FALSE(
+      parse_sweep_spec("scenario a\nrate 100\nboard b b\n").is_ok());
+}
+
+// --- grid expansion ---------------------------------------------------------
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.scenarios = {"freertos-steady", "inject-during-boot"};
+  spec.rates = {100, 50};
+  spec.runs = 3;
+  spec.seed = 0xFEED;
+  spec.duration_ticks = 2'000;
+  return spec;
+}
+
+TEST(SweepDriver, ExpandsTheGridInFixedOrderWithDistinctSeeds) {
+  SweepDriver driver(small_spec());
+  auto plans = driver.expand();
+  ASSERT_TRUE(plans.is_ok()) << plans.status().to_string();
+  ASSERT_EQ(plans.value().size(), 4u);
+  // Scenario-major, then rate: the order the comparison report columns use.
+  EXPECT_EQ(plans.value()[0].name, "freertos-steady_r100");
+  EXPECT_EQ(plans.value()[1].name, "freertos-steady_r50");
+  EXPECT_EQ(plans.value()[2].name, "inject-during-boot_r100");
+  EXPECT_EQ(plans.value()[3].name, "inject-during-boot_r50");
+  std::set<std::uint64_t> seeds;
+  for (const TestPlan& plan : plans.value()) {
+    EXPECT_EQ(plan.runs, 3u);
+    EXPECT_EQ(plan.duration_ticks, 2'000u);
+    seeds.insert(plan.seed);
+  }
+  EXPECT_EQ(seeds.size(), 4u);  // every cell gets its own seed stream
+
+  // The same spec expands to the same plans — cell seeds depend only on
+  // grid position, which is what makes resume deterministic.
+  auto again = SweepDriver(small_spec()).expand();
+  ASSERT_TRUE(again.is_ok());
+  for (std::size_t i = 0; i < plans.value().size(); ++i) {
+    EXPECT_EQ(plans.value()[i].seed, again.value()[i].seed);
+    EXPECT_EQ(plans.value()[i].name, again.value()[i].name);
+  }
+}
+
+TEST(SweepDriver, BoardAxisOverridesTheScenarioDefault) {
+  SweepSpec spec = small_spec();
+  spec.scenarios = {"freertos-steady"};
+  spec.rates = {100};
+  spec.boards = {"bananapi", "quad-a7"};
+  auto plans = SweepDriver(spec).expand();
+  ASSERT_TRUE(plans.is_ok()) << plans.status().to_string();
+  ASSERT_EQ(plans.value().size(), 2u);
+  EXPECT_EQ(plans.value()[0].name, "freertos-steady_r100_bananapi");
+  EXPECT_EQ(plans.value()[1].name, "freertos-steady_r100_quad-a7");
+  // The board rides the tuning vocabulary so it survives the executor's
+  // tuning-overrides-plan precedence.
+  EXPECT_NE(plans.value()[1].cell_tuning.find("board quad-a7"),
+            std::string::npos);
+}
+
+TEST(SweepDriver, ExpandRejectsDuplicateAxisValues) {
+  // Specs built from CLI flags or code never pass parse_sweep_spec, so
+  // expand() must enforce the aliasing rule itself: duplicated axis
+  // values collapse onto one cell id — and one log file.
+  SweepSpec spec = small_spec();
+  spec.scenarios = {"freertos-steady", "freertos-steady"};
+  EXPECT_FALSE(SweepDriver(spec).expand().is_ok());
+
+  spec = small_spec();
+  spec.rates = {100, 100};
+  EXPECT_FALSE(SweepDriver(spec).expand().is_ok());
+
+  spec = small_spec();
+  spec.boards = {"bananapi", "bananapi"};
+  EXPECT_FALSE(SweepDriver(spec).expand().is_ok());
+}
+
+TEST(SweepDriver, RejectsUnknownScenarioAndBoardKeys) {
+  SweepSpec spec = small_spec();
+  spec.scenarios = {"no-such-scenario"};
+  EXPECT_FALSE(SweepDriver(spec).expand().is_ok());
+
+  spec = small_spec();
+  spec.boards = {"no-such-board"};
+  const auto expanded = SweepDriver(spec).expand();
+  ASSERT_FALSE(expanded.is_ok());
+  EXPECT_NE(expanded.status().message().find("no-such-board"),
+            std::string::npos);
+}
+
+// --- execution --------------------------------------------------------------
+
+TEST(SweepDriver, ExecutesEveryCellAndFoldsTheTotals) {
+  SweepDriver driver(small_spec(), {/*threads=*/2, /*probe_recovery=*/true});
+  auto swept = driver.execute();
+  ASSERT_TRUE(swept.is_ok()) << swept.status().to_string();
+  const SweepResult& result = swept.value();
+  ASSERT_EQ(result.cells.size(), 4u);
+  EXPECT_EQ(result.executed, 4u);
+  EXPECT_EQ(result.resumed, 0u);
+  std::uint64_t runs = 0;
+  for (const SweepCellResult& cell : result.cells) {
+    EXPECT_FALSE(cell.resumed);
+    EXPECT_TRUE(cell.log_path.empty());  // no logdir → nothing persisted
+    EXPECT_EQ(cell.aggregate.distribution.total(), 3u);
+    runs += cell.aggregate.distribution.total();
+  }
+  EXPECT_EQ(result.total.distribution.total(), runs);
+}
+
+TEST(SweepDriver, CellAggregatesAreBitIdenticalAcrossThreadCounts) {
+  auto one = SweepDriver(small_spec(), {1, true}).execute();
+  auto four = SweepDriver(small_spec(), {4, true}).execute();
+  auto eight = SweepDriver(small_spec(), {8, true}).execute();
+  ASSERT_TRUE(one.is_ok() && four.is_ok() && eight.is_ok());
+  for (const auto* other : {&four.value(), &eight.value()}) {
+    ASSERT_EQ(one.value().cells.size(), other->cells.size());
+    for (std::size_t i = 0; i < one.value().cells.size(); ++i) {
+      const analysis::CampaignAggregate& a = one.value().cells[i].aggregate;
+      const analysis::CampaignAggregate& b = other->cells[i].aggregate;
+      for (std::size_t o = 0; o < kNumOutcomes; ++o) {
+        EXPECT_EQ(a.distribution.count(static_cast<Outcome>(o)),
+                  b.distribution.count(static_cast<Outcome>(o)));
+      }
+      EXPECT_EQ(a.injections, b.injections);
+      EXPECT_EQ(a.cell_failures, b.cell_failures);
+      EXPECT_EQ(a.reclaimed, b.reclaimed);
+      EXPECT_EQ(a.detection_latency.n(), b.detection_latency.n());
+      // Exact — not approximate — equality: the sink folds in run order,
+      // so the floating-point accumulation is schedule-independent.
+      EXPECT_EQ(a.detection_latency.mean(), b.detection_latency.mean());
+      EXPECT_EQ(a.detection_latency.stddev(), b.detection_latency.stddev());
+    }
+  }
+}
+
+TEST(SweepDriver, CellLogPathJoinsDirAndStem) {
+  EXPECT_EQ(SweepDriver::cell_log_path("logs", "a_r100"),
+            "logs/a_r100.runlog");
+}
+
+}  // namespace
+}  // namespace mcs::fi
