@@ -8,9 +8,11 @@
 // event-driven tick scheduler's ticks/sec on idle-heavy vs IRQ-heavy
 // workloads (both tick policies, so regressions in either path show up).
 //
-//   $ ./bench_overhead                # google-benchmark suite
-//   $ ./bench_overhead --ticks-json   # machine-readable tick-throughput
-//                                     # comparison (CI trend lines)
+//   $ ./bench_overhead                  # google-benchmark suite
+//   $ ./bench_overhead --ticks-json     # machine-readable tick-throughput
+//                                       # comparison (CI trend lines)
+//   $ ./bench_overhead --executor-json  # machine-readable executor runs/sec,
+//                                       # pooled vs fresh at 1/2/4/8 threads
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -245,23 +247,41 @@ void BM_TickSched_IrqHeavy_EventDriven(benchmark::State& state) {
 BENCHMARK(BM_TickSched_IrqHeavy_EventDriven);
 
 // --- executor scaling ---------------------------------------------------------
-// Runs-per-second of a short sharded campaign at 1/2/4/8 worker threads,
-// so scaling regressions show up run over run. Short runs keep the
-// fixture honest: per-run testbed construction is part of the cost being
-// parallelised.
+// Runs-per-second of a sharded campaign at 1/2/4/8 worker threads, so
+// scaling regressions show up run over run. The fixture is *between-run
+// overhead*: a minimal observation window keeps each run dominated by
+// exactly the work the executor adds per run — testbed provisioning
+// (pooled checkout/reset vs fresh construction), setup, boot and
+// classification. Window-throughput itself is the BM_TickSched benches'
+// job; --executor-json reports a window-heavy companion row so the
+// whole-campaign trend stays visible too.
 
-void BM_ExecutorThroughput(benchmark::State& state) {
-  const unsigned threads = static_cast<unsigned>(state.range(0));
+fi::TestPlan executor_bench_plan(std::uint64_t duration_ticks) {
   fi::TestPlan plan =
       fi::find_scenario("freertos-steady")->make_plan(fi::paper_medium_trap_plan());
-  plan.runs = 16;
-  plan.duration_ticks = 500;
+  plan.runs = 32;
+  plan.duration_ticks = duration_ticks;
   plan.phase = 2;
+  return plan;
+}
+
+/// The provisioning-dominated window the throughput fixture uses.
+constexpr std::uint64_t kProvisionWindowTicks = 5;
+/// The window-heavy companion shape (the pre-pooling fixture's window).
+constexpr std::uint64_t kWindowHeavyTicks = 500;
+
+void run_executor_campaigns(benchmark::State& state, bool reuse_testbeds) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  fi::TestPlan plan = executor_bench_plan(kProvisionWindowTicks);
+  fi::ExecutorConfig config;
+  config.threads = threads;
+  config.probe_recovery = false;
+  config.reuse_testbeds = reuse_testbeds;
   std::uint64_t campaign_index = 0;
   std::uint64_t runs_done = 0;
   for (auto _ : state) {
     plan.seed = 0xC0FFEE + campaign_index++;
-    fi::CampaignExecutor executor(plan, {threads, /*probe_recovery=*/false});
+    fi::CampaignExecutor executor(plan, config);
     benchmark::DoNotOptimize(executor.execute());
     runs_done += plan.runs;
   }
@@ -269,7 +289,24 @@ void BM_ExecutorThroughput(benchmark::State& state) {
   state.counters["runs/s"] = benchmark::Counter(
       static_cast<double>(runs_done), benchmark::Counter::kIsRate);
 }
+
+/// Pooled (default) mode: per-worker testbed slots, reset between runs.
+void BM_ExecutorThroughput(benchmark::State& state) {
+  run_executor_campaigns(state, /*reuse_testbeds=*/true);
+}
 BENCHMARK(BM_ExecutorThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Build-per-run baseline the pool is measured against.
+void BM_ExecutorThroughput_Fresh(benchmark::State& state) {
+  run_executor_campaigns(state, /*reuse_testbeds=*/false);
+}
+BENCHMARK(BM_ExecutorThroughput_Fresh)
     ->Arg(1)
     ->Arg(2)
     ->Arg(4)
@@ -329,11 +366,104 @@ int run_ticks_json() {
   return 0;
 }
 
+// --- machine-readable executor-throughput summary ----------------------------
+
+/// Seconds to execute `campaigns` back-to-back campaigns of the bench
+/// plan (best of `kReps` passes, so a noisy neighbour can only slow a
+/// measurement down, never speed it up). The pool is process-wide, so
+/// pooled campaigns after the first run entirely on warm slots — exactly
+/// the steady state a long sweep lives in.
+double time_executor(unsigned threads, bool pooled, std::uint64_t duration,
+                     std::uint64_t campaigns) {
+  constexpr int kReps = 3;
+  fi::TestPlan plan = executor_bench_plan(duration);
+  fi::ExecutorConfig config;
+  config.threads = threads;
+  config.probe_recovery = false;
+  config.reuse_testbeds = pooled;
+  double best = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto begin = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < campaigns; ++i) {
+      plan.seed = 0xC0FFEE + i;
+      fi::CampaignExecutor executor(plan, config);
+      benchmark::DoNotOptimize(executor.execute());
+    }
+    const auto end = std::chrono::steady_clock::now();
+    const double seconds = std::chrono::duration<double>(end - begin).count();
+    if (rep == 0 || seconds < best) best = seconds;
+  }
+  return best;
+}
+
+/// `--executor-json`: BM_ExecutorThroughput's runs/sec at 1/2/4/8 worker
+/// threads, pooled vs fresh side by side, plus the pooled:fresh speedup
+/// per thread count — the CI artifact that trends testbed reuse (and
+/// gates on pooled never being slower than fresh). Two workloads, like
+/// --ticks-json: "provision-heavy" is the BM_ExecutorThroughput fixture
+/// (between-run overhead, where pooling is the headline win);
+/// "window-heavy" keeps the whole-campaign trend honest (dominated by
+/// simulated machine time, so its ratio hovers near 1).
+int run_executor_json() {
+  struct Workload {
+    const char* name;
+    std::uint64_t duration;
+    std::uint64_t campaigns;
+  };
+  const std::vector<Workload> workloads = {
+      {"provision-heavy", kProvisionWindowTicks, 6},
+      {"window-heavy", kWindowHeavyTicks, 3},
+  };
+  const std::vector<unsigned> thread_counts = {1, 2, 4, 8};
+
+  // One throwaway pooled campaign warms the pool so the pooled numbers
+  // measure steady-state reuse, not first-touch construction.
+  (void)time_executor(8, true, kProvisionWindowTicks, 1);
+  (void)time_executor(8, true, kWindowHeavyTicks, 1);
+
+  std::ostream& out = std::cout;
+  out << "{\n  \"executor_throughput\": [\n";
+  std::string speedups;
+  for (std::size_t w = 0; w < workloads.size(); ++w) {
+    const Workload& workload = workloads[w];
+    const std::uint64_t runs =
+        executor_bench_plan(workload.duration).runs * workload.campaigns;
+    for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+      const unsigned threads = thread_counts[i];
+      const double fresh =
+          time_executor(threads, false, workload.duration, workload.campaigns);
+      const double pooled =
+          time_executor(threads, true, workload.duration, workload.campaigns);
+      const auto runs_per_sec = [&](double seconds) {
+        return seconds > 0 ? static_cast<double>(runs) / seconds : 0.0;
+      };
+      const bool last =
+          w + 1 == workloads.size() && i + 1 == thread_counts.size();
+      out << "    {\"workload\": \"" << workload.name << "\", \"threads\": "
+          << threads << ", \"mode\": \"fresh\", \"runs\": " << runs
+          << ", \"seconds\": " << fresh << ", \"runs_per_sec\": "
+          << runs_per_sec(fresh) << "},\n";
+      out << "    {\"workload\": \"" << workload.name << "\", \"threads\": "
+          << threads << ", \"mode\": \"pooled\", \"runs\": " << runs
+          << ", \"seconds\": " << pooled << ", \"runs_per_sec\": "
+          << runs_per_sec(pooled) << "}" << (last ? "\n" : ",\n");
+      if (w == 0) {  // the gated/trended numbers are the fixture's
+        speedups += std::string(speedups.empty() ? "" : ", ") + "\"t" +
+                    std::to_string(threads) +
+                    "\": " + std::to_string(pooled > 0 ? fresh / pooled : 0.0);
+      }
+    }
+  }
+  out << "  ],\n  \"pooled_speedup\": {" << speedups << "}\n}\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--ticks-json") == 0) return run_ticks_json();
+    if (std::strcmp(argv[i], "--executor-json") == 0) return run_executor_json();
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -77,6 +77,9 @@ void Cpu::reset() noexcept {
   hsr_ = Syndrome{};
   elr_hyp_ = 0;
   spsr_hyp_ = Cpsr{};
+  trap_entries = 0;
+  hvc_entries = 0;
+  irq_entries = 0;
   power_off();
 }
 

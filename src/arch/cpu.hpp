@@ -133,7 +133,9 @@ class Cpu {
   /// PSCI-style CPU_OFF / cell destruction: any state → Off, state cleared.
   void power_off() noexcept;
 
-  /// Full warm reset: registers cleared, SVC mode, state Off.
+  /// Full power-on reset: registers cleared, SVC mode, state Off,
+  /// profiling counters zeroed — a reused core is indistinguishable from
+  /// a freshly constructed one.
   void reset() noexcept;
 
   [[nodiscard]] const std::string& halt_reason() const noexcept { return halt_reason_; }

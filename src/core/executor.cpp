@@ -2,12 +2,12 @@
 
 #include <atomic>
 #include <mutex>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "core/injector.hpp"
 #include "core/monitor.hpp"
-#include "platform/board_registry.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -34,10 +34,28 @@ CampaignExecutor::CampaignExecutor(TestPlan plan, ExecutorConfig config)
       tuning_status_ = tuning.status();
     }
   }
+  // Board resolution, once per campaign instead of once per run: the
+  // tuning's `board` key (if any) overrides the plan's, and the registry
+  // entry is cached so runs construct boards without re-locking the
+  // registry. An unknown key is reported as a HarnessError on every run
+  // (first included), exactly as the per-run lookup did.
+  board_name_ = !tuning_.board.empty() ? tuning_.board : plan_.board;
+  board_ = platform::BoardRegistry::instance().entry(board_name_);
+}
+
+TestbedLease CampaignExecutor::lease_slot(const Scenario* scenario) const {
+  // Don't provision hardware for campaigns whose every run is a
+  // HarnessError anyway (unknown scenario/board, malformed tuning).
+  if (!config_.reuse_testbeds || board_ == nullptr || scenario == nullptr ||
+      !tuning_status_.is_ok()) {
+    return TestbedLease{};
+  }
+  return TestbedPool::instance().acquire(board_name_, plan_.cell_tuning, *board_);
 }
 
 RunResult CampaignExecutor::run_with(const Scenario* scenario,
-                                     std::uint64_t run_seed) const {
+                                     std::uint64_t run_seed,
+                                     Testbed* reused) const {
   if (scenario == nullptr) {
     return harness_error("unknown scenario '" + plan_.scenario + "'");
   }
@@ -46,46 +64,53 @@ RunResult CampaignExecutor::run_with(const Scenario* scenario,
     return harness_error("bad cell tuning: " + tuning_status_.to_string());
   }
 
-  // Each run gets a private board built from the registry: the tuning's
-  // `board` key (if any) overrides the plan's.
-  const std::string& board_name =
-      !tuning_.board.empty() ? tuning_.board : plan_.board;
-  std::unique_ptr<platform::Board> board = platform::make_board(board_name);
-  if (board == nullptr) {
-    return harness_error("unknown board '" + board_name + "'");
+  if (board_ == nullptr) {
+    return harness_error("unknown board '" + board_name_ + "'");
   }
-  Testbed testbed(std::move(board));
-  testbed.set_tick_policy(config_.tick_policy);
-  if (!tuning_.empty()) testbed.set_cell_tuning(tuning_);
+
+  // Each run gets a power-on testbed: either this worker's pooled slot
+  // reset in place (checkout/reset-per-run), or a private board built
+  // from the cached registry entry (build-per-run). Bit-identical either
+  // way — the reuse-equivalence suite pins it.
+  std::optional<Testbed> fresh;
+  Testbed* testbed = reused;
+  if (testbed != nullptr) {
+    testbed->reset();
+  } else {
+    fresh.emplace(board_->factory());
+    testbed = &*fresh;
+  }
+  testbed->set_tick_policy(config_.tick_policy);
+  if (!tuning_.empty()) testbed->set_cell_tuning(tuning_);
   // An unbootable testbed is a harness bug, not an experiment outcome.
-  const util::Status ready = scenario->setup(testbed);
+  const util::Status ready = scenario->setup(*testbed);
   if (!ready.is_ok()) {
     return harness_error("scenario setup failed: " + ready.to_string());
   }
 
-  Injector injector(plan_, run_seed, testbed.board().clock());
+  Injector injector(plan_, run_seed, testbed->board().clock());
   RunMonitor monitor;
 
   if (scenario->arm_during_boot(plan_)) {
     // §III high-intensity shape: the injector is live while the root
     // shell creates and starts the cell.
-    injector.attach(testbed.hypervisor());
-    scenario->boot(testbed);
-    monitor.begin(testbed);
-    scenario->observe(testbed, plan_);
+    injector.attach(testbed->hypervisor());
+    scenario->boot(*testbed);
+    monitor.begin(*testbed);
+    scenario->observe(*testbed, plan_);
   } else {
     // Figure 3 shape: boot clean, then inject into the steady state.
-    scenario->boot(testbed);
-    monitor.begin(testbed);
-    injector.attach(testbed.hypervisor());
-    scenario->observe(testbed, plan_);
+    scenario->boot(*testbed);
+    monitor.begin(*testbed);
+    injector.attach(testbed->hypervisor());
+    scenario->observe(*testbed, plan_);
   }
 
   // Observation epilogue: stop injecting, keep watching.
   injector.set_armed(false);
-  scenario->epilogue(testbed);
+  scenario->epilogue(*testbed);
 
-  RunResult result = monitor.finish(testbed);
+  RunResult result = monitor.finish(*testbed);
   result.injections = injector.injections();
   result.first_injection_tick = injector.first_injection_tick();
   for (const InjectionRecord& record : injector.records()) {
@@ -94,15 +119,15 @@ RunResult CampaignExecutor::run_with(const Scenario* scenario,
 
   if (config_.probe_recovery && result.outcome != Outcome::Correct &&
       result.outcome != Outcome::HarnessError) {
-    result.shutdown_reclaimed = probe_shutdown_reclaims(testbed);
+    result.shutdown_reclaimed = probe_shutdown_reclaims(*testbed);
   }
 
-  injector.detach(testbed.hypervisor());
+  injector.detach(testbed->hypervisor());
   return result;
 }
 
 RunResult CampaignExecutor::execute_one(std::uint64_t run_seed) const {
-  return run_with(find_scenario(plan_.scenario), run_seed);
+  return run_with(find_scenario(plan_.scenario), run_seed, nullptr);
 }
 
 CampaignResult CampaignExecutor::execute() {
@@ -121,9 +146,12 @@ CampaignResult CampaignExecutor::execute() {
   const unsigned threads =
       config_.threads == 0 ? util::ThreadPool::default_threads() : config_.threads;
   if (threads <= 1 || plan_.runs <= 1) {
-    // Serial path: run in the caller's thread, progress in run order.
+    // Serial path: run in the caller's thread, progress in run order. One
+    // pooled slot serves every run of the shard.
+    const TestbedLease lease =
+        plan_.runs > 0 ? lease_slot(scenario) : TestbedLease{};
     for (std::uint32_t i = 0; i < plan_.runs; ++i) {
-      result.runs[i] = run_with(scenario, seeds[i]);
+      result.runs[i] = run_with(scenario, seeds[i], lease.get());
       if (progress_) progress_(i, result.runs[i]);
     }
     return result;
@@ -136,10 +164,20 @@ CampaignResult CampaignExecutor::execute() {
   // requests, so ask it — not the raw config — how wide it really is).
   for (unsigned w = 0; w < pool.size(); ++w) {
     pool.submit([&] {
+      // Each worker checks out one long-lived slot for its whole shard;
+      // the steady-state per-run path is reset + run, no locks. The
+      // lease is taken lazily on the first claimed run, so a campaign
+      // with fewer runs than workers never provisions surplus testbeds.
+      TestbedLease lease;
+      bool leased = false;
       for (;;) {
         const std::uint32_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= plan_.runs) return;
-        result.runs[i] = run_with(scenario, seeds[i]);
+        if (!leased) {
+          lease = lease_slot(scenario);
+          leased = true;
+        }
+        result.runs[i] = run_with(scenario, seeds[i], lease.get());
         if (progress_) {
           const std::lock_guard<std::mutex> lock(progress_mutex);
           progress_(i, result.runs[i]);

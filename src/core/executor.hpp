@@ -7,14 +7,25 @@
 // expansion of the plan seed, runs share no state (private Testbed, private
 // Injector/RNG), and each result lands in its own pre-sized slot — worker
 // scheduling can reorder *completion*, never *content*.
+//
+// Run lifecycle: by default each worker thread checks one long-lived
+// (board, testbed) slot out of the fi::TestbedPool for its whole shard
+// and resets it to power-on state between runs (checkout/reset-per-run);
+// the board name and registry entry are resolved once at construction,
+// never in the per-run loop. ExecutorConfig::reuse_testbeds = false
+// restores build-per-run (fresh construction) — results are bit-identical
+// either way (the reuse-equivalence suite asserts it).
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "core/campaign.hpp"
 #include "core/scenario.hpp"
+#include "core/testbed_pool.hpp"
+#include "platform/board_registry.hpp"
 
 namespace mcs::fi {
 
@@ -32,12 +43,22 @@ struct ExecutorConfig {
   /// Results are bit-identical either way (the tick-equivalence suite
   /// asserts it); PerTick exists for those golden comparisons.
   jh::TickPolicy tick_policy = jh::TickPolicy::EventDriven;
+
+  /// Reuse pooled testbeds across runs (reset-per-run) instead of
+  /// building a fresh board + testbed per run. Bit-identical results
+  /// either way (the reuse-equivalence suite asserts it); false exists
+  /// for those golden comparisons and for the pooled-vs-fresh benchmark.
+  bool reuse_testbeds = true;
 };
 
 class CampaignExecutor {
  public:
   /// The scenario is resolved from plan.scenario via the ScenarioRegistry
-  /// at execute() time; an unknown key yields HarnessError runs.
+  /// at execute() time; an unknown key yields HarnessError runs. The
+  /// board is resolved here, once: tuning's `board` key overrides the
+  /// plan's, and the registry entry is cached so the per-run path never
+  /// re-locks the registry — an unknown board key yields HarnessError
+  /// runs, exactly as the per-run lookup did.
   explicit CampaignExecutor(TestPlan plan, ExecutorConfig config = {});
 
   /// Per-run completion callback, fired as runs finish. With more than one
@@ -48,18 +69,35 @@ class CampaignExecutor {
   void set_progress(ProgressFn fn) { progress_ = std::move(fn); }
 
   /// Execute all runs of the plan. Deterministic in (plan.seed, plan),
-  /// independent of config.threads.
+  /// independent of config.threads and config.reuse_testbeds.
   [[nodiscard]] CampaignResult execute();
 
-  /// Execute a single run with an explicit seed (replay / tests).
+  /// Execute a single run with an explicit seed (replay / tests). Always
+  /// fresh-constructs its testbed: one-off replays shouldn't grow the
+  /// process-wide pool.
   [[nodiscard]] RunResult execute_one(std::uint64_t run_seed) const;
 
   [[nodiscard]] const TestPlan& plan() const noexcept { return plan_; }
   [[nodiscard]] const ExecutorConfig& config() const noexcept { return config_; }
 
+  /// The board registry key this executor's runs resolve to (tuning
+  /// override already applied).
+  [[nodiscard]] const std::string& board_name() const noexcept {
+    return board_name_;
+  }
+
  private:
+  /// One run on `reused` (reset to power-on first) or, when null, on a
+  /// freshly built testbed.
   [[nodiscard]] RunResult run_with(const Scenario* scenario,
-                                   std::uint64_t run_seed) const;
+                                   std::uint64_t run_seed,
+                                   Testbed* reused) const;
+
+  /// A pool lease for this executor's (board, tuning) key, or an empty
+  /// lease when pooling is off or the campaign can only produce
+  /// HarnessErrors (unknown scenario/board, malformed tuning) — error
+  /// campaigns must not provision hardware.
+  [[nodiscard]] TestbedLease lease_slot(const Scenario* scenario) const;
 
   TestPlan plan_;
   ExecutorConfig config_;
@@ -68,6 +106,10 @@ class CampaignExecutor {
   /// (or report the parse failure as a per-run HarnessError).
   jh::CellTuning tuning_;
   util::Status tuning_status_;
+  /// Board resolution hoisted out of the per-run loop: the effective
+  /// registry key and its cached entry (nullptr → per-run HarnessError).
+  std::string board_name_;
+  std::shared_ptr<const platform::BoardRegistry::Entry> board_;
 };
 
 }  // namespace mcs::fi

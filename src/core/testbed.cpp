@@ -13,6 +13,22 @@ Testbed::Testbed(std::unique_ptr<platform::Board> board)
       hv_(*board_),
       machine_(*board_, hv_) {}
 
+void Testbed::reset() {
+  machine_.reset();
+  hv_.reset();
+  board_->reset();
+  linux_.reset();
+  freertos_.reset();
+  osek_.reset();
+  cell_id_ = 0;
+  secondary_cell_id_ = 0;
+  enabled_ = false;
+  ivshmem_ = false;
+  tuning_ = jh::CellTuning{};
+  ivshmem_stats_ = IvshmemTrafficStats{};
+  run_arena_.reset();
+}
+
 util::Status Testbed::enable_hypervisor() {
   if (enabled_) return util::ok_status();
   MCS_RETURN_IF_ERROR(hv_.enable(jh::make_root_cell_config(board_->spec())));
@@ -104,7 +120,9 @@ void Testbed::run_until(util::Ticks target) { machine_.run_until(target); }
 Testbed::GoldenProfile Testbed::profile_golden(std::uint64_t ticks) {
   const int cpus = board_->num_cpus();
   const jh::Counters before = hv_.counters();
-  std::vector<std::uint64_t> traps_before(static_cast<std::size_t>(cpus));
+  // Run-scoped analysis buffer: lives in the arena until the next reset.
+  std::uint64_t* traps_before =
+      run_arena_.allocate_array<std::uint64_t>(static_cast<std::size_t>(cpus));
   for (int cpu = 0; cpu < cpus; ++cpu) {
     traps_before[static_cast<std::size_t>(cpu)] = board_->cpu(cpu).trap_entries;
   }

@@ -25,6 +25,7 @@
 #include "hypervisor/hypervisor.hpp"
 #include "hypervisor/machine.hpp"
 #include "platform/board.hpp"
+#include "util/arena.hpp"
 #include "util/status.hpp"
 
 namespace mcs::fi {
@@ -60,6 +61,24 @@ class Testbed {
 
   Testbed(const Testbed&) = delete;
   Testbed& operator=(const Testbed&) = delete;
+
+  /// Power-on restore of the whole testbed without tearing it down: the
+  /// board (clock, CPUs, devices, DRAM contents, event log), the
+  /// hypervisor (cells, configs, counters, hook), the machine (bindings,
+  /// start flags, watchdog, tick policy), all three guest images, and the
+  /// testbed's own cell/tuning/ivshmem bookkeeping. After reset() the
+  /// testbed behaves bit-identically to a freshly constructed one on the
+  /// same board variant — the contract that lets fi::TestbedPool reuse a
+  /// (board, testbed) slot across campaign runs. Nothing is heap-
+  /// allocated on this path (asserted by the pool's zero-allocation
+  /// test); run-scoped arena storage is rewound, not freed.
+  void reset();
+
+  /// Run-scoped scratch arena: rewound by reset(), so anything placed
+  /// here lives exactly one run. Used for per-run analysis buffers
+  /// (golden-profile scratch); scenarios may use it the same way. Never
+  /// hand arena pointers to anything that outlives the run.
+  [[nodiscard]] util::Arena& run_arena() noexcept { return run_arena_; }
 
   /// Enable the hypervisor with the root cell and bind the Linux image.
   /// Idempotent per instance; returns an error status on config problems.
@@ -190,6 +209,8 @@ class Testbed {
   bool ivshmem_ = false;
   jh::CellTuning tuning_;
   IvshmemTrafficStats ivshmem_stats_;
+  /// Per-run analysis scratch; 4 KiB covers the golden-profile buffers.
+  util::Arena run_arena_{4 * 1024};
 };
 
 }  // namespace mcs::fi

@@ -75,6 +75,18 @@ class LinuxRootImage final : public jh::GuestImage {
 
   [[nodiscard]] std::uint64_t jiffies() const noexcept { return jiffies_; }
 
+  /// Power-on restore: pending commands, management records and driver
+  /// bookkeeping back to the freshly constructed state (capacity kept).
+  void reset() noexcept {
+    pending_.clear();
+    records_.clear();
+    last_created_cell_ = 0;
+    monitored_cell_ = 0;
+    last_poll_state_ = jh::kHvcENoEnt;
+    jiffies_ = 0;
+    quantum_counter_ = 0;
+  }
+
  private:
   std::deque<MgmtCommand> pending_;
   std::vector<MgmtRecord> records_;

@@ -128,6 +128,13 @@ std::optional<TaskId> Os::find_task(std::string_view name) const {
   return std::nullopt;
 }
 
+void Os::reset() noexcept {
+  tasks_.clear();
+  alarms_.clear();
+  counter_ = 0;
+  dispatches_ = 0;
+}
+
 bool Os::invariants_hold() const noexcept {
   for (const Task& task : tasks_) {
     if (task.state == TaskState::Running) return false;  // between dispatches

@@ -84,6 +84,10 @@ class Os {
   /// pending activations ∈ {0, 1} per basic task.
   [[nodiscard]] bool invariants_hold() const noexcept;
 
+  /// Power-on restore: drop every task and alarm, rewind the system
+  /// counter. Container capacity is kept for reuse.
+  void reset() noexcept;
+
  private:
   struct Task {
     std::string name;

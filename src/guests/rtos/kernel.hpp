@@ -75,6 +75,11 @@ class Kernel {
   /// residue between slices; blocked tasks have a wake reason.
   [[nodiscard]] bool invariants_hold() const noexcept;
 
+  /// Power-on restore: drop every task and queue, rewind kernel time.
+  /// Container capacity is kept, so a reused image re-spawning the same
+  /// workload allocates (almost) nothing.
+  void reset() noexcept;
+
  private:
   /// Wake every task blocked on `queue` (space or data became available).
   void wake_queue_waiters(QueueId queue, bool for_space);

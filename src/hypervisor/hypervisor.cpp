@@ -23,6 +23,18 @@ Hypervisor::Hypervisor(platform::Board& board) : board_(&board) {
   cpu_owner_.fill(kRootCellId);
 }
 
+void Hypervisor::reset() {
+  enabled_ = false;
+  panicked_ = false;
+  panic_reason_.clear();
+  counters_ = Counters{};
+  hook_ = nullptr;
+  next_cell_id_ = 1;
+  cells_.clear();
+  config_registry_.clear();
+  cpu_owner_.fill(kRootCellId);
+}
+
 void Hypervisor::log(util::Severity severity, int cpu, std::string message) {
   board_->log().log(board_->now(), severity, "hypervisor", cpu, std::move(message));
 }

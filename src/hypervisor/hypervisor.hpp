@@ -109,6 +109,13 @@ class Hypervisor {
   util::Status enable(CellConfig root_config);
   [[nodiscard]] bool is_enabled() const noexcept { return enabled_; }
 
+  /// Power-on restore: cells, config registry, counters, panic state,
+  /// CPU ownership and the entry hook all back to the post-construction
+  /// defaults, without touching the board. Frees only what the previous
+  /// run created (cells), allocates nothing — the testbed pool's
+  /// per-run reset path. The board reference is untouched.
+  void reset();
+
   // --- root-driver side: config registry --------------------------------
   /// The root driver copies a cell config into kernel memory and passes
   /// its address to the create hypercall; this registers that address.

@@ -5,6 +5,11 @@
 namespace mcs::irq {
 
 Gic::Gic(int num_cpus) : num_cpus_(std::clamp(num_cpus, 1, kMaxCpus)) {
+  reset();
+}
+
+void Gic::reset() noexcept {
+  for (Line& line : lines_) line = Line{};
   priority_mask_.fill(kIdlePriority);  // everything unmasked by default
   // Banked per-CPU lines (SGIs and PPIs) come out of reset enabled at a
   // mid-range priority — the state Linux/Jailhouse leave them in before

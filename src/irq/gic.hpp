@@ -87,6 +87,12 @@ class Gic {
   /// Drop all pending/active state for a CPU (cell destruction reclaim).
   void reset_cpu(int cpu) noexcept;
 
+  /// Full power-on restore: distributor line state (enable/priority/
+  /// target), per-CPU pending/active, delivery counters and priority
+  /// masks all back to the post-construction defaults. Board::reset uses
+  /// this so a reused board's irqchip is indistinguishable from new.
+  void reset() noexcept;
+
   // --- statistics -------------------------------------------------------
   [[nodiscard]] std::uint64_t delivered(IrqId irq) const noexcept;
 

@@ -14,15 +14,22 @@ util::Status out_of_range(PhysAddr addr) {
 
 }  // namespace
 
-const PhysicalMemory::Page* PhysicalMemory::find_page(PhysAddr addr) const noexcept {
+const std::uint8_t* PhysicalMemory::find_page(PhysAddr addr) const noexcept {
   const auto it = pages_.find((addr - base_) / kPageSize);
-  return it == pages_.end() ? nullptr : &it->second;
+  return it == pages_.end() ? nullptr : it->second;
 }
 
-PhysicalMemory::Page& PhysicalMemory::touch_page(PhysAddr addr) {
-  Page& page = pages_[(addr - base_) / kPageSize];
-  if (page.empty()) page.assign(kPageSize, 0);
+std::uint8_t* PhysicalMemory::touch_page(PhysAddr addr) {
+  std::uint8_t*& page = pages_[(addr - base_) / kPageSize];
+  if (page == nullptr) {
+    page = arena_.allocate_array<std::uint8_t>(kPageSize);
+    std::memset(page, 0, kPageSize);
+  }
   return page;
+}
+
+void PhysicalMemory::reset_contents() noexcept {
+  for (auto& [index, page] : pages_) std::memset(page, 0, kPageSize);
 }
 
 util::Status PhysicalMemory::write_u8(PhysAddr addr, std::uint8_t value) {
@@ -49,13 +56,12 @@ util::Status PhysicalMemory::write_block(PhysAddr addr,
   std::uint64_t offset = addr - base_;
   std::size_t written = 0;
   while (written < data.size()) {
-    Page& page = touch_page(base_ + offset);
+    std::uint8_t* page = touch_page(base_ + offset);
     const std::uint64_t in_page = offset % kPageSize;
     const std::size_t chunk =
         std::min<std::size_t>(data.size() - written,
                               static_cast<std::size_t>(kPageSize - in_page));
-    std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(written), chunk,
-                page.begin() + static_cast<std::ptrdiff_t>(in_page));
+    std::memcpy(page + in_page, data.data() + written, chunk);
     written += chunk;
     offset += chunk;
   }
@@ -64,9 +70,9 @@ util::Status PhysicalMemory::write_block(PhysAddr addr,
 
 util::Expected<std::uint8_t> PhysicalMemory::read_u8(PhysAddr addr) const {
   if (!contains(addr)) return out_of_range(addr);
-  const Page* page = find_page(addr);
+  const std::uint8_t* page = find_page(addr);
   if (page == nullptr) return std::uint8_t{0};
-  return (*page)[(addr - base_) % kPageSize];
+  return page[(addr - base_) % kPageSize];
 }
 
 util::Expected<std::uint32_t> PhysicalMemory::read_u32(PhysAddr addr) const {
@@ -95,13 +101,11 @@ util::Status PhysicalMemory::read_block(PhysAddr addr,
     const std::size_t chunk =
         std::min<std::size_t>(out.size() - read,
                               static_cast<std::size_t>(kPageSize - in_page));
-    const Page* page = find_page(base_ + offset);
+    const std::uint8_t* page = find_page(base_ + offset);
     if (page == nullptr) {
-      std::fill_n(out.begin() + static_cast<std::ptrdiff_t>(read), chunk,
-                  std::uint8_t{0});
+      std::memset(out.data() + read, 0, chunk);
     } else {
-      std::copy_n(page->begin() + static_cast<std::ptrdiff_t>(in_page), chunk,
-                  out.begin() + static_cast<std::ptrdiff_t>(read));
+      std::memcpy(out.data() + read, page + in_page, chunk);
     }
     read += chunk;
     offset += chunk;
@@ -116,9 +120,8 @@ util::Status PhysicalMemory::fill(PhysAddr addr, std::uint64_t len,
   while (offset < len) {
     const std::uint64_t in_page = (addr + offset - base_) % kPageSize;
     const std::uint64_t chunk = std::min(kPageSize - in_page, len - offset);
-    Page& page = touch_page(addr + offset);
-    std::fill_n(page.begin() + static_cast<std::ptrdiff_t>(in_page),
-                static_cast<std::ptrdiff_t>(chunk), value);
+    std::uint8_t* page = touch_page(addr + offset);
+    std::memset(page + in_page, value, chunk);
     offset += chunk;
   }
   return util::ok_status();

@@ -1,17 +1,21 @@
 // Sparse physical memory model for the Banana Pi's 1 GB of DRAM.
 //
 // Backed by 4 KiB pages allocated on first touch so a full-board model
-// costs only what the workload actually dirties. All accesses are bounds
-// checked against the DRAM window; device windows live *outside* DRAM and
-// are handled by the board's MMIO dispatch, not here.
+// costs only what the workload actually dirties. Page storage comes from
+// a util::Arena owned by the memory itself: materialising a page is a
+// pointer bump, and reset_contents() restores every resident page to
+// power-on zeroes *in place* — no frees, no allocations — which is what
+// lets a pooled testbed reuse its board RAM windows run after run. All
+// accesses are bounds checked against the DRAM window; device windows
+// live *outside* DRAM and are handled by the board's MMIO dispatch, not
+// here.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <span>
 #include <unordered_map>
-#include <vector>
 
+#include "util/arena.hpp"
 #include "util/status.hpp"
 
 namespace mcs::mem {
@@ -28,6 +32,9 @@ class PhysicalMemory {
   PhysicalMemory() noexcept = default;
   PhysicalMemory(PhysAddr base, std::uint64_t size) noexcept
       : base_(base), size_(size) {}
+
+  PhysicalMemory(const PhysicalMemory&) = delete;
+  PhysicalMemory& operator=(const PhysicalMemory&) = delete;
 
   [[nodiscard]] PhysAddr base() const noexcept { return base_; }
   [[nodiscard]] std::uint64_t size() const noexcept { return size_; }
@@ -52,18 +59,30 @@ class PhysicalMemory {
   /// Number of 4 KiB pages materialised so far.
   [[nodiscard]] std::size_t resident_pages() const noexcept { return pages_.size(); }
 
-  /// Drop all contents (cold reset).
-  void clear() noexcept { pages_.clear(); }
+  /// Drop all contents and page residency (cold reset: the next touch
+  /// re-materialises from the rewound arena).
+  void clear() noexcept {
+    pages_.clear();
+    arena_.reset();
+  }
+
+  /// Power-on restore without freeing: every resident page is zeroed in
+  /// place and stays resident, so reads are indistinguishable from a
+  /// fresh memory while the steady-state reuse path performs zero heap
+  /// allocations for pages it already touched.
+  void reset_contents() noexcept;
 
  private:
-  using Page = std::vector<std::uint8_t>;
-
-  [[nodiscard]] const Page* find_page(PhysAddr addr) const noexcept;
-  Page& touch_page(PhysAddr addr);
+  /// Pages are arena chunks; a resident page is always fully initialised.
+  [[nodiscard]] const std::uint8_t* find_page(PhysAddr addr) const noexcept;
+  std::uint8_t* touch_page(PhysAddr addr);
 
   PhysAddr base_ = kDramBase;
   std::uint64_t size_ = kDramSize;
-  std::unordered_map<std::uint64_t, Page> pages_;
+  /// 64 pages per block: a booted testbed dirties a few dozen pages, so
+  /// the whole working set fits in one or two blocks.
+  util::Arena arena_{64 * kPageSize};
+  std::unordered_map<std::uint64_t, std::uint8_t*> pages_;
 };
 
 }  // namespace mcs::mem

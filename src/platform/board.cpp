@@ -47,8 +47,10 @@ Board::Board(BoardSpec spec)
       timer_("timer", kTimerBase, gic_, spec_.num_cpus, clock_),
       gpio_("gpio", kGpioBase) {
   cpus_.reserve(static_cast<std::size_t>(spec_.num_cpus));
+  // CPU blocks live in the board arena: one bump-allocated block instead
+  // of a heap node per core, freed wholesale with the board.
   for (int i = 0; i < spec_.num_cpus; ++i) {
-    cpus_.push_back(std::make_unique<arch::Cpu>(i));
+    cpus_.push_back(arena_.create<arch::Cpu>(i));
   }
   // Window overlaps are a wiring bug, not a runtime condition.
   (void)bus_.attach(uart0_);
@@ -56,6 +58,12 @@ Board::Board(BoardSpec spec)
   (void)bus_.attach(timer_);
   (void)bus_.attach(gpio_);
   scheduled_ = {&uart0_, &uart1_, &timer_, &gpio_};
+}
+
+Board::~Board() {
+  // Arena storage is freed wholesale; the objects inside still need their
+  // destructors (Cpu owns a halt-reason string).
+  for (arch::Cpu* cpu : cpus_) cpu->~Cpu();
 }
 
 util::Ticks Board::next_device_deadline() const {
@@ -99,12 +107,20 @@ void Board::run_ticks(std::uint64_t n) {
 }
 
 void Board::reset() {
-  for (auto& cpu : cpus_) cpu->reset();
+  // Full power-on restore, nothing freed: a pooled testbed's next run
+  // must be bit-identical to one on a freshly built board.
+  clock_.reset();
+  for (arch::Cpu* cpu : cpus_) cpu->reset();
   uart0_.reset();
+  uart0_.clear_capture();
   uart1_.reset();
+  uart1_.clear_capture();
   timer_.reset();
   gpio_.reset();
-  for (int i = 0; i < num_cpus(); ++i) gic_.reset_cpu(i);
+  gpio_.clear_toggles();
+  gic_.reset();
+  dram_.reset_contents();
+  log_.clear();
 }
 
 }  // namespace mcs::platform

@@ -25,6 +25,7 @@
 #include "platform/gpio.hpp"
 #include "platform/timer.hpp"
 #include "platform/uart.hpp"
+#include "util/arena.hpp"
 #include "util/clock.hpp"
 #include "util/log.hpp"
 
@@ -42,11 +43,12 @@ inline constexpr irq::IrqId kUart1Irq = 34;
 
 /// The composed board. Owns every hardware model; higher layers hold
 /// references. Copying a board is meaningless — moved/copied never.
-/// CPU storage is sized from the spec at construction.
+/// CPU storage is sized from the spec at construction and placed in the
+/// board's arena (one block, no per-CPU heap nodes).
 class Board {
  public:
   explicit Board(BoardSpec spec);
-  virtual ~Board() = default;
+  virtual ~Board();
 
   Board(const Board&) = delete;
   Board& operator=(const Board&) = delete;
@@ -93,8 +95,14 @@ class Board {
   /// reprogrammed mid-quantum are picked up without notification.
   [[nodiscard]] util::Ticks next_device_deadline() const;
 
-  /// Cold reset: CPUs, devices, interrupt state. DRAM contents survive
-  /// (warm reboot semantics); the event log survives (it is the record).
+  /// Power-on restore without freeing memory: clock back to tick 0, CPUs
+  /// (including profiling counters), devices and serial captures, irqchip
+  /// line state, DRAM contents (resident pages zeroed in place) and the
+  /// event log. After reset() the board is observably indistinguishable
+  /// from a freshly constructed one — the contract the testbed pool's
+  /// reuse-equivalence suite pins — while every backing allocation (CPU
+  /// arena block, DRAM pages, capture/log capacity) stays resident for
+  /// the next run.
   void reset();
 
  private:
@@ -102,6 +110,9 @@ class Board {
   void service_due_devices(util::Ticks now);
 
   BoardSpec spec_;
+  /// Construction-scoped storage (CPU blocks); never rewound — the board
+  /// keeps its hardware for life, reset() only restores state.
+  util::Arena arena_{4 * 1024};
   util::SimClock clock_;
   util::EventLog log_;
   mem::PhysicalMemory dram_;
@@ -111,7 +122,7 @@ class Board {
   Uart uart1_;
   PeriodicTimer timer_;
   Gpio gpio_;
-  std::vector<std::unique_ptr<arch::Cpu>> cpus_;
+  std::vector<arch::Cpu*> cpus_;  ///< arena-placed; destroyed by ~Board
   /// The deadline queue: every ticking device, in legacy tick order.
   std::array<Device*, 4> scheduled_{};
 };

@@ -6,12 +6,10 @@
 namespace mcs::platform {
 
 struct BoardRegistry::Impl {
-  struct Entry {
-    BoardSpec spec;
-    Factory factory;
-  };
   mutable std::mutex mutex;
-  std::map<std::string, Entry, std::less<>> boards;
+  /// Entries are shared_ptrs so a cached handle (BoardRegistry::entry)
+  /// survives a later re-registration of the same key.
+  std::map<std::string, std::shared_ptr<const Entry>, std::less<>> boards;
 };
 
 BoardRegistry::BoardRegistry() : impl_(std::make_shared<Impl>()) {}
@@ -29,25 +27,26 @@ BoardRegistry& BoardRegistry::instance() {
 void BoardRegistry::add(BoardSpec spec, Factory factory) {
   const std::lock_guard<std::mutex> lock(impl_->mutex);
   std::string key = spec.name;
-  impl_->boards.insert_or_assign(std::move(key),
-                                 Impl::Entry{std::move(spec), std::move(factory)});
+  auto entry = std::make_shared<Entry>(Entry{std::move(spec), std::move(factory)});
+  impl_->boards.insert_or_assign(std::move(key), std::move(entry));
+}
+
+std::shared_ptr<const BoardRegistry::Entry> BoardRegistry::entry(
+    std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->boards.find(name);
+  return it == impl_->boards.end() ? nullptr : it->second;
 }
 
 std::unique_ptr<Board> BoardRegistry::make(std::string_view name) const {
-  Factory factory;
-  {
-    const std::lock_guard<std::mutex> lock(impl_->mutex);
-    const auto it = impl_->boards.find(name);
-    if (it == impl_->boards.end()) return nullptr;
-    factory = it->second.factory;
-  }
-  return factory();
+  const std::shared_ptr<const Entry> found = entry(name);
+  return found == nullptr ? nullptr : found->factory();
 }
 
 const BoardSpec* BoardRegistry::find_spec(std::string_view name) const {
   const std::lock_guard<std::mutex> lock(impl_->mutex);
   const auto it = impl_->boards.find(name);
-  return it == impl_->boards.end() ? nullptr : &it->second.spec;
+  return it == impl_->boards.end() ? nullptr : &it->second->spec;
 }
 
 std::vector<std::string> BoardRegistry::names() const {

@@ -22,6 +22,13 @@ class BoardRegistry {
  public:
   using Factory = std::function<std::unique_ptr<Board>()>;
 
+  /// A registered variant: the spec plus its factory, shared so holders
+  /// stay valid even if the key is later re-registered.
+  struct Entry {
+    BoardSpec spec;
+    Factory factory;
+  };
+
   /// Singleton with the built-in variants ("bananapi", "quad-a7")
   /// registered on first access. Lookup is thread-safe; registration of
   /// additional boards must happen before campaigns start executing.
@@ -32,6 +39,12 @@ class BoardRegistry {
 
   /// Construct a fresh board; nullptr when the name is unknown.
   [[nodiscard]] std::unique_ptr<Board> make(std::string_view name) const;
+
+  /// Cached per-key lookup: resolve the key once (one lock, one map
+  /// walk), then construct boards and read the spec through the returned
+  /// handle with no registry involvement — the executor hoists this out
+  /// of its per-run loop. nullptr when unknown.
+  [[nodiscard]] std::shared_ptr<const Entry> entry(std::string_view name) const;
 
   /// Spec lookup without constructing hardware (plan validation);
   /// nullptr when unknown.

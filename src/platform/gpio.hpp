@@ -29,6 +29,11 @@ class Gpio final : public Device {
   [[nodiscard]] bool led_on() const noexcept;
   [[nodiscard]] std::uint64_t led_toggles() const noexcept { return led_toggles_; }
 
+  /// Drop the toggle counter. Device reset() keeps it on purpose (it is
+  /// an experiment observable); the board's power-on restore clears it so
+  /// a reused board starts every run from the same baseline.
+  void clear_toggles() noexcept { led_toggles_ = 0; }
+
   /// Guest-facing helpers (bypass MMIO encoding).
   void set_line(unsigned line, bool high);
   [[nodiscard]] bool line(unsigned line) const noexcept;

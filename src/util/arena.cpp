@@ -1,0 +1,61 @@
+#include "util/arena.hpp"
+
+#include <algorithm>
+
+namespace mcs::util {
+
+namespace {
+
+std::size_t align_up(std::size_t value, std::size_t align) noexcept {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Arena::Block& Arena::block_for(std::size_t size, std::size_t align) {
+  // Advance the cursor past blocks that cannot fit the request. Blocks are
+  // never revisited until reset(), which keeps allocation O(1) amortised.
+  // Worst-case alignment padding is align-1 bytes; reserving the full
+  // `size + align` keeps the fit check conservative for any alignment,
+  // including over-aligned requests on a block whose cursor (or whose
+  // new[]'d base, which only guarantees max_align) is less aligned.
+  while (active_ < blocks_.size()) {
+    Block& block = blocks_[active_];
+    if (block.used + size + align <= block.size) {
+      return block;
+    }
+    ++active_;
+  }
+  Block block;
+  block.size = std::max(block_size_, size + align);
+  block.data = std::make_unique<std::uint8_t[]>(block.size);
+  capacity_ += block.size;
+  blocks_.push_back(std::move(block));
+  active_ = blocks_.size() - 1;
+  return blocks_.back();
+}
+
+void* Arena::allocate(std::size_t size, std::size_t align) {
+  if (align == 0) align = 1;
+  Block& block = block_for(std::max<std::size_t>(size, 1), align);
+  const auto base = reinterpret_cast<std::uintptr_t>(block.data.get());
+  const std::size_t aligned = align_up(block.used + base, align) - base;
+  block.used = aligned + std::max<std::size_t>(size, 1);
+  in_use_ += size;
+  return block.data.get() + aligned;
+}
+
+void Arena::reset() noexcept {
+  for (Block& block : blocks_) block.used = 0;
+  active_ = 0;
+  in_use_ = 0;
+}
+
+void Arena::release() noexcept {
+  blocks_.clear();
+  active_ = 0;
+  in_use_ = 0;
+  capacity_ = 0;
+}
+
+}  // namespace mcs::util

@@ -37,6 +37,10 @@ class SimClock {
   void advance(Ticks delta) noexcept { now_ += delta; }
   void tick() noexcept { now_ += Ticks{1}; }
 
+  /// Power-on restore (Board::reset only): time starts again at tick 0,
+  /// so a reused board is indistinguishable from a freshly built one.
+  void reset() noexcept { now_ = Ticks{}; }
+
  private:
   Ticks now_{};
 };

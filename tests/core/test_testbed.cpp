@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include "hypervisor/ivshmem.hpp"
+#include "platform/board_registry.hpp"
+
 namespace mcs::fi {
 namespace {
 
@@ -66,6 +69,106 @@ TEST(Testbed, TwoTestbedsAreIndependent) {
   EXPECT_NE(a.freertos_cell(), nullptr);
   EXPECT_EQ(b.freertos_cell(), nullptr);
   EXPECT_EQ(b.board().now().value, 0u);
+}
+
+// --- power-on restore (the testbed pool's reuse contract) -------------------
+
+TEST(TestbedReset, RestoresHypervisorMachineAndCellBookkeeping) {
+  Testbed testbed;
+  ASSERT_TRUE(testbed.enable_hypervisor().is_ok());
+  testbed.boot_freertos_cell();
+  ASSERT_NE(testbed.workload_cell(), nullptr);
+  testbed.run(100);
+  testbed.reset();
+  EXPECT_FALSE(testbed.hypervisor().is_enabled());
+  EXPECT_EQ(testbed.workload_cell_id(), 0u);
+  EXPECT_EQ(testbed.secondary_cell_id(), 0u);
+  EXPECT_EQ(testbed.board().now().value, 0u);
+  EXPECT_EQ(testbed.hypervisor().counters().traps, 0u);
+  EXPECT_EQ(testbed.hypervisor().cpu_owner(Testbed::kFreeRtosCpu),
+            jh::kRootCellId);
+  // The whole lifecycle works again from scratch on the same object.
+  ASSERT_TRUE(testbed.enable_hypervisor().is_ok());
+  testbed.boot_freertos_cell();
+  ASSERT_NE(testbed.workload_cell(), nullptr);
+  EXPECT_EQ(testbed.workload_cell()->state(), jh::CellState::Running);
+}
+
+TEST(TestbedReset, ReusedLifecycleMatchesFreshObservables) {
+  // The same boot + window on a reused testbed must reproduce a fresh
+  // testbed's observables exactly (the bit-identity the equivalence
+  // suite pins campaign-wide, here at the testbed level).
+  const auto drive = [](Testbed& testbed) {
+    EXPECT_TRUE(testbed.enable_hypervisor().is_ok());
+    testbed.boot_freertos_cell();
+    testbed.run(500);
+  };
+  Testbed fresh;
+  drive(fresh);
+
+  Testbed reused;
+  drive(reused);       // dirty it with a full first run
+  reused.reset();
+  drive(reused);       // second run on the reused object
+
+  EXPECT_EQ(fresh.board().uart1().captured(), reused.board().uart1().captured());
+  EXPECT_EQ(fresh.board().gpio().led_toggles(), reused.board().gpio().led_toggles());
+  EXPECT_EQ(fresh.hypervisor().counters().traps,
+            reused.hypervisor().counters().traps);
+  EXPECT_EQ(fresh.hypervisor().counters().irqs,
+            reused.hypervisor().counters().irqs);
+  EXPECT_EQ(fresh.board().log().to_text(), reused.board().log().to_text());
+  EXPECT_EQ(fresh.freertos().messages_validated(),
+            reused.freertos().messages_validated());
+}
+
+TEST(TestbedReset, RestoresRootSharedCarvingForConcurrentCells) {
+  // On the quad board the dual-cell deployment leaves the shared IO
+  // windows ROOTSHARED (un-carved). After a reset, the same two-cell
+  // bring-up must succeed again — stale carving state from the previous
+  // run would make the second create fail root-coverage validation.
+  Testbed testbed(platform::make_board("quad-a7"));
+  ASSERT_TRUE(testbed.supports_concurrent_cells());
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_TRUE(testbed.enable_hypervisor().is_ok()) << "round " << round;
+    testbed.boot_freertos_cell();
+    testbed.boot_secondary_osek_cell();
+    ASSERT_NE(testbed.workload_cell(), nullptr) << "round " << round;
+    ASSERT_NE(testbed.secondary_cell(), nullptr) << "round " << round;
+    EXPECT_EQ(testbed.secondary_cell()->state(), jh::CellState::Running)
+        << "round " << round;
+    testbed.run(200);
+    testbed.reset();
+  }
+}
+
+TEST(TestbedReset, RestoresIvshmemRingContentsToPowerOn) {
+  Testbed testbed(platform::make_board("quad-a7"));
+  testbed.set_ivshmem(true);
+  ASSERT_TRUE(testbed.enable_hypervisor().is_ok());
+  testbed.boot_freertos_cell();
+  testbed.boot_secondary_osek_cell();
+  // Dirty the shared window the way the traffic scenario would: ring
+  // header plus payload bytes.
+  ASSERT_TRUE(
+      testbed.board().dram().write_u32(jh::kIvshmemRingAToB + 8, 0x1000).is_ok());
+  ASSERT_TRUE(
+      testbed.board().dram().write_u32(jh::kIvshmemRingAToB + 16, 0xFEED).is_ok());
+  testbed.ivshmem_stats().sent = 5;
+  testbed.reset();
+  EXPECT_EQ(testbed.board().dram().read_u32(jh::kIvshmemRingAToB + 8).value(), 0u);
+  EXPECT_EQ(testbed.board().dram().read_u32(jh::kIvshmemRingAToB + 16).value(), 0u);
+  EXPECT_EQ(testbed.ivshmem_stats().sent, 0u);
+  EXPECT_FALSE(testbed.ivshmem_enabled());
+}
+
+TEST(TestbedReset, RunArenaIsRunScoped) {
+  Testbed testbed;
+  auto* scratch = testbed.run_arena().allocate_array<std::uint64_t>(8);
+  scratch[0] = 42;
+  EXPECT_GT(testbed.run_arena().bytes_in_use(), 0u);
+  testbed.reset();
+  EXPECT_EQ(testbed.run_arena().bytes_in_use(), 0u);
 }
 
 }  // namespace

@@ -100,13 +100,85 @@ TEST(Board, ResetClearsCpusAndIrqState) {
   EXPECT_FALSE(board.gic().is_pending(27, 0));
 }
 
-TEST(Board, ResetPreservesSerialCaptureAndTime) {
+// --- power-on restore (the testbed pool's reuse contract) -------------------
+
+TEST(Board, ResetRestoresClockSerialAndEventLog) {
   BananaPiBoard board;
   (void)board.uart1().mmio_write(kUartThr, 'x');
+  board.log().log(board.now(), util::Severity::Info, "test", -1, "entry");
   board.run_ticks(4);
   board.reset();
-  EXPECT_EQ(board.uart1().captured(), "x");
-  EXPECT_EQ(board.now().value, 4u);  // warm reboot: time keeps flowing
+  // Power-on restore: a reused board must be indistinguishable from a
+  // freshly built one — time restarts at 0, captures and logs are empty.
+  EXPECT_EQ(board.now().value, 0u);
+  EXPECT_TRUE(board.uart1().captured().empty());
+  EXPECT_EQ(board.log().size(), 0u);
+}
+
+TEST(Board, ResetRestoresTimerDeadlinesToQuiescent) {
+  BananaPiBoard board;
+  board.timer().start(0, 7);
+  board.timer().start(1, 13);
+  board.run_ticks(3);
+  EXPECT_NE(board.next_device_deadline(), kNoDeadline);
+  board.reset();
+  // All timers disarmed, fire counters rewound: no deadline constrains
+  // the next run's event-driven leaps.
+  EXPECT_EQ(board.next_device_deadline(), kNoDeadline);
+  EXPECT_FALSE(board.timer().is_running(0));
+  EXPECT_EQ(board.timer().fires(0), 0u);
+}
+
+TEST(Board, ResetRestoresUartGpioWindowsToPowerOn) {
+  BananaPiBoard board;
+  (void)board.uart0().mmio_write(kUartThr, 'a');
+  board.uart1().feed_rx("pending");
+  board.gpio().set_line(kGreenLedLine, true);
+  board.gpio().set_line(3, true);
+  board.reset();
+  EXPECT_EQ(board.uart0().total_bytes(), 0u);
+  EXPECT_FALSE(board.uart1().mmio_read(kUartLsr).value() & kLsrDataReady);
+  EXPECT_FALSE(board.gpio().led_on());
+  EXPECT_FALSE(board.gpio().line(3));
+  EXPECT_EQ(board.gpio().led_toggles(), 0u);
+}
+
+TEST(Board, ResetRestoresIrqchipLineState) {
+  QuadA7Board board;
+  (void)board.gic().enable(kUart1Irq);
+  (void)board.gic().set_target(kUart1Irq, 2);
+  (void)board.gic().set_priority(kUart1Irq, 0x10);
+  (void)board.gic().raise_spi(kUart1Irq);
+  (void)board.gic().raise_ppi(1, kVirtualTimerPpi);
+  board.reset();
+  EXPECT_FALSE(board.gic().is_enabled(kUart1Irq));
+  EXPECT_EQ(board.gic().target(kUart1Irq), 0);
+  EXPECT_FALSE(board.gic().is_pending(kUart1Irq, 2));
+  EXPECT_FALSE(board.gic().is_pending(kVirtualTimerPpi, 1));
+  // Banked per-CPU lines come back enabled at the default priority, the
+  // same state construction produces.
+  EXPECT_TRUE(board.gic().is_enabled(kVirtualTimerPpi));
+}
+
+TEST(Board, ResetZeroesDramInPlaceWithoutFreeingPages) {
+  BananaPiBoard board;
+  ASSERT_TRUE(board.dram().write_u32(mem::kDramBase + 0x1000, 0xDEADBEEF).is_ok());
+  const std::size_t resident = board.dram().resident_pages();
+  ASSERT_GT(resident, 0u);
+  board.reset();
+  // Contents are power-on zeroes, but the pages stay resident (reuse
+  // keeps the arena warm — no frees, no future allocations).
+  EXPECT_EQ(board.dram().read_u32(mem::kDramBase + 0x1000).value(), 0u);
+  EXPECT_EQ(board.dram().resident_pages(), resident);
+}
+
+TEST(Board, ResetZeroesCpuProfilingCounters) {
+  BananaPiBoard board;
+  board.cpu(0).trap_entries = 7;
+  board.cpu(1).irq_entries = 3;
+  board.reset();
+  EXPECT_EQ(board.cpu(0).trap_entries, 0u);
+  EXPECT_EQ(board.cpu(1).irq_entries, 0u);
 }
 
 TEST(Board, EventLogIsShared) {

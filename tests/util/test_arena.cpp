@@ -1,0 +1,96 @@
+#include "util/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+#include "util/alloc_observer.hpp"
+
+namespace mcs::util {
+namespace {
+
+TEST(Arena, BumpAllocatesDistinctAlignedStorage) {
+  Arena arena;
+  auto* a = arena.allocate_array<std::uint64_t>(4);
+  auto* b = arena.allocate_array<std::uint8_t>(3);
+  auto* c = arena.allocate_array<std::uint64_t>(1);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_NE(static_cast<void*>(a), static_cast<void*>(c));
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % alignof(std::uint64_t), 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % alignof(std::uint64_t), 0u);
+  a[0] = 1;
+  b[0] = 2;
+  c[0] = 3;
+  EXPECT_EQ(a[0], 1u);
+  EXPECT_EQ(b[0], 2u);
+  EXPECT_EQ(c[0], 3u);
+  EXPECT_GE(arena.bytes_in_use(), 4 * sizeof(std::uint64_t) + 3 + sizeof(std::uint64_t));
+}
+
+TEST(Arena, GrowsBeyondOneBlockAndHonoursOversizedRequests) {
+  Arena arena(64);  // tiny blocks to force growth
+  for (int i = 0; i < 32; ++i) {
+    auto* p = arena.allocate_array<std::uint8_t>(48);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, 0xAB, 48);
+  }
+  EXPECT_GT(arena.block_count(), 1u);
+  // A request larger than the block size gets its own block.
+  auto* big = arena.allocate_array<std::uint8_t>(1024);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0xCD, 1024);
+}
+
+TEST(Arena, ResetKeepsCapacityAndReusesBlocks) {
+  Arena arena(1024);
+  (void)arena.allocate_array<std::uint8_t>(512);
+  (void)arena.allocate_array<std::uint8_t>(512);
+  const std::size_t capacity = arena.capacity();
+  const std::size_t blocks = arena.block_count();
+  ASSERT_GT(capacity, 0u);
+  arena.reset();
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  EXPECT_EQ(arena.capacity(), capacity);
+  EXPECT_EQ(arena.block_count(), blocks);
+  // Refilling the same shape allocates nothing from the heap.
+  const AllocationObserver::Window window;
+  (void)arena.allocate_array<std::uint8_t>(512);
+  (void)arena.allocate_array<std::uint8_t>(512);
+  EXPECT_EQ(window.allocations(), 0u);
+  EXPECT_EQ(arena.capacity(), capacity);
+}
+
+TEST(Arena, CreatePlacesObjects) {
+  Arena arena;
+  struct Pair {
+    int a;
+    int b;
+  };
+  Pair* pair = arena.create<Pair>(Pair{1, 2});
+  ASSERT_NE(pair, nullptr);
+  EXPECT_EQ(pair->a, 1);
+  EXPECT_EQ(pair->b, 2);
+}
+
+TEST(Arena, ReleaseDropsEverything) {
+  Arena arena;
+  (void)arena.allocate(100);
+  arena.release();
+  EXPECT_EQ(arena.capacity(), 0u);
+  EXPECT_EQ(arena.block_count(), 0u);
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+  (void)arena.allocate(8);  // usable again after release
+  EXPECT_GT(arena.capacity(), 0u);
+}
+
+TEST(AllocationObserver, CountsOperatorNew) {
+  const AllocationObserver::Window window;
+  auto* p = new int(42);
+  EXPECT_GE(window.allocations(), 1u);
+  delete p;
+}
+
+}  // namespace
+}  // namespace mcs::util
