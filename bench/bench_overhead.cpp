@@ -11,8 +11,9 @@
 //   $ ./bench_overhead                  # google-benchmark suite
 //   $ ./bench_overhead --ticks-json     # machine-readable tick-throughput
 //                                       # comparison (CI trend lines)
-//   $ ./bench_overhead --executor-json  # machine-readable executor runs/sec,
-//                                       # pooled vs fresh at 1/2/4/8 threads
+//   $ ./bench_overhead --executor-json  # machine-readable executor runs/sec:
+//                                       # fresh vs pooled vs snapshot at
+//                                       # 1/2/4/8 threads
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -23,6 +24,7 @@
 #include <vector>
 
 #include "core/executor.hpp"
+#include "core/testbed_pool.hpp"
 #include "platform/board_registry.hpp"
 
 namespace {
@@ -270,13 +272,32 @@ constexpr std::uint64_t kProvisionWindowTicks = 5;
 /// The window-heavy companion shape (the pre-pooling fixture's window).
 constexpr std::uint64_t kWindowHeavyTicks = 500;
 
-void run_executor_campaigns(benchmark::State& state, bool reuse_testbeds) {
-  const unsigned threads = static_cast<unsigned>(state.range(0));
-  fi::TestPlan plan = executor_bench_plan(kProvisionWindowTicks);
+/// Provisioning tiers the executor benches compare. Fresh builds a
+/// testbed per run; Pooled checks out a warm slot and resets + reboots
+/// per run; Snapshot restores the slot's post-boot snapshot per run.
+enum class ProvisionMode { Fresh, Pooled, Snapshot };
+
+const char* mode_name(ProvisionMode mode) {
+  switch (mode) {
+    case ProvisionMode::Fresh: return "fresh";
+    case ProvisionMode::Pooled: return "pooled";
+    default: return "snapshot";
+  }
+}
+
+fi::ExecutorConfig executor_bench_config(unsigned threads, ProvisionMode mode) {
   fi::ExecutorConfig config;
   config.threads = threads;
   config.probe_recovery = false;
-  config.reuse_testbeds = reuse_testbeds;
+  config.reuse_testbeds = mode != ProvisionMode::Fresh;
+  config.use_snapshots = mode == ProvisionMode::Snapshot;
+  return config;
+}
+
+void run_executor_campaigns(benchmark::State& state, ProvisionMode mode) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  fi::TestPlan plan = executor_bench_plan(kProvisionWindowTicks);
+  const fi::ExecutorConfig config = executor_bench_config(threads, mode);
   std::uint64_t campaign_index = 0;
   std::uint64_t runs_done = 0;
   for (auto _ : state) {
@@ -290,9 +311,9 @@ void run_executor_campaigns(benchmark::State& state, bool reuse_testbeds) {
       static_cast<double>(runs_done), benchmark::Counter::kIsRate);
 }
 
-/// Pooled (default) mode: per-worker testbed slots, reset between runs.
+/// Snapshot (default) mode: warm slots restored by bulk copy per run.
 void BM_ExecutorThroughput(benchmark::State& state) {
-  run_executor_campaigns(state, /*reuse_testbeds=*/true);
+  run_executor_campaigns(state, ProvisionMode::Snapshot);
 }
 BENCHMARK(BM_ExecutorThroughput)
     ->Arg(1)
@@ -302,9 +323,21 @@ BENCHMARK(BM_ExecutorThroughput)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+/// Reset + reboot per run: the tier snapshots are measured against.
+void BM_ExecutorThroughput_Pooled(benchmark::State& state) {
+  run_executor_campaigns(state, ProvisionMode::Pooled);
+}
+BENCHMARK(BM_ExecutorThroughput_Pooled)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 /// Build-per-run baseline the pool is measured against.
 void BM_ExecutorThroughput_Fresh(benchmark::State& state) {
-  run_executor_campaigns(state, /*reuse_testbeds=*/false);
+  run_executor_campaigns(state, ProvisionMode::Fresh);
 }
 BENCHMARK(BM_ExecutorThroughput_Fresh)
     ->Arg(1)
@@ -373,14 +406,11 @@ int run_ticks_json() {
 /// measurement down, never speed it up). The pool is process-wide, so
 /// pooled campaigns after the first run entirely on warm slots — exactly
 /// the steady state a long sweep lives in.
-double time_executor(unsigned threads, bool pooled, std::uint64_t duration,
-                     std::uint64_t campaigns) {
+double time_executor(unsigned threads, ProvisionMode mode,
+                     std::uint64_t duration, std::uint64_t campaigns) {
   constexpr int kReps = 3;
   fi::TestPlan plan = executor_bench_plan(duration);
-  fi::ExecutorConfig config;
-  config.threads = threads;
-  config.probe_recovery = false;
-  config.reuse_testbeds = pooled;
+  const fi::ExecutorConfig config = executor_bench_config(threads, mode);
   double best = 0.0;
   for (int rep = 0; rep < kReps; ++rep) {
     const auto begin = std::chrono::steady_clock::now();
@@ -397,13 +427,17 @@ double time_executor(unsigned threads, bool pooled, std::uint64_t duration,
 }
 
 /// `--executor-json`: BM_ExecutorThroughput's runs/sec at 1/2/4/8 worker
-/// threads, pooled vs fresh side by side, plus the pooled:fresh speedup
-/// per thread count — the CI artifact that trends testbed reuse (and
-/// gates on pooled never being slower than fresh). Two workloads, like
-/// --ticks-json: "provision-heavy" is the BM_ExecutorThroughput fixture
-/// (between-run overhead, where pooling is the headline win);
-/// "window-heavy" keeps the whole-campaign trend honest (dominated by
-/// simulated machine time, so its ratio hovers near 1).
+/// threads — fresh, pooled and snapshot side by side — plus the
+/// pooled:fresh and snapshot:pooled speedups per thread count: the CI
+/// artifacts that trend testbed reuse and snapshot warm-start (and gate
+/// on each tier never being slower than the one below it). Two
+/// workloads, like --ticks-json: "provision-heavy" is the
+/// BM_ExecutorThroughput fixture (between-run overhead, where the
+/// warm-start tiers are the headline win); "window-heavy" keeps the
+/// whole-campaign trend honest (dominated by simulated machine time, so
+/// its ratios hover near 1). Snapshot rows carry the pool's restore /
+/// capture counters so a silent fall-back to reset + boot is visible in
+/// the artifact.
 int run_executor_json() {
   struct Workload {
     const char* name;
@@ -416,45 +450,67 @@ int run_executor_json() {
   };
   const std::vector<unsigned> thread_counts = {1, 2, 4, 8};
 
-  // One throwaway pooled campaign warms the pool so the pooled numbers
-  // measure steady-state reuse, not first-touch construction.
-  (void)time_executor(8, true, kProvisionWindowTicks, 1);
-  (void)time_executor(8, true, kWindowHeavyTicks, 1);
+  // One throwaway campaign per warm mode primes the pool so the warm
+  // numbers measure steady-state reuse, not first-touch construction.
+  for (const Workload& workload : workloads) {
+    (void)time_executor(8, ProvisionMode::Pooled, workload.duration, 1);
+    (void)time_executor(8, ProvisionMode::Snapshot, workload.duration, 1);
+  }
 
   std::ostream& out = std::cout;
   out << "{\n  \"executor_throughput\": [\n";
-  std::string speedups;
+  std::string pooled_speedups;
+  std::string snapshot_speedups;
   for (std::size_t w = 0; w < workloads.size(); ++w) {
     const Workload& workload = workloads[w];
     const std::uint64_t runs =
         executor_bench_plan(workload.duration).runs * workload.campaigns;
     for (std::size_t i = 0; i < thread_counts.size(); ++i) {
       const unsigned threads = thread_counts[i];
-      const double fresh =
-          time_executor(threads, false, workload.duration, workload.campaigns);
-      const double pooled =
-          time_executor(threads, true, workload.duration, workload.campaigns);
+      const double fresh = time_executor(threads, ProvisionMode::Fresh,
+                                         workload.duration, workload.campaigns);
+      const double pooled = time_executor(threads, ProvisionMode::Pooled,
+                                          workload.duration, workload.campaigns);
+      const auto before = fi::TestbedPool::instance().stats();
+      const double snapshot =
+          time_executor(threads, ProvisionMode::Snapshot, workload.duration,
+                        workload.campaigns);
+      const auto after = fi::TestbedPool::instance().stats();
       const auto runs_per_sec = [&](double seconds) {
         return seconds > 0 ? static_cast<double>(runs) / seconds : 0.0;
       };
+      const auto emit_row = [&](const char* mode, double seconds, bool last) {
+        out << "    {\"workload\": \"" << workload.name << "\", \"threads\": "
+            << threads << ", \"mode\": \"" << mode << "\", \"runs\": " << runs
+            << ", \"seconds\": " << seconds << ", \"runs_per_sec\": "
+            << runs_per_sec(seconds);
+        if (std::strcmp(mode, "snapshot") == 0) {
+          out << ", \"restores\": " << after.run_restores - before.run_restores
+              << ", \"resets\": " << after.run_resets - before.run_resets
+              << ", \"captures\": " << after.captures - before.captures
+              << ", \"snapshot_bytes\": " << after.snapshot_bytes
+              << ", \"dirty_pages\": " << after.dirty_pages;
+        }
+        out << "}" << (last ? "\n" : ",\n");
+      };
       const bool last =
           w + 1 == workloads.size() && i + 1 == thread_counts.size();
-      out << "    {\"workload\": \"" << workload.name << "\", \"threads\": "
-          << threads << ", \"mode\": \"fresh\", \"runs\": " << runs
-          << ", \"seconds\": " << fresh << ", \"runs_per_sec\": "
-          << runs_per_sec(fresh) << "},\n";
-      out << "    {\"workload\": \"" << workload.name << "\", \"threads\": "
-          << threads << ", \"mode\": \"pooled\", \"runs\": " << runs
-          << ", \"seconds\": " << pooled << ", \"runs_per_sec\": "
-          << runs_per_sec(pooled) << "}" << (last ? "\n" : ",\n");
+      emit_row("fresh", fresh, false);
+      emit_row("pooled", pooled, false);
+      emit_row("snapshot", snapshot, last);
       if (w == 0) {  // the gated/trended numbers are the fixture's
-        speedups += std::string(speedups.empty() ? "" : ", ") + "\"t" +
-                    std::to_string(threads) +
-                    "\": " + std::to_string(pooled > 0 ? fresh / pooled : 0.0);
+        const std::string key =
+            std::string("\"t") + std::to_string(threads) + "\": ";
+        pooled_speedups += std::string(pooled_speedups.empty() ? "" : ", ") +
+                           key + std::to_string(pooled > 0 ? fresh / pooled : 0.0);
+        snapshot_speedups +=
+            std::string(snapshot_speedups.empty() ? "" : ", ") + key +
+            std::to_string(snapshot > 0 ? pooled / snapshot : 0.0);
       }
     }
   }
-  out << "  ],\n  \"pooled_speedup\": {" << speedups << "}\n}\n";
+  out << "  ],\n  \"pooled_speedup\": {" << pooled_speedups
+      << "},\n  \"snapshot_speedup\": {" << snapshot_speedups << "}\n}\n";
   return 0;
 }
 

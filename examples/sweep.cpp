@@ -24,6 +24,7 @@
 
 #include "analysis/report.hpp"
 #include "core/sweep.hpp"
+#include "core/testbed_pool.hpp"
 #include "hypervisor/config_text.hpp"
 #include "util/strings.hpp"
 
@@ -41,6 +42,8 @@ void usage(std::ostream& out) {
          "  --tuning TEXT         cell tuning, ';'-separated lines\n"
          "  --logdir DIR          persist per-cell run logs; enables resume\n"
          "  --threads N           executor threads per cell (default: auto)\n"
+         "  --no-snapshots        reset + reboot pooled testbeds per run\n"
+         "                        instead of restoring post-boot snapshots\n"
          "flags override the spec file; the comparison report goes to\n"
          "stdout, progress to stderr\n";
 }
@@ -165,6 +168,8 @@ int main(int argc, char** argv) {
     } else if (flag == "--threads" && (arg = value()) != nullptr) {
       if (!parse_number("threads", arg, number)) return 1;
       config.threads = static_cast<unsigned>(number);
+    } else if (flag == "--no-snapshots") {
+      config.use_snapshots = false;
     } else {
       std::cerr << "sweep: unknown or incomplete flag '" << flag << "'\n";
       usage(std::cerr);
@@ -199,6 +204,12 @@ int main(int argc, char** argv) {
   const fi::SweepResult& result = swept.value();
   std::cerr << result.executed << " cells executed, " << result.resumed
             << " resumed\n";
+  const fi::TestbedPool::Stats pool = fi::TestbedPool::instance().stats();
+  std::cerr << "pool: " << pool.creates << " built, " << pool.reuses
+            << " reused; runs: " << pool.run_restores << " restored, "
+            << pool.run_resets << " reset; " << pool.captures
+            << " snapshots captured (" << pool.snapshot_bytes << " B, "
+            << pool.dirty_pages << " dirty pages)\n";
 
   // The report — and only the report — on stdout, so an interrupted+
   // resumed sweep can be diffed byte-for-byte against a fresh one.

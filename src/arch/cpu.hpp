@@ -141,6 +141,52 @@ class Cpu {
   [[nodiscard]] const std::string& halt_reason() const noexcept { return halt_reason_; }
   [[nodiscard]] Word entry_point() const noexcept { return entry_point_; }
 
+  // --- snapshot / restore (testbed warm-start) --------------------------
+  /// Everything run-mutable on a core. Mirrors reset()'s coverage: a
+  /// restore_from() of a snapshot taken at state S makes the core
+  /// observably identical to when S was captured.
+  struct Snapshot {
+    RegisterBank regs{};
+    Cpsr cpsr{};
+    Syndrome hsr{};
+    Word elr_hyp = 0;
+    Cpsr spsr_hyp{};
+    PowerState state = PowerState::Off;
+    Word entry_point = 0;
+    std::string halt_reason;
+    std::uint64_t trap_entries = 0;
+    std::uint64_t hvc_entries = 0;
+    std::uint64_t irq_entries = 0;
+  };
+
+  void snapshot_to(Snapshot& out) const {
+    out.regs = regs_;
+    out.cpsr = cpsr_;
+    out.hsr = hsr_;
+    out.elr_hyp = elr_hyp_;
+    out.spsr_hyp = spsr_hyp_;
+    out.state = state_;
+    out.entry_point = entry_point_;
+    out.halt_reason = halt_reason_;
+    out.trap_entries = trap_entries;
+    out.hvc_entries = hvc_entries;
+    out.irq_entries = irq_entries;
+  }
+
+  void restore_from(const Snapshot& snapshot) {
+    regs_ = snapshot.regs;
+    cpsr_ = snapshot.cpsr;
+    hsr_ = snapshot.hsr;
+    elr_hyp_ = snapshot.elr_hyp;
+    spsr_hyp_ = snapshot.spsr_hyp;
+    state_ = snapshot.state;
+    entry_point_ = snapshot.entry_point;
+    halt_reason_ = snapshot.halt_reason;
+    trap_entries = snapshot.trap_entries;
+    hvc_entries = snapshot.hvc_entries;
+    irq_entries = snapshot.irq_entries;
+  }
+
   // --- entry frames -----------------------------------------------------
   /// Build the architecturally-correct entry frame for a hypervisor trap
   /// with syndrome `hsr`, hypercall/abort arguments already in r0-r3 of

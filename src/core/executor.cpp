@@ -41,6 +41,12 @@ CampaignExecutor::CampaignExecutor(TestPlan plan, ExecutorConfig config)
   // (first included), exactly as the per-run lookup did.
   board_name_ = !tuning_.board.empty() ? tuning_.board : plan_.board;
   board_ = platform::BoardRegistry::instance().entry(board_name_);
+  // Snapshot identity ('\x1f' separators match the pool's key encoding).
+  const char* policy_tag =
+      config_.tick_policy == jh::TickPolicy::PerTick ? "pertick" : "event";
+  pool_extra_key_ = plan_.scenario + '\x1f' + policy_tag;
+  snapshot_key_ =
+      board_name_ + '\x1f' + plan_.cell_tuning + '\x1f' + pool_extra_key_;
 }
 
 TestbedLease CampaignExecutor::lease_slot(const Scenario* scenario) const {
@@ -50,7 +56,12 @@ TestbedLease CampaignExecutor::lease_slot(const Scenario* scenario) const {
       !tuning_status_.is_ok()) {
     return TestbedLease{};
   }
-  return TestbedPool::instance().acquire(board_name_, plan_.cell_tuning, *board_);
+  // With snapshots on, slots are keyed by snapshot identity too, so a
+  // parked slot's held snapshot is always valid for the campaign that
+  // checks it out next.
+  return TestbedPool::instance().acquire(
+      board_name_, plan_.cell_tuning, *board_,
+      config_.use_snapshots ? pool_extra_key_ : std::string());
 }
 
 RunResult CampaignExecutor::run_with(const Scenario* scenario,
@@ -68,30 +79,46 @@ RunResult CampaignExecutor::run_with(const Scenario* scenario,
     return harness_error("unknown board '" + board_name_ + "'");
   }
 
-  // Each run gets a power-on testbed: either this worker's pooled slot
-  // reset in place (checkout/reset-per-run), or a private board built
-  // from the cached registry entry (build-per-run). Bit-identical either
-  // way — the reuse-equivalence suite pins it.
+  // Each run gets a post-boot (or power-on) testbed, cheapest first:
+  //   1. snapshot restore — the slot holds a post-boot snapshot for this
+  //      campaign shape: bulk-copy it back, skip setup + boot entirely;
+  //   2. pooled reset   — reset the slot to power-on, setup + boot;
+  //   3. fresh build    — private board from the cached registry entry.
+  // Bit-identical in all three modes — the reuse- and snapshot-
+  // equivalence suites pin it. Scenarios that inject during boot can
+  // never restore (the injected boot is the experiment).
+  const bool arm_during_boot = scenario->arm_during_boot(plan_);
+  const bool snapshot_eligible =
+      reused != nullptr && config_.use_snapshots && !arm_during_boot;
   std::optional<Testbed> fresh;
   Testbed* testbed = reused;
+  bool restored = false;
   if (testbed != nullptr) {
-    testbed->reset();
+    if (snapshot_eligible && testbed->has_snapshot(snapshot_key_)) {
+      restored = testbed->restore_snapshot();
+    }
+    if (!restored) testbed->reset();
   } else {
     fresh.emplace(board_->factory());
     testbed = &*fresh;
   }
-  testbed->set_tick_policy(config_.tick_policy);
-  if (!tuning_.empty()) testbed->set_cell_tuning(tuning_);
-  // An unbootable testbed is a harness bug, not an experiment outcome.
-  const util::Status ready = scenario->setup(*testbed);
-  if (!ready.is_ok()) {
-    return harness_error("scenario setup failed: " + ready.to_string());
+  if (!restored) {
+    // Restored state already carries policy, tuning and the booted cells
+    // (the snapshot key guarantees they match); only the reset/fresh
+    // paths configure and boot.
+    testbed->set_tick_policy(config_.tick_policy);
+    if (!tuning_.empty()) testbed->set_cell_tuning(tuning_);
+    // An unbootable testbed is a harness bug, not an experiment outcome.
+    const util::Status ready = scenario->setup(*testbed);
+    if (!ready.is_ok()) {
+      return harness_error("scenario setup failed: " + ready.to_string());
+    }
   }
 
   Injector injector(plan_, run_seed, testbed->board().clock());
   RunMonitor monitor;
 
-  if (scenario->arm_during_boot(plan_)) {
+  if (arm_during_boot) {
     // §III high-intensity shape: the injector is live while the root
     // shell creates and starts the cell.
     injector.attach(testbed->hypervisor());
@@ -100,10 +127,23 @@ RunResult CampaignExecutor::run_with(const Scenario* scenario,
     scenario->observe(*testbed, plan_);
   } else {
     // Figure 3 shape: boot clean, then inject into the steady state.
-    scenario->boot(*testbed);
+    if (!restored) {
+      scenario->boot(*testbed);
+      if (snapshot_eligible) {
+        // Boot once, inject many: every later run of this slot restores.
+        testbed->capture_snapshot(snapshot_key_);
+        TestbedPool::instance().record_capture(
+            testbed->snapshot_bytes(),
+            testbed->board().dram().dirty_pages());
+      }
+    }
     monitor.begin(*testbed);
     injector.attach(testbed->hypervisor());
     scenario->observe(*testbed, plan_);
+  }
+  if (reused != nullptr) {
+    restored ? TestbedPool::instance().record_restore()
+             : TestbedPool::instance().record_reset();
   }
 
   // Observation epilogue: stop injecting, keep watching.

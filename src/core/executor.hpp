@@ -10,11 +10,16 @@
 //
 // Run lifecycle: by default each worker thread checks one long-lived
 // (board, testbed) slot out of the fi::TestbedPool for its whole shard
-// and resets it to power-on state between runs (checkout/reset-per-run);
-// the board name and registry entry are resolved once at construction,
-// never in the per-run loop. ExecutorConfig::reuse_testbeds = false
-// restores build-per-run (fresh construction) — results are bit-identical
-// either way (the reuse-equivalence suite asserts it).
+// and, on the slot's first run for this campaign shape, boots it once and
+// captures a post-boot TestbedSnapshot; every later run restores that
+// snapshot by bulk copy instead of resetting + re-booting
+// (boot-once/inject-many). Scenarios that inject *during* boot are
+// snapshot-ineligible and keep reset + boot per run. The board name and
+// registry entry are resolved once at construction, never in the per-run
+// loop. ExecutorConfig::use_snapshots = false falls back to
+// checkout/reset-per-run; reuse_testbeds = false restores build-per-run
+// (fresh construction) — results are bit-identical in all three modes
+// (the reuse- and snapshot-equivalence suites assert it).
 #pragma once
 
 #include <cstdint>
@@ -49,6 +54,14 @@ struct ExecutorConfig {
   /// either way (the reuse-equivalence suite asserts it); false exists
   /// for those golden comparisons and for the pooled-vs-fresh benchmark.
   bool reuse_testbeds = true;
+
+  /// Provision runs from a post-boot snapshot (boot once per slot, then
+  /// restore-per-run) when the scenario allows it. Only effective with
+  /// reuse_testbeds; false falls back to reset + boot per run.
+  /// Bit-identical results either way (the snapshot-equivalence suite
+  /// asserts it); false exists for those golden comparisons and for the
+  /// snapshot-vs-pooled benchmark.
+  bool use_snapshots = true;
 };
 
 class CampaignExecutor {
@@ -110,6 +123,13 @@ class CampaignExecutor {
   /// registry key and its cached entry (nullptr → per-run HarnessError).
   std::string board_name_;
   std::shared_ptr<const platform::BoardRegistry::Entry> board_;
+  /// Snapshot identity, precomputed once: what of the boot-time state the
+  /// plan can influence. setup()/boot() see only (board, tuning, scenario,
+  /// tick policy) — never the injection plan — so runs with equal keys
+  /// boot to bit-identical state. `pool_extra_key_` is the suffix the
+  /// pool adds to its slot key so parked snapshots match their campaigns.
+  std::string snapshot_key_;
+  std::string pool_extra_key_;
 };
 
 }  // namespace mcs::fi

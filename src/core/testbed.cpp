@@ -26,7 +26,53 @@ void Testbed::reset() {
   ivshmem_ = false;
   tuning_ = jh::CellTuning{};
   ivshmem_stats_ = IvshmemTrafficStats{};
+  // A full arena reset reclaims the snapshot's page payloads too — any
+  // held snapshot is gone.
   run_arena_.reset();
+  snapshot_valid_ = false;
+}
+
+void Testbed::capture_snapshot(const std::string& key) {
+  // The snapshot owns the arena base: drop previous snapshot + scratch.
+  run_arena_.reset();
+  board_->snapshot_to(snapshot_.board, run_arena_);
+  hv_.snapshot_to(snapshot_.hv);
+  machine_.snapshot_to(snapshot_.machine);
+  linux_.snapshot_to(snapshot_.linux_root);
+  freertos_.snapshot_to(snapshot_.freertos);
+  osek_.snapshot_to(snapshot_.osek);
+  snapshot_.cell_id = cell_id_;
+  snapshot_.secondary_cell_id = secondary_cell_id_;
+  snapshot_.enabled = enabled_;
+  snapshot_.ivshmem = ivshmem_;
+  snapshot_.tuning = tuning_;
+  snapshot_.ivshmem_stats = ivshmem_stats_;
+  snapshot_.arena_mark = run_arena_.mark();
+  snapshot_.key = key;
+  snapshot_.bytes = snapshot_.board.dram.bytes();
+  snapshot_valid_ = true;
+}
+
+bool Testbed::restore_snapshot() {
+  if (!snapshot_valid_) return false;
+  restore(snapshot_);
+  return true;
+}
+
+void Testbed::restore(const TestbedSnapshot& snapshot) {
+  run_arena_.rewind_to(snapshot.arena_mark);
+  board_->restore_from(snapshot.board);
+  hv_.restore_from(snapshot.hv);
+  machine_.restore_from(snapshot.machine);
+  linux_.restore_from(snapshot.linux_root);
+  freertos_.restore_from(snapshot.freertos);
+  osek_.restore_from(snapshot.osek);
+  cell_id_ = snapshot.cell_id;
+  secondary_cell_id_ = snapshot.secondary_cell_id;
+  enabled_ = snapshot.enabled;
+  ivshmem_ = snapshot.ivshmem;
+  tuning_ = snapshot.tuning;
+  ivshmem_stats_ = snapshot.ivshmem_stats;
 }
 
 util::Status Testbed::enable_hypervisor() {

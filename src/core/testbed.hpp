@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "guests/freertos_image.hpp"
@@ -50,6 +51,34 @@ struct IvshmemTrafficStats {
   }
 };
 
+/// Everything a run can mutate, captured once after a slot's first boot
+/// for a given (scenario, board, tuning, tick-policy) identity key and
+/// bulk-copied back by Testbed::restore_snapshot() instead of a full
+/// reset() + re-boot. Page payloads live in the testbed's run arena
+/// *below* `arena_mark`; per-run scratch is placed above the mark, and
+/// restore rewinds to it — so the snapshot survives any number of runs
+/// while run-scoped allocations are reclaimed.
+struct TestbedSnapshot {
+  platform::Board::Snapshot board;
+  jh::Hypervisor::Snapshot hv;
+  jh::Machine::Snapshot machine;
+  guest::LinuxRootImage::Snapshot linux_root;
+  guest::FreeRtosImage::Snapshot freertos;
+  guest::OsekImage::Snapshot osek;
+
+  // Testbed bookkeeping.
+  jh::CellId cell_id = 0;
+  jh::CellId secondary_cell_id = 0;
+  bool enabled = false;
+  bool ivshmem = false;
+  jh::CellTuning tuning;
+  IvshmemTrafficStats ivshmem_stats;
+
+  util::Arena::Mark arena_mark{};  ///< run-arena fill level owned by the snapshot
+  std::string key;                 ///< identity: scenario\x1fboard\x1ftuning\x1fpolicy
+  std::size_t bytes = 0;           ///< captured DRAM payload bytes (dirty pages)
+};
+
 class Testbed {
  public:
   /// The paper's default testbed (Banana Pi board).
@@ -77,8 +106,39 @@ class Testbed {
   /// Run-scoped scratch arena: rewound by reset(), so anything placed
   /// here lives exactly one run. Used for per-run analysis buffers
   /// (golden-profile scratch); scenarios may use it the same way. Never
-  /// hand arena pointers to anything that outlives the run.
+  /// hand arena pointers to anything that outlives the run. While a
+  /// snapshot is held, its page payloads occupy the arena base and
+  /// restore_snapshot() rewinds only the scratch above them.
   [[nodiscard]] util::Arena& run_arena() noexcept { return run_arena_; }
+
+  // --- snapshot warm-start ------------------------------------------------
+  /// Capture the whole post-boot testbed state under `key`. Rewinds the
+  /// run arena first (the snapshot owns its base), so call only at a
+  /// run boundary — right after a scenario's setup + boot. Replaces any
+  /// previous snapshot.
+  void capture_snapshot(const std::string& key);
+
+  /// True iff a snapshot captured under exactly `key` is held.
+  [[nodiscard]] bool has_snapshot(const std::string& key) const noexcept {
+    return snapshot_valid_ && snapshot_.key == key;
+  }
+
+  /// Rewind the testbed to the held snapshot by bulk copy: run arena back
+  /// to the snapshot mark, then board/hypervisor/machine/guest state
+  /// restored in place. Returns false (and does nothing) when no snapshot
+  /// is held. Heap-allocation-free on the steady executor path (pinned by
+  /// the pool's zero-allocation test).
+  bool restore_snapshot();
+
+  /// Direct restore from a caller-held snapshot captured on *this*
+  /// testbed (the layer contracts restore in place; snapshots are not
+  /// portable across instances).
+  void restore(const TestbedSnapshot& snapshot);
+
+  [[nodiscard]] const TestbedSnapshot& snapshot() const noexcept { return snapshot_; }
+  [[nodiscard]] std::size_t snapshot_bytes() const noexcept {
+    return snapshot_valid_ ? snapshot_.bytes : 0;
+  }
 
   /// Enable the hypervisor with the root cell and bind the Linux image.
   /// Idempotent per instance; returns an error status on config problems.
@@ -210,7 +270,10 @@ class Testbed {
   jh::CellTuning tuning_;
   IvshmemTrafficStats ivshmem_stats_;
   /// Per-run analysis scratch; 4 KiB covers the golden-profile buffers.
+  /// Snapshot page payloads are placed at the base and survive rewinds.
   util::Arena run_arena_{4 * 1024};
+  TestbedSnapshot snapshot_;
+  bool snapshot_valid_ = false;
 };
 
 }  // namespace mcs::fi

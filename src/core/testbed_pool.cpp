@@ -36,10 +36,15 @@ TestbedPool& TestbedPool::instance() {
 
 TestbedLease TestbedPool::acquire(const std::string& board_name,
                                   const std::string& tuning_text,
-                                  const platform::BoardRegistry::Entry& entry) {
+                                  const platform::BoardRegistry::Entry& entry,
+                                  const std::string& extra_key) {
   // '\x1f' (unit separator) cannot occur in a board key or tuning text,
   // so the compound key is unambiguous.
   std::string key = board_name + '\x1f' + tuning_text;
+  if (!extra_key.empty()) {
+    key += '\x1f';
+    key += extra_key;
+  }
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     ++acquires_;
@@ -78,6 +83,11 @@ TestbedPool::Stats TestbedPool::stats() const {
   stats.creates = creates_;
   stats.reuses = reuses_;
   for (const auto& [key, slots] : idle_) stats.idle_slots += slots.size();
+  stats.run_resets = run_resets_.load(std::memory_order_relaxed);
+  stats.run_restores = run_restores_.load(std::memory_order_relaxed);
+  stats.captures = captures_.load(std::memory_order_relaxed);
+  stats.snapshot_bytes = snapshot_bytes_.load(std::memory_order_relaxed);
+  stats.dirty_pages = dirty_pages_.load(std::memory_order_relaxed);
   return stats;
 }
 

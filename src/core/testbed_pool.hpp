@@ -29,6 +29,7 @@
 // process-wide pool concurrently.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -92,17 +93,37 @@ class TestbedPool {
   /// caller owns the slot until the lease dies. The testbed is handed out
   /// as-is (possibly dirty); the per-run Testbed::reset() in the executor
   /// restores power-on state before every run, first run included.
+  /// `extra_key` extends the slot key (snapshot identity: the executor
+  /// passes scenario + tick policy when snapshots are on, so a parked
+  /// slot's held snapshot matches the next campaign that checks it out).
+  /// Empty (the default) keeps the classic (board, tuning) keying.
   [[nodiscard]] TestbedLease acquire(
       const std::string& board_name, const std::string& tuning_text,
-      const platform::BoardRegistry::Entry& entry);
+      const platform::BoardRegistry::Entry& entry,
+      const std::string& extra_key = std::string());
 
   struct Stats {
     std::uint64_t acquires = 0;  ///< total checkouts
     std::uint64_t creates = 0;   ///< checkouts that built a new testbed
     std::uint64_t reuses = 0;    ///< checkouts served from an idle slot
     std::size_t idle_slots = 0;  ///< slots currently parked in the pool
+    // Per-run provisioning counters (recorded lock-free by the executor).
+    std::uint64_t run_resets = 0;      ///< runs provisioned by full reset+boot
+    std::uint64_t run_restores = 0;    ///< runs provisioned by snapshot restore
+    std::uint64_t captures = 0;        ///< snapshots captured
+    std::uint64_t snapshot_bytes = 0;  ///< DRAM payload bytes, last capture
+    std::uint64_t dirty_pages = 0;     ///< dirty DRAM pages, last capture
   };
   [[nodiscard]] Stats stats() const;
+
+  // Lock-free per-run counters for the executor's steady path.
+  void record_reset() noexcept { run_resets_.fetch_add(1, std::memory_order_relaxed); }
+  void record_restore() noexcept { run_restores_.fetch_add(1, std::memory_order_relaxed); }
+  void record_capture(std::uint64_t bytes, std::uint64_t dirty_pages) noexcept {
+    captures_.fetch_add(1, std::memory_order_relaxed);
+    snapshot_bytes_.store(bytes, std::memory_order_relaxed);
+    dirty_pages_.store(dirty_pages, std::memory_order_relaxed);
+  }
 
   /// Destroy all idle slots (tests; checked-out slots are unaffected and
   /// will be re-parked on release).
@@ -117,6 +138,11 @@ class TestbedPool {
   std::uint64_t acquires_ = 0;
   std::uint64_t creates_ = 0;
   std::uint64_t reuses_ = 0;
+  std::atomic<std::uint64_t> run_resets_{0};
+  std::atomic<std::uint64_t> run_restores_{0};
+  std::atomic<std::uint64_t> captures_{0};
+  std::atomic<std::uint64_t> snapshot_bytes_{0};
+  std::atomic<std::uint64_t> dirty_pages_{0};
 };
 
 }  // namespace mcs::fi

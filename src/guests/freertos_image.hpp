@@ -75,6 +75,64 @@ class FreeRtosImage final : public jh::GuestImage {
   static constexpr std::uint64_t kStateBase = 0x7800'2000;
   static constexpr std::uint64_t kShadowBase = 0x7800'2200;
 
+  // --- snapshot / restore (testbed warm-start) --------------------------
+  struct Snapshot {
+    rtos::Kernel::Snapshot kernel;
+    bool spawned = false;
+    bool led_on = false;
+    rtos::QueueId msg_queue = 0;
+    std::uint32_t tx_seq = 0;
+    std::uint32_t rx_seq = 0;
+    std::uint64_t rx_validated = 0;
+    std::uint64_t blinks = 0;
+    std::uint64_t data_errors = 0;
+    std::uint64_t unknown_irqs = 0;
+    std::uint64_t doorbells = 0;
+    std::uint64_t heartbeat_counter = 0;
+    std::array<double, 2> fp_accumulators{};
+    std::array<double, 2> fp_shadows{};
+    std::array<std::uint64_t, 2> fp_iterations{};
+    std::array<std::uint64_t, kIntegerTasks> int_iterations{};
+  };
+
+  void snapshot_to(Snapshot& out) const {
+    kernel_.snapshot_to(out.kernel);
+    out.spawned = spawned_;
+    out.led_on = led_on_;
+    out.msg_queue = msg_queue_;
+    out.tx_seq = tx_seq_;
+    out.rx_seq = rx_seq_;
+    out.rx_validated = rx_validated_;
+    out.blinks = blinks_;
+    out.data_errors = data_errors_;
+    out.unknown_irqs = unknown_irqs_;
+    out.doorbells = doorbells_;
+    out.heartbeat_counter = heartbeat_counter_;
+    out.fp_accumulators = fp_accumulators_;
+    out.fp_shadows = fp_shadows_;
+    out.fp_iterations = fp_iterations_;
+    out.int_iterations = int_iterations_;
+  }
+
+  void restore_from(const Snapshot& snapshot) {
+    kernel_.restore_from(snapshot.kernel);
+    spawned_ = snapshot.spawned;
+    led_on_ = snapshot.led_on;
+    msg_queue_ = snapshot.msg_queue;
+    tx_seq_ = snapshot.tx_seq;
+    rx_seq_ = snapshot.rx_seq;
+    rx_validated_ = snapshot.rx_validated;
+    blinks_ = snapshot.blinks;
+    data_errors_ = snapshot.data_errors;
+    unknown_irqs_ = snapshot.unknown_irqs;
+    doorbells_ = snapshot.doorbells;
+    heartbeat_counter_ = snapshot.heartbeat_counter;
+    fp_accumulators_ = snapshot.fp_accumulators;
+    fp_shadows_ = snapshot.fp_shadows;
+    fp_iterations_ = snapshot.fp_iterations;
+    int_iterations_ = snapshot.int_iterations;
+  }
+
  private:
   void spawn_workload();
 

@@ -75,6 +75,40 @@ class LinuxRootImage final : public jh::GuestImage {
 
   [[nodiscard]] std::uint64_t jiffies() const noexcept { return jiffies_; }
 
+  // --- snapshot / restore (testbed warm-start) --------------------------
+  /// The record vector is append-only between resets, so it snapshots as
+  /// a length and restores by truncation.
+  struct Snapshot {
+    std::vector<MgmtCommand> pending;
+    std::size_t record_count = 0;
+    std::uint32_t last_created_cell = 0;
+    std::uint32_t monitored_cell = 0;
+    jh::HvcResult last_poll_state = jh::kHvcENoEnt;
+    std::uint64_t jiffies = 0;
+    std::uint64_t quantum_counter = 0;
+  };
+
+  void snapshot_to(Snapshot& out) const {
+    out.pending.assign(pending_.begin(), pending_.end());
+    out.record_count = records_.size();
+    out.last_created_cell = last_created_cell_;
+    out.monitored_cell = monitored_cell_;
+    out.last_poll_state = last_poll_state_;
+    out.jiffies = jiffies_;
+    out.quantum_counter = quantum_counter_;
+  }
+
+  void restore_from(const Snapshot& snapshot) {
+    pending_.clear();  // keeps the deque's blocks: the refill allocates nothing
+    for (const MgmtCommand& command : snapshot.pending) pending_.push_back(command);
+    if (records_.size() > snapshot.record_count) records_.resize(snapshot.record_count);
+    last_created_cell_ = snapshot.last_created_cell;
+    monitored_cell_ = snapshot.monitored_cell;
+    last_poll_state_ = snapshot.last_poll_state;
+    jiffies_ = snapshot.jiffies;
+    quantum_counter_ = snapshot.quantum_counter;
+  }
+
   /// Power-on restore: pending commands, management records and driver
   /// bookkeeping back to the freshly constructed state (capacity kept).
   void reset() noexcept {

@@ -135,6 +135,43 @@ void Os::reset() noexcept {
   dispatches_ = 0;
 }
 
+void Os::snapshot_to(Snapshot& out) const {
+  out.tasks.resize(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const Task& task = tasks_[i];
+    out.tasks[i] = {task.state, task.pending, task.activations, task.chained};
+  }
+  out.alarms.resize(alarms_.size());
+  for (std::size_t i = 0; i < alarms_.size(); ++i) {
+    const Alarm& alarm = alarms_[i];
+    out.alarms[i] = {alarm.armed, alarm.expires_at, alarm.cycle};
+  }
+  out.counter = counter_;
+  out.dispatches = dispatches_;
+}
+
+void Os::restore_from(const Snapshot& snapshot) {
+  if (tasks_.size() > snapshot.tasks.size()) tasks_.resize(snapshot.tasks.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const Snapshot::TaskData& data = snapshot.tasks[i];
+    Task& task = tasks_[i];
+    task.state = data.state;
+    task.pending = data.pending;
+    task.activations = data.activations;
+    task.chained = data.chained;
+  }
+  if (alarms_.size() > snapshot.alarms.size()) alarms_.resize(snapshot.alarms.size());
+  for (std::size_t i = 0; i < alarms_.size(); ++i) {
+    const Snapshot::AlarmData& data = snapshot.alarms[i];
+    Alarm& alarm = alarms_[i];
+    alarm.armed = data.armed;
+    alarm.expires_at = data.expires_at;
+    alarm.cycle = data.cycle;
+  }
+  counter_ = snapshot.counter;
+  dispatches_ = snapshot.dispatches;
+}
+
 bool Os::invariants_hold() const noexcept {
   for (const Task& task : tasks_) {
     if (task.state == TaskState::Running) return false;  // between dispatches

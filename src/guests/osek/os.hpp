@@ -88,6 +88,32 @@ class Os {
   /// counter. Container capacity is kept for reuse.
   void reset() noexcept;
 
+  // --- snapshot / restore (testbed warm-start) --------------------------
+  /// Tasks and alarms are declared only at configuration time
+  /// (pre-capture), so the snapshot stores their mutable fields by index;
+  /// restore truncates to the captured counts and rewinds in place —
+  /// names, priorities and body closures are never copied.
+  struct Snapshot {
+    struct TaskData {
+      TaskState state = TaskState::Suspended;
+      bool pending = false;
+      std::uint64_t activations = 0;
+      bool chained = false;
+    };
+    struct AlarmData {
+      bool armed = false;
+      std::uint64_t expires_at = 0;
+      std::uint64_t cycle = 0;
+    };
+    std::vector<TaskData> tasks;
+    std::vector<AlarmData> alarms;
+    std::uint64_t counter = 0;
+    std::uint64_t dispatches = 0;
+  };
+
+  void snapshot_to(Snapshot& out) const;
+  void restore_from(const Snapshot& snapshot);
+
  private:
   struct Task {
     std::string name;

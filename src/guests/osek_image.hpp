@@ -33,6 +33,52 @@ class OsekImage final : public jh::GuestImage {
   [[nodiscard]] std::uint64_t doorbells() const noexcept { return doorbells_; }
   [[nodiscard]] std::uint64_t unknown_irqs() const noexcept { return unknown_irqs_; }
 
+  // --- snapshot / restore (testbed warm-start) --------------------------
+  struct Snapshot {
+    osek::Os::Snapshot os;
+    bool configured = false;
+    std::uint64_t samples = 0;
+    std::uint64_t frames = 0;
+    std::uint64_t kicks = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t doorbells = 0;
+    std::uint64_t unknown_irqs = 0;
+    std::uint32_t pressure_raw = 0x800;
+    std::uint32_t frame_seq = 0;
+    bool pending_frame = false;
+    std::uint64_t quantum_counter = 0;
+  };
+
+  void snapshot_to(Snapshot& out) const {
+    os_.snapshot_to(out.os);
+    out.configured = configured_;
+    out.samples = samples_;
+    out.frames = frames_;
+    out.kicks = kicks_;
+    out.errors = errors_;
+    out.doorbells = doorbells_;
+    out.unknown_irqs = unknown_irqs_;
+    out.pressure_raw = pressure_raw_;
+    out.frame_seq = frame_seq_;
+    out.pending_frame = pending_frame_;
+    out.quantum_counter = quantum_counter_;
+  }
+
+  void restore_from(const Snapshot& snapshot) {
+    os_.restore_from(snapshot.os);
+    configured_ = snapshot.configured;
+    samples_ = snapshot.samples;
+    frames_ = snapshot.frames;
+    kicks_ = snapshot.kicks;
+    errors_ = snapshot.errors;
+    doorbells_ = snapshot.doorbells;
+    unknown_irqs_ = snapshot.unknown_irqs;
+    pressure_raw_ = snapshot.pressure_raw;
+    frame_seq_ = snapshot.frame_seq;
+    pending_frame_ = snapshot.pending_frame;
+    quantum_counter_ = snapshot.quantum_counter;
+  }
+
   /// Power-on restore: OS, task set and every workload counter back to
   /// the freshly constructed state; on_start() re-declares the workload.
   void reset() noexcept {

@@ -80,6 +80,65 @@ class Kernel {
   /// workload allocates (almost) nothing.
   void reset() noexcept;
 
+  // --- snapshot / restore (testbed warm-start) --------------------------
+  /// Tasks and queues are created only during guest start-up (pre-capture)
+  /// and never removed mid-run, so the snapshot stores per-task/queue
+  /// mutable fields by index plus the captured counts. Restore truncates
+  /// back to those counts and rewinds the mutable fields in place — task
+  /// identity (name, priority, step closure) is never copied.
+  struct Snapshot {
+    struct TaskData {
+      TaskState state = TaskState::Ready;
+      util::Ticks wake_at{};
+      std::size_t waiting_queue = 0;
+      bool waiting_for_space = false;
+      std::uint64_t dispatches = 0;
+      std::uint64_t errors = 0;
+    };
+    std::vector<TaskData> tasks;
+    std::vector<MessageQueue::Snapshot> queues;
+    std::uint64_t tick_count = 0;
+    std::uint64_t dispatches = 0;
+    std::size_t rr_cursor = static_cast<std::size_t>(-1);
+  };
+
+  void snapshot_to(Snapshot& out) const {
+    out.tasks.resize(tasks_.size());
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      const Task& task = tasks_[i];
+      out.tasks[i] = {task.state,         task.wake_at,    task.waiting_queue,
+                      task.waiting_for_space, task.dispatches, task.errors};
+    }
+    out.queues.resize(queues_.size());
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+      queues_[i]->snapshot_to(out.queues[i]);
+    }
+    out.tick_count = tick_count_;
+    out.dispatches = dispatches_;
+    out.rr_cursor = rr_cursor_;
+  }
+
+  void restore_from(const Snapshot& snapshot) {
+    if (tasks_.size() > snapshot.tasks.size()) tasks_.resize(snapshot.tasks.size());
+    for (std::size_t i = 0; i < tasks_.size(); ++i) {
+      const Snapshot::TaskData& data = snapshot.tasks[i];
+      Task& task = tasks_[i];
+      task.state = data.state;
+      task.wake_at = data.wake_at;
+      task.waiting_queue = data.waiting_queue;
+      task.waiting_for_space = data.waiting_for_space;
+      task.dispatches = data.dispatches;
+      task.errors = data.errors;
+    }
+    if (queues_.size() > snapshot.queues.size()) queues_.resize(snapshot.queues.size());
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+      queues_[i]->restore_from(snapshot.queues[i]);
+    }
+    tick_count_ = snapshot.tick_count;
+    dispatches_ = snapshot.dispatches;
+    rr_cursor_ = snapshot.rr_cursor;
+  }
+
  private:
   /// Wake every task blocked on `queue` (space or data became available).
   void wake_queue_waiters(QueueId queue, bool for_space);

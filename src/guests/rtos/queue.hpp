@@ -30,6 +30,31 @@ class MessageQueue {
   std::uint64_t receives = 0;
   std::uint64_t send_failures = 0;  ///< attempted sends while full
 
+  // --- snapshot / restore (testbed warm-start) --------------------------
+  struct Snapshot {
+    std::vector<std::uint32_t> items;
+    std::uint64_t sends = 0;
+    std::uint64_t receives = 0;
+    std::uint64_t send_failures = 0;
+  };
+
+  void snapshot_to(Snapshot& out) const {
+    out.items = items_;
+    out.sends = sends;
+    out.receives = receives;
+    out.send_failures = send_failures;
+  }
+
+  /// Item storage never exceeds `capacity_` entries, so after a warm run
+  /// the vector's capacity covers any captured fill level and the copy
+  /// assignment below reuses it without allocating.
+  void restore_from(const Snapshot& snapshot) {
+    if (items_ != snapshot.items) items_ = snapshot.items;
+    sends = snapshot.sends;
+    receives = snapshot.receives;
+    send_failures = snapshot.send_failures;
+  }
+
  private:
   std::size_t capacity_;
   std::vector<std::uint32_t> items_;

@@ -63,6 +63,46 @@ class Cell {
   std::uint64_t hypercalls = 0;      ///< hypercalls issued by this cell
   std::uint64_t stage2_faults = 0;   ///< trapped MMIO accesses
 
+  // --- snapshot / restore (testbed warm-start) --------------------------
+  /// Cell identity is (id, config): ids are allocated monotonically and
+  /// configs are fixed at create, so a live cell whose id matches a
+  /// snapshot entry *is* the captured cell and is restored in place. The
+  /// config is carried only so a cell destroyed after capture can be
+  /// re-created.
+  struct Snapshot {
+    CellId id = kRootCellId;
+    CellConfig config;
+    CellState state = CellState::Created;
+    mem::MemoryMap::Snapshot map;
+    std::uint64_t space_faults = 0;
+    std::vector<mem::MemRegion> loaned;
+    std::uint64_t console_bytes = 0;
+    std::uint64_t hypercalls = 0;
+    std::uint64_t stage2_faults = 0;
+  };
+
+  void snapshot_to(Snapshot& out) const {
+    out.id = id_;
+    out.config = config_;
+    out.state = state_;
+    map_.snapshot_to(out.map);
+    out.space_faults = space_.fault_count();
+    out.loaned = loaned_;
+    out.console_bytes = console_bytes;
+    out.hypercalls = hypercalls;
+    out.stage2_faults = stage2_faults;
+  }
+
+  void restore_from(const Snapshot& snapshot) {
+    state_ = snapshot.state;
+    map_.restore_from(snapshot.map);
+    space_.set_fault_count(snapshot.space_faults);
+    if (loaned_ != snapshot.loaned) loaned_ = snapshot.loaned;
+    console_bytes = snapshot.console_bytes;
+    hypercalls = snapshot.hypercalls;
+    stage2_faults = snapshot.stage2_faults;
+  }
+
  private:
   CellId id_;
   CellConfig config_;

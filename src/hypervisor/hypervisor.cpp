@@ -35,6 +35,51 @@ void Hypervisor::reset() {
   cpu_owner_.fill(kRootCellId);
 }
 
+void Hypervisor::snapshot_to(Snapshot& out) const {
+  out.enabled = enabled_;
+  out.panicked = panicked_;
+  out.panic_reason = panic_reason_;
+  out.counters = counters_;
+  out.next_cell_id = next_cell_id_;
+  out.cpu_owner = cpu_owner_;
+  out.cells.clear();
+  out.cells.reserve(cells_.size());
+  for (const auto& [id, cell] : cells_) {
+    out.cells.emplace_back();
+    cell->snapshot_to(out.cells.back());
+  }
+}
+
+void Hypervisor::restore_from(const Snapshot& snapshot) {
+  enabled_ = snapshot.enabled;
+  panicked_ = snapshot.panicked;
+  if (panic_reason_ != snapshot.panic_reason) panic_reason_ = snapshot.panic_reason;
+  counters_ = snapshot.counters;
+  hook_ = nullptr;
+  next_cell_id_ = snapshot.next_cell_id;
+  cpu_owner_ = snapshot.cpu_owner;
+  // Ids are monotonic, so a live cell with a captured id *is* the captured
+  // cell: restore it in place. Cells created after capture are dropped;
+  // cells destroyed after capture are rebuilt from the captured config
+  // (only the dual-cell swap scenario destroys cells mid-run).
+  for (auto it = cells_.begin(); it != cells_.end();) {
+    const bool captured =
+        std::any_of(snapshot.cells.begin(), snapshot.cells.end(),
+                    [&](const Cell::Snapshot& cell) { return cell.id == it->first; });
+    it = captured ? std::next(it) : cells_.erase(it);
+  }
+  for (const Cell::Snapshot& cell_snap : snapshot.cells) {
+    auto it = cells_.find(cell_snap.id);
+    if (it == cells_.end()) {
+      it = cells_
+               .emplace(cell_snap.id, std::make_unique<Cell>(cell_snap.id, cell_snap.config,
+                                                             board_->dram()))
+               .first;
+    }
+    it->second->restore_from(cell_snap);
+  }
+}
+
 void Hypervisor::log(util::Severity severity, int cpu, std::string message) {
   board_->log().log(board_->now(), severity, "hypervisor", cpu, std::move(message));
 }

@@ -171,6 +171,27 @@ class Hypervisor {
   [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
   [[nodiscard]] platform::Board& board() noexcept { return *board_; }
 
+  // --- snapshot / restore (testbed warm-start) --------------------------
+  /// Captures everything a run can mutate. The config registry is written
+  /// only during scenario setup (pre-capture) and the entry hook is
+  /// detached between runs, so neither is part of the snapshot.
+  struct Snapshot {
+    bool enabled = false;
+    bool panicked = false;
+    std::string panic_reason;
+    Counters counters;
+    CellId next_cell_id = 1;
+    std::array<CellId, irq::kMaxCpus> cpu_owner{};
+    std::vector<Cell::Snapshot> cells;  ///< in ascending id order
+  };
+
+  void snapshot_to(Snapshot& out) const;
+
+  /// Restore in place: live cells matching a captured id are rewound
+  /// without reallocation; cells created after capture are erased; cells
+  /// destroyed after capture are rebuilt from their captured config.
+  void restore_from(const Snapshot& snapshot);
+
  private:
   // Hypercall implementations (validation-first, per the real ABI).
   HvcResult do_cell_create(int cpu, std::uint32_t config_addr);

@@ -62,6 +62,29 @@ class Machine {
     policy_ = TickPolicy::EventDriven;
   }
 
+  // --- snapshot / restore (testbed warm-start) --------------------------
+  /// Guest images are testbed-owned with stable addresses, so the binding
+  /// table snapshots as raw pointers. The watchdog is caller-installed per
+  /// run (never live at capture) and is not part of the snapshot.
+  struct Snapshot {
+    std::array<GuestImage*, 16> images{};
+    std::array<bool, irq::kMaxCpus> started{};
+    TickPolicy policy = TickPolicy::EventDriven;
+  };
+
+  void snapshot_to(Snapshot& out) const noexcept {
+    out.images = images_;
+    out.started = started_;
+    out.policy = policy_;
+  }
+
+  void restore_from(const Snapshot& snapshot) noexcept {
+    images_ = snapshot.images;
+    started_ = snapshot.started;
+    policy_ = snapshot.policy;
+    watchdog_ = nullptr;
+  }
+
   /// One board tick: devices, bring-up entries, IRQ routing, quanta.
   void run_tick();
 

@@ -96,6 +96,11 @@ class Gic {
   // --- statistics -------------------------------------------------------
   [[nodiscard]] std::uint64_t delivered(IrqId irq) const noexcept;
 
+  // --- snapshot / restore (testbed warm-start) --------------------------
+  struct Snapshot;
+  void snapshot_to(Snapshot& out) const noexcept;
+  void restore_from(const Snapshot& snapshot) noexcept;
+
  private:
   struct Line {
     bool enabled = false;
@@ -113,5 +118,22 @@ class Gic {
   std::array<Line, kNumIrqs> lines_{};
   std::array<std::uint8_t, kMaxCpus> priority_mask_{};
 };
+
+/// The whole distributor + CPU-interface state, trivially copyable —
+/// capture and restore are plain struct assignments.
+struct Gic::Snapshot {
+  std::array<Line, kNumIrqs> lines{};
+  std::array<std::uint8_t, kMaxCpus> priority_mask{};
+};
+
+inline void Gic::snapshot_to(Snapshot& out) const noexcept {
+  out.lines = lines_;
+  out.priority_mask = priority_mask_;
+}
+
+inline void Gic::restore_from(const Snapshot& snapshot) noexcept {
+  lines_ = snapshot.lines;
+  priority_mask_ = snapshot.priority_mask;
+}
 
 }  // namespace mcs::irq

@@ -36,6 +36,10 @@ class AddressSpace {
   /// Stage-2 faults taken through this address space since construction.
   [[nodiscard]] std::uint64_t fault_count() const noexcept { return faults_; }
 
+  /// Testbed snapshot restore only: rewind the fault counter to a
+  /// captured value.
+  void set_fault_count(std::uint64_t faults) noexcept { faults_ = faults; }
+
  private:
   template <typename Op>
   auto guarded(GuestAddr addr, Access access, std::uint64_t len, Op op)

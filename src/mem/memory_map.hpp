@@ -42,6 +42,8 @@ struct MemRegion {
   std::uint32_t flags = 0;
   std::string name;  ///< for logs/reports ("ram", "uart", "ivshmem", ...)
 
+  [[nodiscard]] bool operator==(const MemRegion&) const = default;
+
   [[nodiscard]] bool contains(GuestAddr addr, std::uint64_t len = 1) const noexcept {
     return addr >= virt_start && len <= size && addr - virt_start <= size - len;
   }
@@ -76,6 +78,8 @@ struct Stage2Fault {
   GuestAddr addr = 0;
   Access access = Access::Read;
   FaultKind kind = FaultKind::NoMapping;
+
+  [[nodiscard]] bool operator==(const Stage2Fault&) const = default;
 };
 
 /// Ordered collection of regions forming one cell's guest-physical view.
@@ -119,6 +123,25 @@ class MemoryMap {
   void clear() noexcept {
     regions_.clear();
     last_fault_.reset();
+  }
+
+  // --- snapshot / restore (testbed warm-start) --------------------------
+  struct Snapshot {
+    std::vector<MemRegion> regions;
+    std::optional<Stage2Fault> last_fault;
+  };
+
+  void snapshot_to(Snapshot& out) const {
+    out.regions = regions_;
+    out.last_fault = last_fault_;
+  }
+
+  /// Compare-and-skip assignment: on the steady executor path the map is
+  /// unchanged between capture and restore, so restore performs no vector
+  /// or string allocations.
+  void restore_from(const Snapshot& snapshot) {
+    if (regions_ != snapshot.regions) regions_ = snapshot.regions;
+    last_fault_ = snapshot.last_fault;
   }
 
  private:

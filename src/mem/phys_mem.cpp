@@ -16,20 +16,74 @@ util::Status out_of_range(PhysAddr addr) {
 
 const std::uint8_t* PhysicalMemory::find_page(PhysAddr addr) const noexcept {
   const auto it = pages_.find((addr - base_) / kPageSize);
-  return it == pages_.end() ? nullptr : it->second;
+  return it == pages_.end() ? nullptr : it->second.data;
 }
 
 std::uint8_t* PhysicalMemory::touch_page(PhysAddr addr) {
-  std::uint8_t*& page = pages_[(addr - base_) / kPageSize];
-  if (page == nullptr) {
-    page = arena_.allocate_array<std::uint8_t>(kPageSize);
-    std::memset(page, 0, kPageSize);
+  const std::uint64_t index = (addr - base_) / kPageSize;
+  PageEntry& page = pages_[index];
+  if (page.data == nullptr) {
+    page.data = arena_.allocate_array<std::uint8_t>(kPageSize);
+    std::memset(page.data, 0, kPageSize);
   }
-  return page;
+  // Every caller is a write path, so touching *is* dirtying. Marking on
+  // the transition only keeps the dirty list duplicate-free.
+  if (!page.dirty) {
+    page.dirty = true;
+    dirty_list_.push_back(index);
+  }
+  return page.data;
 }
 
 void PhysicalMemory::reset_contents() noexcept {
-  for (auto& [index, page] : pages_) std::memset(page, 0, kPageSize);
+  // Clean resident pages are all-zero by invariant; only written pages
+  // need scrubbing.
+  for (const std::uint64_t index : dirty_list_) {
+    PageEntry& page = pages_[index];
+    std::memset(page.data, 0, kPageSize);
+    page.dirty = false;
+  }
+  dirty_list_.clear();
+}
+
+void PhysicalMemory::snapshot_to(Snapshot& out, util::Arena& arena) const {
+  out.pages.clear();
+  out.pages.reserve(dirty_list_.size());
+  for (const std::uint64_t index : dirty_list_) {
+    auto* copy = arena.allocate_array<std::uint8_t>(kPageSize);
+    std::memcpy(copy, pages_.at(index).data, kPageSize);
+    out.pages.push_back({index, copy});
+  }
+  std::sort(out.pages.begin(), out.pages.end(),
+            [](const Snapshot::Page& a, const Snapshot::Page& b) {
+              return a.index < b.index;
+            });
+}
+
+void PhysicalMemory::restore_from(const Snapshot& snapshot) noexcept {
+  // The current dirty list is a superset of the snapshot's page set
+  // (flags are cleared only here and in reset_contents), so one pass over
+  // it reaches every page whose contents can differ from the capture.
+  const auto begin = snapshot.pages.begin();
+  const auto end = snapshot.pages.end();
+  for (const std::uint64_t index : dirty_list_) {
+    PageEntry& page = pages_[index];
+    const auto it = std::lower_bound(
+        begin, end, index, [](const Snapshot::Page& p, std::uint64_t want) {
+          return p.index < want;
+        });
+    if (it != end && it->index == index) {
+      std::memcpy(page.data, it->data, kPageSize);
+    } else {
+      std::memset(page.data, 0, kPageSize);
+      page.dirty = false;
+    }
+  }
+  // The dirty set is now exactly the snapshot's (those flags stayed set).
+  dirty_list_.clear();
+  for (const Snapshot::Page& page : snapshot.pages) {
+    dirty_list_.push_back(page.index);
+  }
 }
 
 util::Status PhysicalMemory::write_u8(PhysAddr addr, std::uint8_t value) {

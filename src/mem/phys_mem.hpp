@@ -5,7 +5,12 @@
 // a util::Arena owned by the memory itself: materialising a page is a
 // pointer bump, and reset_contents() restores every resident page to
 // power-on zeroes *in place* — no frees, no allocations — which is what
-// lets a pooled testbed reuse its board RAM windows run after run. All
+// lets a pooled testbed reuse its board RAM windows run after run.
+//
+// Pages are dirty-tracked: every write path marks its page, and the
+// invariant "a resident page not on the dirty list is all-zero" lets
+// reset_contents(), snapshot capture and snapshot restore touch only the
+// pages a run actually wrote instead of the whole resident set. All
 // accesses are bounds checked against the DRAM window; device windows
 // live *outside* DRAM and are handled by the board's MMIO dispatch, not
 // here.
@@ -14,6 +19,7 @@
 #include <cstdint>
 #include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "util/arena.hpp"
 #include "util/status.hpp"
@@ -59,20 +65,59 @@ class PhysicalMemory {
   /// Number of 4 KiB pages materialised so far.
   [[nodiscard]] std::size_t resident_pages() const noexcept { return pages_.size(); }
 
+  /// Pages written since the last reset_contents()/restore_from() — the
+  /// set the next power-on restore has to zero (and a snapshot has to
+  /// copy). Always ≤ resident_pages().
+  [[nodiscard]] std::size_t dirty_pages() const noexcept {
+    return dirty_list_.size();
+  }
+
   /// Drop all contents and page residency (cold reset: the next touch
   /// re-materialises from the rewound arena).
   void clear() noexcept {
     pages_.clear();
+    dirty_list_.clear();
     arena_.reset();
   }
 
-  /// Power-on restore without freeing: every resident page is zeroed in
-  /// place and stays resident, so reads are indistinguishable from a
-  /// fresh memory while the steady-state reuse path performs zero heap
+  /// Power-on restore without freeing: every *dirty* resident page is
+  /// zeroed in place and stays resident (clean resident pages are already
+  /// zero by invariant), so reads are indistinguishable from a fresh
+  /// memory while the steady-state reuse path performs zero heap
   /// allocations for pages it already touched.
   void reset_contents() noexcept;
 
+  /// Copy-on-capture image of the dirty page set. Page payloads live in
+  /// the arena handed to snapshot_to(); the snapshot is valid until that
+  /// arena rewinds past them.
+  struct Snapshot {
+    struct Page {
+      std::uint64_t index = 0;       ///< page number within the DRAM window
+      const std::uint8_t* data = nullptr;  ///< kPageSize bytes, arena-owned
+    };
+    std::vector<Page> pages;  ///< sorted by index (binary-search restore)
+    [[nodiscard]] std::size_t bytes() const noexcept {
+      return pages.size() * kPageSize;
+    }
+  };
+
+  /// Capture every dirty page into `arena`-owned storage. The capture is
+  /// exact: restore_from() reproduces the memory contents bit for bit.
+  void snapshot_to(Snapshot& out, util::Arena& arena) const;
+
+  /// Restore the captured contents in place. Touches only pages that are
+  /// currently dirty (a superset of the snapshot's page set — dirty flags
+  /// are only ever cleared by reset/restore themselves), so the cost
+  /// scales with what the run wrote, and the dirty set afterwards equals
+  /// the snapshot's. Zero heap allocations in steady state.
+  void restore_from(const Snapshot& snapshot) noexcept;
+
  private:
+  struct PageEntry {
+    std::uint8_t* data = nullptr;
+    bool dirty = false;
+  };
+
   /// Pages are arena chunks; a resident page is always fully initialised.
   [[nodiscard]] const std::uint8_t* find_page(PhysAddr addr) const noexcept;
   std::uint8_t* touch_page(PhysAddr addr);
@@ -82,7 +127,10 @@ class PhysicalMemory {
   /// 64 pages per block: a booted testbed dirties a few dozen pages, so
   /// the whole working set fits in one or two blocks.
   util::Arena arena_{64 * kPageSize};
-  std::unordered_map<std::uint64_t, std::uint8_t*> pages_;
+  std::unordered_map<std::uint64_t, PageEntry> pages_;
+  /// Indexes of pages written since the last reset/restore (unordered;
+  /// capacity kept across resets for the zero-allocation steady state).
+  std::vector<std::uint64_t> dirty_list_;
 };
 
 }  // namespace mcs::mem

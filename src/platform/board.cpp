@@ -123,4 +123,31 @@ void Board::reset() {
   log_.clear();
 }
 
+void Board::snapshot_to(Snapshot& out, util::Arena& page_arena) const {
+  out.clock_now = clock_.now();
+  out.cpus.resize(cpus_.size());
+  for (std::size_t i = 0; i < cpus_.size(); ++i) cpus_[i]->snapshot_to(out.cpus[i]);
+  gic_.snapshot_to(out.gic);
+  uart0_.snapshot_to(out.uart0);
+  uart1_.snapshot_to(out.uart1);
+  timer_.snapshot_to(out.timer);
+  gpio_.snapshot_to(out.gpio);
+  dram_.snapshot_to(out.dram, page_arena);
+  out.log_records = log_.size();
+}
+
+void Board::restore_from(const Snapshot& snapshot) {
+  clock_.restore(snapshot.clock_now);
+  for (std::size_t i = 0; i < cpus_.size() && i < snapshot.cpus.size(); ++i) {
+    cpus_[i]->restore_from(snapshot.cpus[i]);
+  }
+  gic_.restore_from(snapshot.gic);
+  uart0_.restore_from(snapshot.uart0);
+  uart1_.restore_from(snapshot.uart1);
+  timer_.restore_from(snapshot.timer);
+  gpio_.restore_from(snapshot.gpio);
+  dram_.restore_from(snapshot.dram);
+  log_.truncate(snapshot.log_records);
+}
+
 }  // namespace mcs::platform

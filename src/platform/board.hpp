@@ -105,6 +105,26 @@ class Board {
   /// the next run.
   void reset();
 
+  // --- snapshot / restore (testbed warm-start) --------------------------
+  /// Everything a run mutates below the hypervisor: clock, CPUs, devices,
+  /// irqchip, DRAM (dirty pages only) and the log length. Page payloads
+  /// are copied into `page_arena` (the testbed's run arena), everything
+  /// else lives inline in the struct.
+  struct Snapshot {
+    util::Ticks clock_now{};
+    std::vector<arch::Cpu::Snapshot> cpus;
+    irq::Gic::Snapshot gic;
+    Uart::Snapshot uart0;
+    Uart::Snapshot uart1;
+    PeriodicTimer::Snapshot timer;
+    Gpio::Snapshot gpio;
+    mem::PhysicalMemory::Snapshot dram;
+    std::size_t log_records = 0;
+  };
+
+  void snapshot_to(Snapshot& out, util::Arena& page_arena) const;
+  void restore_from(const Snapshot& snapshot);
+
  private:
   /// Service every device whose deadline is due at `now`.
   void service_due_devices(util::Ticks now);

@@ -38,6 +38,25 @@ class Gpio final : public Device {
   void set_line(unsigned line, bool high);
   [[nodiscard]] bool line(unsigned line) const noexcept;
 
+  // --- snapshot / restore (testbed warm-start) --------------------------
+  struct Snapshot {
+    std::uint32_t data = 0;
+    std::uint32_t direction = 0;
+    std::uint64_t led_toggles = 0;
+  };
+
+  void snapshot_to(Snapshot& out) const noexcept {
+    out.data = data_;
+    out.direction = direction_;
+    out.led_toggles = led_toggles_;
+  }
+
+  void restore_from(const Snapshot& snapshot) noexcept {
+    data_ = snapshot.data;
+    direction_ = snapshot.direction;
+    led_toggles_ = snapshot.led_toggles;
+  }
+
  private:
   std::uint32_t data_ = 0;
   std::uint32_t direction_ = 0;

@@ -49,6 +49,13 @@ class PeriodicTimer final : public Device {
   [[nodiscard]] bool is_running(int cpu) const noexcept;
   [[nodiscard]] std::uint64_t fires(int cpu) const noexcept;
 
+  // --- snapshot / restore (testbed warm-start) --------------------------
+  /// Deadlines are absolute board ticks, so a snapshot restored together
+  /// with the board clock reproduces the exact fire schedule.
+  struct Snapshot;
+  void snapshot_to(Snapshot& out) const noexcept;
+  void restore_from(const Snapshot& snapshot) noexcept;
+
  private:
   struct PerCpu {
     bool enabled = false;
@@ -70,5 +77,17 @@ class PeriodicTimer final : public Device {
   const util::SimClock* clock_;
   std::array<PerCpu, irq::kMaxCpus> cpus_{};
 };
+
+struct PeriodicTimer::Snapshot {
+  std::array<PerCpu, irq::kMaxCpus> cpus{};
+};
+
+inline void PeriodicTimer::snapshot_to(Snapshot& out) const noexcept {
+  out.cpus = cpus_;
+}
+
+inline void PeriodicTimer::restore_from(const Snapshot& snapshot) noexcept {
+  cpus_ = snapshot.cpus;
+}
 
 }  // namespace mcs::platform

@@ -54,6 +54,28 @@ class Uart final : public Device {
 
   void clear_capture() noexcept { captured_.clear(); }
 
+  // --- snapshot / restore (testbed warm-start) --------------------------
+  /// The capture buffer is append-only between board resets, so its
+  /// snapshot is just a length: restore truncates back to the captured
+  /// prefix (no byte copies, no allocations).
+  struct Snapshot {
+    std::size_t captured_size = 0;
+    std::string rx_fifo;
+    bool tx_irq_enabled = false;
+  };
+
+  void snapshot_to(Snapshot& out) const {
+    out.captured_size = captured_.size();
+    out.rx_fifo = rx_fifo_;
+    out.tx_irq_enabled = tx_irq_enabled_;
+  }
+
+  void restore_from(const Snapshot& snapshot) {
+    captured_.resize(snapshot.captured_size);
+    if (rx_fifo_ != snapshot.rx_fifo) rx_fifo_ = snapshot.rx_fifo;
+    tx_irq_enabled_ = snapshot.tx_irq_enabled;
+  }
+
  private:
   irq::Gic* gic_;
   irq::IrqId tx_irq_;

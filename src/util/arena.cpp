@@ -42,7 +42,22 @@ void* Arena::allocate(std::size_t size, std::size_t align) {
   const std::size_t aligned = align_up(block.used + base, align) - base;
   block.used = aligned + std::max<std::size_t>(size, 1);
   in_use_ += size;
+  high_water_ = std::max(high_water_, in_use_);
   return block.data.get() + aligned;
+}
+
+void Arena::rewind_to(const Mark& mark) noexcept {
+  // Blocks before the marked cursor were full at mark time and stay as
+  // they are; the marked block rolls back to its recorded fill level and
+  // everything after it empties.
+  for (std::size_t i = mark.active; i < blocks_.size(); ++i) {
+    blocks_[i].used = 0;
+  }
+  if (mark.active < blocks_.size()) {
+    blocks_[mark.active].used = mark.active_used;
+  }
+  active_ = mark.active;
+  in_use_ = mark.in_use;
 }
 
 void Arena::reset() noexcept {

@@ -62,6 +62,32 @@ class Arena {
   /// invalidated (the ownership rule above).
   void reset() noexcept;
 
+  /// A position in the allocation stream. Everything allocated before the
+  /// mark survives a rewind_to(); everything after it is discarded. Lets
+  /// long-lived storage (a testbed snapshot buffer) and run-scoped scratch
+  /// coexist in one arena: allocate the long-lived part, take a mark, and
+  /// rewind to it between runs instead of reset()ting the whole arena.
+  struct Mark {
+    std::size_t active = 0;       ///< block cursor at mark time
+    std::size_t active_used = 0;  ///< that block's fill level
+    std::size_t in_use = 0;       ///< bytes_in_use() at mark time
+  };
+
+  [[nodiscard]] Mark mark() const noexcept {
+    return {active_, active_ < blocks_.size() ? blocks_[active_].used : 0,
+            in_use_};
+  }
+
+  /// Rewind to a previously taken mark: allocations made after it are
+  /// discarded (their pointers invalidated), allocations made before it
+  /// are untouched. Blocks are kept, nothing is freed. The mark must come
+  /// from this arena with no intervening reset()/release().
+  void rewind_to(const Mark& mark) noexcept;
+
+  /// Peak bytes_in_use() ever observed — sizing feedback for callers that
+  /// partition one arena between snapshot storage and run scratch.
+  [[nodiscard]] std::size_t high_water() const noexcept { return high_water_; }
+
   /// Drop the blocks themselves (cold teardown; tests).
   void release() noexcept;
 
@@ -87,6 +113,7 @@ class Arena {
   std::size_t active_ = 0;  ///< cursor: blocks before it are full
   std::size_t in_use_ = 0;
   std::size_t capacity_ = 0;
+  std::size_t high_water_ = 0;
 };
 
 }  // namespace mcs::util

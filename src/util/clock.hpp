@@ -41,6 +41,10 @@ class SimClock {
   /// so a reused board is indistinguishable from a freshly built one.
   void reset() noexcept { now_ = Ticks{}; }
 
+  /// Snapshot restore (Board::restore_from only): rewind to the captured
+  /// tick so absolute device deadlines line up with the restored state.
+  void restore(Ticks now) noexcept { now_ = now; }
+
  private:
   Ticks now_{};
 };

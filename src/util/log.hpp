@@ -43,6 +43,13 @@ class EventLog {
   [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
   void clear() noexcept { records_.clear(); }
 
+  /// Drop every record past the first `count` (testbed snapshot restore:
+  /// the log is append-only between resets, so rewinding to a captured
+  /// length reproduces the captured log exactly, without copying records).
+  void truncate(std::size_t count) noexcept {
+    if (count < records_.size()) records_.resize(count);
+  }
+
   /// Count records at or above `severity`.
   [[nodiscard]] std::size_t count_at_least(Severity severity) const noexcept;
 

@@ -102,6 +102,40 @@ TEST(TestbedPool, SteadyStateResetPerformsZeroHeapAllocations) {
       << "Testbed::reset() must not touch the heap in steady state";
 }
 
+// The snapshot contract's perf half: once a slot has captured its
+// post-boot snapshot and served one warm run, restoring for the next
+// run is pure bulk copy — zero heap allocations on the capture→restore
+// path (dirty pages rewrite in place, the run arena rewinds to the
+// snapshot mark, vectors and deques reuse their capacity).
+TEST(TestbedPool, SnapshotRestorePerformsZeroHeapAllocations) {
+  TestbedPool pool;
+  const TestbedLease lease = pool.acquire("bananapi", "", bananapi_entry());
+  Testbed* testbed = lease.get();
+  const Scenario* scenario = find_scenario("freertos-steady");
+  ASSERT_NE(scenario, nullptr);
+
+  // Warm-up: boot, capture, run, restore twice so every lazily grown
+  // buffer reaches steady state with the snapshot resident.
+  for (int i = 0; i < 2; ++i) {
+    testbed->reset();
+    ASSERT_TRUE(scenario->setup(*testbed).is_ok());
+    scenario->boot(*testbed);
+    testbed->capture_snapshot("zero-alloc-pin");
+    testbed->run(200);
+    ASSERT_TRUE(testbed->restore_snapshot());
+    testbed->run(200);
+    ASSERT_TRUE(testbed->restore_snapshot());
+  }
+
+  ASSERT_TRUE(testbed->has_snapshot("zero-alloc-pin"));
+  ASSERT_GT(testbed->snapshot_bytes(), 0u);
+  testbed->run(200);
+  const util::AllocationObserver::Window window;
+  ASSERT_TRUE(testbed->restore_snapshot());
+  EXPECT_EQ(window.allocations(), 0u)
+      << "restore_snapshot() must not touch the heap in steady state";
+}
+
 // Executor-level reuse: across two pooled campaigns on the same key,
 // slot construction is bounded by the worker count — never by the run
 // or campaign count — and everything beyond those constructions is

@@ -1,0 +1,244 @@
+// Snapshot equivalence for the warm-start campaign executor.
+//
+// Boot-once/restore-per-run may only ever be an *optimisation*: a
+// campaign whose runs are provisioned by TestbedSnapshot restore must be
+// bit-identical to the same campaign on build-per-run fresh construction
+// and on checkout/reset-per-run pooling — same run-log lines, same
+// outcomes and details, same aggregates — on every scenario, every board
+// variant and every thread count. This suite pins that, checks the
+// restore path is actually exercised (not silently falling back to
+// reset + boot), and pins the sweep driver's interrupt/resume
+// byte-identity with snapshots on and off.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/log_sink.hpp"
+#include "analysis/report.hpp"
+#include "core/executor.hpp"
+#include "core/sweep.hpp"
+#include "core/testbed_pool.hpp"
+
+namespace mcs::fi {
+namespace {
+
+struct CampaignCapture {
+  CampaignResult result;
+  std::string log_text;
+  analysis::CampaignAggregate aggregate;
+};
+
+TestPlan snapshot_plan(const std::string& scenario, const std::string& board) {
+  TestPlan plan = find_scenario(scenario)->make_plan();
+  plan.board = board;
+  plan.runs = 4;
+  plan.duration_ticks = 2'000;
+  plan.phase = 2;  // inject early so failure states are actually reached
+  return plan;
+}
+
+enum class Mode { Fresh, Pooled, Snapshot };
+
+CampaignCapture run_campaign(const TestPlan& plan, Mode mode, unsigned threads) {
+  CampaignCapture capture;
+  ExecutorConfig config;
+  config.threads = threads;
+  config.tick_policy = jh::TickPolicy::EventDriven;
+  config.reuse_testbeds = mode != Mode::Fresh;
+  config.use_snapshots = mode == Mode::Snapshot;
+  CampaignExecutor executor(plan, config);
+  analysis::LogSink sink;
+  executor.set_progress([&sink](std::uint32_t index, const RunResult& run) {
+    sink.record(index, run);
+  });
+  capture.result = executor.execute();
+  capture.log_text = sink.text();
+  capture.aggregate = sink.aggregate();
+  return capture;
+}
+
+void expect_identical(const CampaignCapture& fresh, const CampaignCapture& warm,
+                      const std::string& label) {
+  // Bit-identical run logs are the headline: every observable a run
+  // reports is rendered into its log line.
+  EXPECT_EQ(fresh.log_text, warm.log_text) << label;
+  ASSERT_EQ(fresh.result.runs.size(), warm.result.runs.size()) << label;
+  for (std::size_t i = 0; i < fresh.result.runs.size(); ++i) {
+    const RunResult& x = fresh.result.runs[i];
+    const RunResult& y = warm.result.runs[i];
+    const std::string at = label + ", run " + std::to_string(i);
+    EXPECT_EQ(x.outcome, y.outcome) << at;
+    EXPECT_EQ(x.detail, y.detail) << at;
+    EXPECT_EQ(x.injections, y.injections) << at;
+    EXPECT_EQ(x.flipped_bits, y.flipped_bits) << at;
+    EXPECT_EQ(x.first_injection_tick, y.first_injection_tick) << at;
+    EXPECT_EQ(x.failure_tick, y.failure_tick) << at;
+    EXPECT_EQ(x.uart1_bytes, y.uart1_bytes) << at;
+    EXPECT_EQ(x.led_toggles, y.led_toggles) << at;
+    EXPECT_EQ(x.traps, y.traps) << at;
+    EXPECT_EQ(x.hvcs, y.hvcs) << at;
+    EXPECT_EQ(x.irqs, y.irqs) << at;
+    EXPECT_EQ(x.create_result, y.create_result) << at;
+    EXPECT_EQ(x.start_result, y.start_result) << at;
+    EXPECT_EQ(x.cell_exists, y.cell_exists) << at;
+    EXPECT_EQ(x.shutdown_reclaimed, y.shutdown_reclaimed) << at;
+  }
+  for (std::size_t o = 0; o < kNumOutcomes; ++o) {
+    const auto outcome = static_cast<Outcome>(o);
+    EXPECT_EQ(fresh.aggregate.distribution.count(outcome),
+              warm.aggregate.distribution.count(outcome))
+        << label << ": " << outcome_name(outcome);
+  }
+  EXPECT_EQ(fresh.aggregate.injections, warm.aggregate.injections) << label;
+  EXPECT_EQ(fresh.aggregate.cell_failures, warm.aggregate.cell_failures) << label;
+  EXPECT_EQ(fresh.aggregate.reclaimed, warm.aggregate.reclaimed) << label;
+}
+
+TEST(SnapshotEquivalence, RestoredMatchesFreshOnEveryScenarioBoardAndThreadCount) {
+  // {scenario} × {board} × {1, 4, 8} threads. The fresh baseline is the
+  // serial build-per-run engine; thread-count independence of the fresh
+  // path is pinned by the tick-equivalence suite, so one baseline per
+  // (scenario, board) suffices.
+  for (const std::string& scenario : ScenarioRegistry::instance().names()) {
+    if (scenario.rfind("test-", 0) == 0) continue;  // suite-local fixtures
+    for (const std::string& board : {std::string("bananapi"), std::string("quad-a7")}) {
+      const TestPlan plan = snapshot_plan(scenario, board);
+      const CampaignCapture fresh = run_campaign(plan, Mode::Fresh, 1);
+      for (const unsigned threads : {1u, 4u, 8u}) {
+        const CampaignCapture warm = run_campaign(plan, Mode::Snapshot, threads);
+        expect_identical(fresh, warm,
+                         scenario + " on " + board + ", " +
+                             std::to_string(threads) + " threads");
+      }
+    }
+  }
+}
+
+TEST(SnapshotEquivalence, RestoredMatchesPooledResetPerRun) {
+  // The two warm modes must agree with each other too (they share slots
+  // only within a mode: snapshot slots carry the scenario in their key).
+  for (const std::string& scenario :
+       {std::string("freertos-steady"), std::string("osek-cell")}) {
+    const TestPlan plan = snapshot_plan(scenario, "bananapi");
+    const CampaignCapture pooled = run_campaign(plan, Mode::Pooled, 2);
+    const CampaignCapture warm = run_campaign(plan, Mode::Snapshot, 2);
+    expect_identical(pooled, warm, scenario + " pooled vs snapshot");
+  }
+}
+
+TEST(SnapshotEquivalence, SteadyScenariosActuallyRestore) {
+  // The identity above is vacuous if every run silently falls back to
+  // reset + boot: require the pool to report restores, and more restores
+  // than full resets for a steady single-slot campaign (boot once,
+  // restore plan.runs - 1 times).
+  const TestbedPool::Stats before = TestbedPool::instance().stats();
+  TestPlan plan = snapshot_plan("freertos-steady", "bananapi");
+  plan.runs = 6;
+  (void)run_campaign(plan, Mode::Snapshot, 1);
+  const TestbedPool::Stats after = TestbedPool::instance().stats();
+  EXPECT_GE(after.captures, before.captures + 1);
+  EXPECT_GE(after.run_restores, before.run_restores + plan.runs - 1);
+  EXPECT_GT(after.snapshot_bytes, 0u);
+  EXPECT_GT(after.dirty_pages, 0u);
+}
+
+TEST(SnapshotEquivalence, InjectDuringBootNeverRestores) {
+  // Scenarios that inject during boot are snapshot-ineligible: the
+  // injected boot *is* the experiment. Every run must be a full reset.
+  const TestbedPool::Stats before = TestbedPool::instance().stats();
+  const TestPlan plan = snapshot_plan("inject-during-boot", "bananapi");
+  (void)run_campaign(plan, Mode::Snapshot, 1);
+  const TestbedPool::Stats after = TestbedPool::instance().stats();
+  EXPECT_EQ(after.run_restores, before.run_restores);
+  EXPECT_GE(after.run_resets, before.run_resets + plan.runs);
+}
+
+TEST(SnapshotEquivalence, SnapshotCampaignsExerciseFailingRuns) {
+  // The identity is only meaningful if the plans actually reach the
+  // failure states whose residue a bad restore would leak.
+  const TestPlan plan = snapshot_plan("freertos-steady", "bananapi");
+  const CampaignCapture warm = run_campaign(plan, Mode::Snapshot, 1);
+  const OutcomeDistribution dist = warm.result.distribution();
+  EXPECT_GT(dist.total() - dist.count(Outcome::Correct), 0u)
+      << "plan produced no failures; tighten rate/phase";
+}
+
+// --- sweep resume byte-identity with snapshots on and off -------------------
+
+std::string render_sweep_report(const SweepResult& sweep) {
+  std::vector<analysis::ComparisonColumn> columns;
+  columns.reserve(sweep.cells.size());
+  for (const SweepCellResult& cell : sweep.cells) {
+    columns.push_back({cell.id, cell.aggregate});
+  }
+  return analysis::render_comparison_report(columns, "snapshot-sweep");
+}
+
+SweepSpec small_sweep(const std::string& log_dir) {
+  SweepSpec spec;
+  spec.scenarios = {"freertos-steady", "inject-during-boot"};
+  spec.rates = {100, 50};
+  spec.runs = 3;
+  spec.duration_ticks = 1'500;
+  spec.log_dir = log_dir;
+  return spec;
+}
+
+TEST(SnapshotEquivalence, SweepResumeStaysByteIdenticalWithSnapshots) {
+  const std::filesystem::path dir =
+      std::filesystem::path(testing::TempDir()) / "mcs_snapshot_sweep";
+  std::filesystem::remove_all(dir);
+
+  ExecutorConfig warm;
+  warm.threads = 2;
+  warm.reuse_testbeds = true;
+  warm.use_snapshots = true;
+
+  SweepDriver driver(small_sweep(dir.string()), warm);
+  auto first = driver.execute();
+  ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+  const std::string warm_report = render_sweep_report(first.value());
+
+  // Interrupt: drop one cell's log mid-line, delete another's, then
+  // resume with a different thread count — the resumed report must be
+  // byte-identical, and untouched cells must resume via the fingerprint
+  // path (not re-execute).
+  const std::string cut = (dir / "freertos-steady_r50.runlog").string();
+  {
+    std::ifstream in(cut);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const std::string text = buffer.str().substr(0, 40);
+    std::ofstream out(cut, std::ios::trunc);
+    out << text;
+  }
+  std::filesystem::remove(dir / "freertos-steady_r50.runlog.meta");
+  std::filesystem::remove(dir / "inject-during-boot_r100.runlog");
+
+  ExecutorConfig resumer = warm;
+  resumer.threads = 4;
+  SweepDriver resume_driver(small_sweep(dir.string()), resumer);
+  auto resumed = resume_driver.execute();
+  ASSERT_TRUE(resumed.is_ok()) << resumed.status().to_string();
+  EXPECT_EQ(resumed.value().resumed, 2u);
+  EXPECT_EQ(resumed.value().executed, 2u);
+  EXPECT_EQ(render_sweep_report(resumed.value()), warm_report);
+
+  // The same sweep with snapshots off agrees byte for byte.
+  const std::filesystem::path nosnap_dir = dir / "nosnap";
+  ExecutorConfig nosnap = warm;
+  nosnap.use_snapshots = false;
+  SweepDriver nosnap_driver(small_sweep(nosnap_dir.string()), nosnap);
+  auto plain = nosnap_driver.execute();
+  ASSERT_TRUE(plain.is_ok()) << plain.status().to_string();
+  EXPECT_EQ(render_sweep_report(plain.value()), warm_report);
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace mcs::fi

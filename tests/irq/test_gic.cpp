@@ -183,5 +183,34 @@ TEST_P(GicStateProperty, PendingAndActiveAreExclusivePerAck) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GicStateProperty, ::testing::Values(1, 7, 42));
 
+TEST(Gic, SnapshotRoundTripRestoresLineAndMaskState) {
+  Gic gic(2);
+  ASSERT_TRUE(gic.enable(34).is_ok());
+  ASSERT_TRUE(gic.set_priority(34, 3).is_ok());
+  ASSERT_TRUE(gic.raise_spi(34).is_ok());
+  ASSERT_TRUE(gic.raise_ppi(1, 27).is_ok());
+  gic.set_priority_mask(0, 5);
+  const IrqId acked = gic.acknowledge(0);  // 34 moves pending → active
+  ASSERT_EQ(acked, 34u);
+
+  Gic::Snapshot snapshot;
+  gic.snapshot_to(snapshot);
+
+  // Mutate everything the snapshot covers.
+  (void)gic.end_of_interrupt(0, 34);
+  ASSERT_TRUE(gic.enable(40).is_ok());
+  ASSERT_TRUE(gic.raise_spi(40).is_ok());
+  gic.set_priority_mask(0, 0xFF);
+  gic.restore_from(snapshot);
+
+  EXPECT_TRUE(gic.is_active(34, 0));
+  EXPECT_FALSE(gic.is_pending(34, 0));
+  EXPECT_TRUE(gic.is_pending(27, 1));
+  EXPECT_FALSE(gic.is_pending(40, 0));
+  // The restored mask lets the re-acknowledge path behave as captured.
+  (void)gic.end_of_interrupt(0, 34);
+  EXPECT_FALSE(gic.is_active(34, 0));
+}
+
 }  // namespace
 }  // namespace mcs::irq

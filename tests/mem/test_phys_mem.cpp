@@ -94,5 +94,86 @@ TEST(PhysicalMemory, ReadBlockFromHoleYieldsZeros) {
   EXPECT_EQ(out[kPageSize], 0x11u);      // resident page
 }
 
+TEST(PhysicalMemory, DirtyTrackingFollowsWrites) {
+  PhysicalMemory dram;
+  EXPECT_EQ(dram.dirty_pages(), 0u);
+  (void)dram.write_u8(kDramBase, 1);
+  (void)dram.write_u8(kDramBase + 8, 2);  // same page: one dirty entry
+  EXPECT_EQ(dram.dirty_pages(), 1u);
+  (void)dram.write_u32(kDramBase + 10 * kPageSize, 3);
+  EXPECT_EQ(dram.dirty_pages(), 2u);
+  // Reads never dirty (nor materialise) pages.
+  (void)dram.read_u64(kDramBase + 50 * kPageSize);
+  EXPECT_EQ(dram.dirty_pages(), 2u);
+}
+
+TEST(PhysicalMemory, ResetContentsClearsDirtySetButKeepsResidency) {
+  PhysicalMemory dram;
+  (void)dram.fill(kDramBase, 2 * kPageSize, 0x77);
+  ASSERT_EQ(dram.dirty_pages(), 2u);
+  dram.reset_contents();
+  EXPECT_EQ(dram.dirty_pages(), 0u);
+  EXPECT_EQ(dram.resident_pages(), 2u);
+  EXPECT_EQ(dram.read_u8(kDramBase).value(), 0u);
+  // Re-dirtying a clean resident page re-enters the dirty list once.
+  (void)dram.write_u8(kDramBase, 9);
+  (void)dram.write_u8(kDramBase + 1, 9);
+  EXPECT_EQ(dram.dirty_pages(), 1u);
+}
+
+TEST(PhysicalMemory, SnapshotRoundTripIsBitExact) {
+  PhysicalMemory dram;
+  util::Arena arena(64 * kPageSize);
+  (void)dram.write_u32(kDramBase + 0x40, 0xDEADBEEF);
+  (void)dram.write_u64(kDramBase + 7 * kPageSize + 8, 0x0123456789ABCDEFull);
+  PhysicalMemory::Snapshot snapshot;
+  dram.snapshot_to(snapshot, arena);
+  EXPECT_EQ(snapshot.pages.size(), 2u);
+  EXPECT_EQ(snapshot.bytes(), 2 * kPageSize);
+
+  // Mutate captured pages and dirty a brand-new one.
+  (void)dram.write_u32(kDramBase + 0x40, 0);
+  (void)dram.write_u8(kDramBase + 20 * kPageSize, 0xEE);
+  ASSERT_EQ(dram.dirty_pages(), 3u);
+
+  dram.restore_from(snapshot);
+  EXPECT_EQ(dram.read_u32(kDramBase + 0x40).value(), 0xDEADBEEFu);
+  EXPECT_EQ(dram.read_u64(kDramBase + 7 * kPageSize + 8).value(),
+            0x0123456789ABCDEFull);
+  // The page written after capture is back to power-on zero and clean.
+  EXPECT_EQ(dram.read_u8(kDramBase + 20 * kPageSize).value(), 0u);
+  // The dirty set after restore equals the snapshot's page set.
+  EXPECT_EQ(dram.dirty_pages(), 2u);
+}
+
+TEST(PhysicalMemory, RestoreIsRepeatable) {
+  // Run → restore → run → restore must keep reproducing the capture: the
+  // executor restores the same snapshot for every run of a slot.
+  PhysicalMemory dram;
+  util::Arena arena(64 * kPageSize);
+  (void)dram.write_u32(kDramBase, 0xA5A5A5A5);
+  PhysicalMemory::Snapshot snapshot;
+  dram.snapshot_to(snapshot, arena);
+  for (int round = 0; round < 3; ++round) {
+    (void)dram.write_u32(kDramBase, 0x11111111u * static_cast<unsigned>(round));
+    (void)dram.write_u8(kDramBase + (5 + static_cast<std::uint64_t>(round)) * kPageSize, 1);
+    dram.restore_from(snapshot);
+    EXPECT_EQ(dram.read_u32(kDramBase).value(), 0xA5A5A5A5u) << round;
+    EXPECT_EQ(dram.dirty_pages(), 1u) << round;
+  }
+}
+
+TEST(PhysicalMemory, EmptySnapshotRestoresToAllZero) {
+  PhysicalMemory dram;
+  util::Arena arena(16 * kPageSize);
+  PhysicalMemory::Snapshot snapshot;
+  dram.snapshot_to(snapshot, arena);  // nothing dirty: empty capture
+  EXPECT_EQ(snapshot.pages.size(), 0u);
+  (void)dram.write_u32(kDramBase + kPageSize, 0xBADF00D);
+  dram.restore_from(snapshot);
+  EXPECT_EQ(dram.read_u32(kDramBase + kPageSize).value(), 0u);
+  EXPECT_EQ(dram.dirty_pages(), 0u);
+}
+
 }  // namespace
 }  // namespace mcs::mem

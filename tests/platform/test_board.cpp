@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "platform/board_registry.hpp"
+#include "util/arena.hpp"
 
 namespace mcs::platform {
 namespace {
@@ -229,6 +230,55 @@ TEST(Board, AdvanceToMatchesPerTickPolling) {
           << name << " cpu" << cpu;
     }
   }
+}
+
+TEST(Board, SnapshotRoundTripRestoresClockDevicesAndDram) {
+  BananaPiBoard board;
+  util::Arena page_arena(64 * mem::kPageSize);
+  board.timer().start(0, 10);
+  board.gpio().set_line(kGreenLedLine, true);
+  ASSERT_TRUE(board.dram().write_u32(mem::kDramBase + 0x100, 0xCAFEF00D).is_ok());
+  board.log().log(board.now(), util::Severity::Info, "test", -1, "captured");
+  board.run_ticks(25);  // 2 timer fires, pending PPI state, clock at 25
+
+  Board::Snapshot snapshot;
+  board.snapshot_to(snapshot, page_arena);
+  const std::uint64_t fires_at_capture = board.timer().fires(0);
+  const std::size_t log_at_capture = board.log().size();
+
+  // Diverge: more time, more DRAM writes, more log records.
+  board.run_ticks(100);
+  ASSERT_TRUE(board.dram().write_u32(mem::kDramBase + 0x100, 0).is_ok());
+  ASSERT_TRUE(board.dram().write_u32(mem::kDramBase + 64 * mem::kPageSize, 7).is_ok());
+  board.log().log(board.now(), util::Severity::Info, "test", -1, "post-capture");
+  ASSERT_NE(board.timer().fires(0), fires_at_capture);
+
+  board.restore_from(snapshot);
+  EXPECT_EQ(board.now().value, 25u);
+  EXPECT_EQ(board.timer().fires(0), fires_at_capture);
+  EXPECT_TRUE(board.gpio().line(kGreenLedLine));
+  EXPECT_EQ(board.dram().read_u32(mem::kDramBase + 0x100).value(), 0xCAFEF00Du);
+  EXPECT_EQ(board.dram().read_u32(mem::kDramBase + 64 * mem::kPageSize).value(), 0u);
+  EXPECT_EQ(board.log().size(), log_at_capture);
+
+  // The restored board resumes the captured schedule exactly: the same
+  // 100 ticks must now reproduce the diverged run's fire count.
+  const std::uint64_t diverged_fires = (25u + 100u) / 10u;
+  board.run_ticks(100);
+  EXPECT_EQ(board.timer().fires(0), diverged_fires);
+}
+
+TEST(Board, UartSnapshotTruncatesCaptureToTheMark) {
+  BananaPiBoard board;
+  util::Arena page_arena(16 * mem::kPageSize);
+  ASSERT_TRUE(board.uart0().mmio_write(kUartThr, 'a').is_ok());
+  ASSERT_TRUE(board.uart0().mmio_write(kUartThr, 'b').is_ok());
+  Board::Snapshot snapshot;
+  board.snapshot_to(snapshot, page_arena);
+  ASSERT_TRUE(board.uart0().mmio_write(kUartThr, 'c').is_ok());
+  ASSERT_EQ(board.uart0().captured(), "abc");
+  board.restore_from(snapshot);
+  EXPECT_EQ(board.uart0().captured(), "ab");
 }
 
 }  // namespace

@@ -85,6 +85,63 @@ TEST(Arena, ReleaseDropsEverything) {
   EXPECT_GT(arena.capacity(), 0u);
 }
 
+TEST(Arena, RewindToMarkReclaimsOnlyAllocationsAboveIt) {
+  Arena arena(1024);
+  auto* base = arena.allocate_array<std::uint8_t>(100);
+  std::memset(base, 0x5A, 100);
+  const Arena::Mark mark = arena.mark();
+  const std::size_t at_mark = arena.bytes_in_use();
+  (void)arena.allocate_array<std::uint8_t>(200);
+  ASSERT_GT(arena.bytes_in_use(), at_mark);
+  arena.rewind_to(mark);
+  EXPECT_EQ(arena.bytes_in_use(), at_mark);
+  // The allocation below the mark is untouched by the rewind.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(base[i], 0x5A);
+  // Re-allocating above the mark reuses the rewound storage: no heap.
+  const AllocationObserver::Window window;
+  (void)arena.allocate_array<std::uint8_t>(200);
+  EXPECT_EQ(window.allocations(), 0u);
+}
+
+TEST(Arena, RewindToMarkSpansBlocks) {
+  Arena arena(64);  // tiny blocks so the scratch above the mark grows blocks
+  (void)arena.allocate_array<std::uint8_t>(48);
+  const Arena::Mark mark = arena.mark();
+  const std::size_t at_mark = arena.bytes_in_use();
+  for (int i = 0; i < 8; ++i) (void)arena.allocate_array<std::uint8_t>(48);
+  const std::size_t blocks = arena.block_count();
+  ASSERT_GT(blocks, 1u);
+  arena.rewind_to(mark);
+  EXPECT_EQ(arena.bytes_in_use(), at_mark);
+  EXPECT_EQ(arena.block_count(), blocks);  // capacity kept, like reset()
+  // The rewound arena keeps allocating correctly across the kept blocks.
+  const AllocationObserver::Window window;
+  for (int i = 0; i < 8; ++i) (void)arena.allocate_array<std::uint8_t>(48);
+  EXPECT_EQ(window.allocations(), 0u);
+}
+
+TEST(Arena, MarkOnEmptyArenaActsLikeReset) {
+  Arena arena(128);
+  const Arena::Mark mark = arena.mark();
+  (void)arena.allocate_array<std::uint8_t>(100);
+  arena.rewind_to(mark);
+  EXPECT_EQ(arena.bytes_in_use(), 0u);
+}
+
+TEST(Arena, HighWaterTracksPeakUse) {
+  Arena arena(1024);
+  EXPECT_EQ(arena.high_water(), 0u);
+  (void)arena.allocate_array<std::uint8_t>(300);
+  const std::size_t peak = arena.high_water();
+  EXPECT_GE(peak, 300u);
+  arena.reset();
+  EXPECT_EQ(arena.high_water(), peak);  // survives reset: it is a peak
+  (void)arena.allocate_array<std::uint8_t>(100);
+  EXPECT_EQ(arena.high_water(), peak);  // smaller refill doesn't move it
+  (void)arena.allocate_array<std::uint8_t>(400);
+  EXPECT_GT(arena.high_water(), peak);
+}
+
 TEST(AllocationObserver, CountsOperatorNew) {
   const AllocationObserver::Window window;
   auto* p = new int(42);
