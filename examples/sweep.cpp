@@ -1,5 +1,6 @@
 // sweep: run the paper's full assessment grid — scenarios × fault
-// intensities (rates) × boards — as one resumable campaign sweep.
+// intensities (rates) × boards — as one resumable campaign sweep, on one
+// process or on many.
 //
 // Each grid cell executes through the sharded CampaignExecutor; its run
 // log streams to <logdir>/<cell>.runlog. Re-invoking with the same spec
@@ -12,18 +13,30 @@
 //   $ ./sweep --spec grid.sweep            # config-text spec file
 //   $ ./sweep --spec -                     # spec from stdin
 //
+// Distributed execution over the same logdir (see README "Distributed
+// sweeps" for the lease protocol):
+//
+//   $ ./sweep ... --logdir sweep-logs --workers 4   # fork 4 workers, merge
+//   $ ./sweep --join sweep-logs --worker-id host2   # pile on from elsewhere
+//   $ ./sweep --sweepd jobs/ --workers 4            # job-queue daemon
+//
 // The comparison report goes to stdout; progress goes to stderr, so the
 // report can be redirected and diffed.
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/report.hpp"
 #include "core/sweep.hpp"
+#include "core/sweep_worker.hpp"
 #include "core/testbed_pool.hpp"
 #include "hypervisor/config_text.hpp"
 #include "util/strings.hpp"
@@ -44,6 +57,20 @@ void usage(std::ostream& out) {
          "  --threads N           executor threads per cell (default: auto)\n"
          "  --no-snapshots        reset + reboot pooled testbeds per run\n"
          "                        instead of restoring post-boot snapshots\n"
+         "distributed execution (multi-process cell leasing over --logdir):\n"
+         "  --workers N           fork N worker processes over the logdir,\n"
+         "                        wait, and render the merged report\n"
+         "  --join DIR            join an in-flight sweep: lease cells from\n"
+         "                        DIR/sweep.spec until the grid completes,\n"
+         "                        then render the same merged report\n"
+         "  --worker-id ID        lease owner id for --join (default wPID)\n"
+         "  --lease-ttl SEC       heartbeat age before a lease counts stale\n"
+         "                        and is re-claimed (default 60)\n"
+         "  --sweepd DIR          daemon: watch DIR for *.sweep job specs,\n"
+         "                        execute each, write <job>.report and live\n"
+         "                        progress to DIR/sweepd.status\n"
+         "  --once                with --sweepd: drain the queue and exit\n"
+         "  --poll-ms N           sweepd queue poll interval (default 1000)\n"
          "flags override the spec file; the comparison report goes to\n"
          "stdout, progress to stderr\n";
 }
@@ -58,6 +85,265 @@ std::vector<std::string> split_csv(const std::string& text) {
   return out;
 }
 
+// --- throughput / ETA meter --------------------------------------------------
+
+/// Per-cell wall-time accounting behind the stderr progress line:
+/// cumulative runs/sec over executed runs, and an ETA from the mean
+/// executed-cell wall time × cells remaining (resumed cells are ~free,
+/// so only executed cells inform the estimate).
+class ProgressMeter {
+ public:
+  explicit ProgressMeter(std::size_t cells_total)
+      : cells_total_(cells_total),
+        start_(std::chrono::steady_clock::now()),
+        last_cell_(start_) {}
+
+  void on_cell(bool executed, std::uint64_t runs) {
+    const auto now = std::chrono::steady_clock::now();
+    if (executed) {
+      executed_seconds_ +=
+          std::chrono::duration<double>(now - last_cell_).count();
+      ++executed_cells_;
+      runs_executed_ += runs;
+    }
+    last_cell_ = now;
+    ++cells_done_;
+  }
+
+  void override_done(std::size_t done, std::size_t total) {
+    cells_done_ = done;
+    cells_total_ = total;
+  }
+
+  [[nodiscard]] std::size_t done() const { return cells_done_; }
+  [[nodiscard]] std::size_t total() const { return cells_total_; }
+
+  [[nodiscard]] double runs_per_sec() const {
+    const double elapsed = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start_)
+                               .count();
+    return elapsed > 0 ? static_cast<double>(runs_executed_) / elapsed : 0.0;
+  }
+
+  /// Seconds to finish the remaining cells; < 0 before any cell executed.
+  [[nodiscard]] double eta_seconds() const {
+    if (executed_cells_ == 0) return -1.0;
+    const double per_cell = executed_seconds_ / executed_cells_;
+    return per_cell * static_cast<double>(cells_total_ - cells_done_);
+  }
+
+  /// " | 12.3 runs/s, ETA 4.5s" — the suffix every progress line carries.
+  [[nodiscard]] std::string suffix() const {
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(1);
+    out << " | " << runs_per_sec() << " runs/s, ETA ";
+    const double eta = eta_seconds();
+    if (eta < 0) {
+      out << "unknown";
+    } else {
+      out << eta << "s";
+    }
+    return out.str();
+  }
+
+ private:
+  std::size_t cells_total_;
+  std::size_t cells_done_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_cell_;
+  double executed_seconds_ = 0.0;
+  std::size_t executed_cells_ = 0;
+  std::uint64_t runs_executed_ = 0;
+};
+
+void print_cell_line(std::ostream& err, const std::string& prefix,
+                     const ProgressMeter& meter, const std::string& cell_id,
+                     bool executed, const mcs::analysis::CampaignAggregate& agg) {
+  err << prefix << "[" << meter.done() << "/" << meter.total() << "] "
+      << cell_id << ": " << (executed ? "executed" : "resumed from log")
+      << ", " << agg.distribution.total() << " runs, " << agg.cell_failures
+      << " cell failures" << meter.suffix() << "\n";
+}
+
+void print_pool_stats(std::ostream& err) {
+  const mcs::fi::TestbedPool::Stats pool =
+      mcs::fi::TestbedPool::instance().stats();
+  err << "pool: " << pool.creates << " built, " << pool.reuses
+      << " reused; runs: " << pool.run_restores << " restored, "
+      << pool.run_resets << " reset; " << pool.captures
+      << " snapshots captured (" << pool.snapshot_bytes << " B, "
+      << pool.dirty_pages << " dirty pages)\n";
+}
+
+std::string report_of(const mcs::fi::SweepResult& result) {
+  std::vector<mcs::analysis::ComparisonColumn> columns;
+  columns.reserve(result.cells.size());
+  for (const mcs::fi::SweepCellResult& cell : result.cells) {
+    columns.push_back({cell.id, cell.aggregate});
+  }
+  return mcs::analysis::render_comparison_report(
+      columns, "Sweep comparison — " + result.spec.name);
+}
+
+/// The per-worker stderr reporter used by --workers and --join: each
+/// completed cell prints one "[wK] [done/total] ..." line from the
+/// worker that saw it, with that worker's own throughput/ETA estimate.
+mcs::fi::SweepWorker::ProgressFn worker_progress(const std::string& worker_id,
+                                                 std::size_t cells_total) {
+  auto meter = std::make_shared<ProgressMeter>(cells_total);
+  return [meter, worker_id](const mcs::fi::SweepWorkerProgress& event) {
+    meter->on_cell(event.executed_here,
+                   event.executed_here ? event.cell->plan.runs : 0);
+    meter->override_done(event.cells_done, event.cells_total);
+    print_cell_line(std::cerr, "[" + worker_id + "] ", *meter,
+                    event.cell->id, event.executed_here,
+                    event.cell->aggregate);
+  };
+}
+
+// --- sweepd ------------------------------------------------------------------
+
+struct SweepdOptions {
+  std::string job_dir;
+  unsigned workers = 0;  ///< 0/1 → in-process driver; ≥2 → fork + lease
+  mcs::fi::SweepWorkerConfig worker;
+  mcs::fi::ExecutorConfig executor;
+  bool once = false;
+  std::chrono::milliseconds poll{1'000};
+};
+
+/// Run one queued job spec; returns false on a job-level failure (the
+/// job file is renamed *.failed with a sidecar *.error either way, so
+/// the daemon never re-runs a broken spec in a loop).
+bool run_sweepd_job(const SweepdOptions& options,
+                    const std::filesystem::path& job_path) {
+  namespace fs = std::filesystem;
+  using namespace mcs;
+
+  const std::string stem = job_path.stem().string();
+  const std::string status_path =
+      (fs::path(options.job_dir) / "sweepd.status").string();
+
+  const auto fail = [&](const std::string& what) {
+    std::cerr << "sweepd: job " << stem << ": " << what << "\n";
+    (void)fi::write_text_atomic(
+        (fs::path(options.job_dir) / (stem + ".error")).string(), what + "\n");
+    std::error_code ec;
+    fs::rename(job_path, job_path.string() + ".failed", ec);
+    return false;
+  };
+
+  std::ifstream in(job_path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in || in.bad()) return fail("cannot read job spec");
+  auto parsed = fi::parse_sweep_spec(buffer.str());
+  if (!parsed.is_ok()) return fail("spec: " + parsed.status().to_string());
+  fi::SweepSpec spec = std::move(parsed).value();
+  if (spec.log_dir.empty()) {
+    // Queued jobs always persist — the logdir is both the resume
+    // substrate and what the daemon's workers lease over.
+    spec.log_dir = (fs::path(options.job_dir) / (stem + ".logs")).string();
+  }
+
+  std::cerr << "sweepd: job " << stem << ": " << spec.cell_count()
+            << " cells × " << spec.runs << " runs → " << spec.log_dir << "\n";
+
+  // Live status: every completed cell rewrites the status file (atomic
+  // replace) with done counts, throughput, ETA and the lease table. In
+  // --workers mode the children write it — last writer wins, each with
+  // its own grid-wide view.
+  const auto status_writer = [status_path, stem,
+                              log_dir = spec.log_dir](
+                                 std::size_t done, std::size_t total,
+                                 const ProgressMeter& meter) {
+    fi::SweepStatus status;
+    status.job = stem;
+    status.cells_done = done;
+    status.cells_total = total;
+    status.runs_per_sec = meter.runs_per_sec();
+    status.eta_seconds = meter.eta_seconds();
+    status.leases = fi::list_leases(log_dir);
+    (void)fi::write_text_atomic(status_path,
+                                fi::render_sweep_status(status));
+  };
+
+  util::Expected<fi::SweepResult> swept =
+      util::invalid_argument("not executed");
+  if (options.workers >= 2) {
+    fi::DistributedSweepOptions distributed;
+    distributed.workers = options.workers;
+    distributed.worker = options.worker;
+    distributed.make_worker_progress =
+        [status_writer, cells_total = spec.cell_count()](
+            const std::string& worker_id) {
+          auto stderr_line = worker_progress(worker_id, cells_total);
+          auto meter = std::make_shared<ProgressMeter>(cells_total);
+          return [stderr_line, status_writer,
+                  meter](const fi::SweepWorkerProgress& event) {
+            stderr_line(event);
+            meter->on_cell(event.executed_here,
+                           event.executed_here ? event.cell->plan.runs : 0);
+            meter->override_done(event.cells_done, event.cells_total);
+            status_writer(event.cells_done, event.cells_total, *meter);
+          };
+        };
+    swept = fi::run_distributed_sweep(spec, options.executor, distributed);
+  } else {
+    fi::SweepDriver driver(spec, options.executor);
+    auto meter = std::make_shared<ProgressMeter>(spec.cell_count());
+    driver.set_cell_progress(
+        [meter, status_writer](const fi::SweepCellResult& cell) {
+          meter->on_cell(!cell.resumed, cell.resumed ? 0 : cell.plan.runs);
+          print_cell_line(std::cerr, "  ", *meter, cell.id, !cell.resumed,
+                          cell.aggregate);
+          status_writer(meter->done(), meter->total(), *meter);
+        });
+    swept = driver.execute();
+  }
+  if (!swept.is_ok()) return fail(swept.status().to_string());
+
+  const util::Status wrote = fi::write_text_atomic(
+      (fs::path(options.job_dir) / (stem + ".report")).string(),
+      report_of(swept.value()));
+  if (!wrote.is_ok()) return fail(wrote.to_string());
+  std::error_code ec;
+  fs::rename(job_path, job_path.string() + ".done", ec);
+  std::cerr << "sweepd: job " << stem << ": done ("
+            << swept.value().executed << " executed, "
+            << swept.value().resumed << " resumed)\n";
+  return true;
+}
+
+int run_sweepd(const SweepdOptions& options) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(options.job_dir, ec);
+  if (ec) {
+    std::cerr << "sweepd: cannot create job dir '" << options.job_dir
+              << "': " << ec.message() << "\n";
+    return 2;
+  }
+  std::cerr << "sweepd: watching " << options.job_dir << " for *.sweep jobs"
+            << (options.once ? " (drain once)" : "") << "\n";
+
+  bool all_ok = true;
+  while (true) {
+    std::vector<fs::path> jobs;
+    for (fs::directory_iterator it(options.job_dir, ec), end;
+         !ec && it != end; it.increment(ec)) {
+      if (it->path().extension() == ".sweep") jobs.push_back(it->path());
+    }
+    std::sort(jobs.begin(), jobs.end());
+    for (const fs::path& job : jobs) {
+      all_ok = run_sweepd_job(options, job) && all_ok;
+    }
+    if (options.once) break;
+    std::this_thread::sleep_for(options.poll);
+  }
+  return all_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -65,7 +351,13 @@ int main(int argc, char** argv) {
 
   fi::SweepSpec spec;
   fi::ExecutorConfig config;
+  fi::SweepWorkerConfig worker_config;
   bool have_spec = false;
+  unsigned workers = 0;
+  std::string join_dir;
+  std::string sweepd_dir;
+  bool sweepd_once = false;
+  std::chrono::milliseconds sweepd_poll{1'000};
 
   // Exit codes: 0 swept, 1 bad spec/flags, 2 unreadable spec input.
   // Strict numerics: the same vocabulary as the spec file, so "8q" is
@@ -170,11 +462,85 @@ int main(int argc, char** argv) {
       config.threads = static_cast<unsigned>(number);
     } else if (flag == "--no-snapshots") {
       config.use_snapshots = false;
+    } else if (flag == "--workers" && (arg = value()) != nullptr) {
+      if (!parse_number("workers", arg, number) || number == 0) {
+        std::cerr << "sweep: --workers needs a count ≥ 1\n";
+        return 1;
+      }
+      workers = static_cast<unsigned>(number);
+    } else if (flag == "--join" && (arg = value()) != nullptr) {
+      join_dir = arg;
+    } else if (flag == "--worker-id" && (arg = value()) != nullptr) {
+      worker_config.worker_id = arg;
+    } else if (flag == "--lease-ttl" && (arg = value()) != nullptr) {
+      if (!parse_number("lease-ttl", arg, number)) return 1;
+      worker_config.lease_ttl = std::chrono::seconds(number);
+      worker_config.heartbeat_interval =
+          std::max(std::chrono::milliseconds(worker_config.lease_ttl) / 4,
+                   std::chrono::milliseconds(50));
+    } else if (flag == "--sweepd" && (arg = value()) != nullptr) {
+      sweepd_dir = arg;
+    } else if (flag == "--once") {
+      sweepd_once = true;
+    } else if (flag == "--poll-ms" && (arg = value()) != nullptr) {
+      if (!parse_number("poll-ms", arg, number) || number == 0) {
+        std::cerr << "sweep: --poll-ms needs a value ≥ 1\n";
+        return 1;
+      }
+      sweepd_poll = std::chrono::milliseconds(number);
     } else {
       std::cerr << "sweep: unknown or incomplete flag '" << flag << "'\n";
       usage(std::cerr);
       return 1;
     }
+  }
+
+  // --- sweepd: job-queue daemon ---------------------------------------------
+  if (!sweepd_dir.empty()) {
+    SweepdOptions options;
+    options.job_dir = sweepd_dir;
+    options.workers = workers;
+    options.worker = worker_config;
+    options.executor = config;
+    options.once = sweepd_once;
+    options.poll = sweepd_poll;
+    return run_sweepd(options);
+  }
+
+  // --- join: become one worker of an in-flight sweep ------------------------
+  if (!join_dir.empty()) {
+    auto read = fi::read_spec_file(join_dir);
+    if (!read.is_ok()) {
+      std::cerr << "sweep: --join: " << read.status().to_string() << "\n";
+      return 2;
+    }
+    spec = std::move(read).value();
+    fi::SweepWorker worker(spec, config, worker_config);
+    std::cerr << "sweep: worker '" << worker.worker_id() << "' joining '"
+              << spec.name << "' (" << spec.cell_count() << " cells) in "
+              << join_dir << "\n";
+    worker.set_progress(
+        worker_progress(worker.worker_id(), spec.cell_count()));
+    auto stats = worker.run();
+    if (!stats.is_ok()) {
+      std::cerr << "sweep: worker: " << stats.status().to_string() << "\n";
+      return 1;
+    }
+    std::cerr << "worker '" << worker.worker_id() << "': "
+              << stats.value().executed << " cells executed, "
+              << stats.value().observed << " observed complete, "
+              << stats.value().stolen << " stale leases reclaimed\n";
+    print_pool_stats(std::cerr);
+    // The grid is complete (the worker waits for stragglers), so the
+    // merged report renders here byte-identically to any other worker's
+    // or the coordinator's.
+    auto merged = fi::SweepDriver(spec, config).execute();
+    if (!merged.is_ok()) {
+      std::cerr << "sweep: merge: " << merged.status().to_string() << "\n";
+      return 1;
+    }
+    std::cout << report_of(merged.value());
+    return 0;
   }
 
   if (spec.scenarios.empty() || spec.rates.empty()) {
@@ -187,14 +553,42 @@ int main(int argc, char** argv) {
             << " grid cells × " << spec.runs << " runs, base seed 0x"
             << std::hex << spec.seed << std::dec;
   if (!spec.log_dir.empty()) std::cerr << ", logs in " << spec.log_dir;
+  if (workers >= 2) std::cerr << ", " << workers << " worker processes";
   std::cerr << "\n";
 
+  // --- coordinator: fork N workers over one logdir, merge -------------------
+  if (workers >= 2) {
+    if (spec.log_dir.empty()) {
+      std::cerr << "sweep: --workers needs --logdir (the shared "
+                   "coordination substrate)\n";
+      return 1;
+    }
+    fi::DistributedSweepOptions distributed;
+    distributed.workers = workers;
+    distributed.worker = worker_config;
+    distributed.make_worker_progress =
+        [cells_total = spec.cell_count()](const std::string& worker_id) {
+          return worker_progress(worker_id, cells_total);
+        };
+    auto swept = fi::run_distributed_sweep(spec, config, distributed);
+    if (!swept.is_ok()) {
+      std::cerr << "sweep: " << swept.status().to_string() << "\n";
+      return 1;
+    }
+    std::cerr << "merged: " << swept.value().resumed
+              << " cells from worker logs, " << swept.value().executed
+              << " executed by the coordinator backstop\n";
+    std::cout << report_of(swept.value());
+    return 0;
+  }
+
+  // --- single process -------------------------------------------------------
   fi::SweepDriver driver(std::move(spec), config);
-  driver.set_cell_progress([](const fi::SweepCellResult& cell) {
-    std::cerr << "  " << cell.id << ": "
-              << (cell.resumed ? "resumed from log" : "executed") << ", "
-              << cell.aggregate.distribution.total() << " runs, "
-              << cell.aggregate.cell_failures << " cell failures\n";
+  auto meter = std::make_shared<ProgressMeter>(driver.spec().cell_count());
+  driver.set_cell_progress([meter](const fi::SweepCellResult& cell) {
+    meter->on_cell(!cell.resumed, cell.resumed ? 0 : cell.plan.runs);
+    print_cell_line(std::cerr, "  ", *meter, cell.id, !cell.resumed,
+                    cell.aggregate);
   });
   auto swept = driver.execute();
   if (!swept.is_ok()) {
@@ -204,21 +598,10 @@ int main(int argc, char** argv) {
   const fi::SweepResult& result = swept.value();
   std::cerr << result.executed << " cells executed, " << result.resumed
             << " resumed\n";
-  const fi::TestbedPool::Stats pool = fi::TestbedPool::instance().stats();
-  std::cerr << "pool: " << pool.creates << " built, " << pool.reuses
-            << " reused; runs: " << pool.run_restores << " restored, "
-            << pool.run_resets << " reset; " << pool.captures
-            << " snapshots captured (" << pool.snapshot_bytes << " B, "
-            << pool.dirty_pages << " dirty pages)\n";
+  print_pool_stats(std::cerr);
 
   // The report — and only the report — on stdout, so an interrupted+
   // resumed sweep can be diffed byte-for-byte against a fresh one.
-  std::vector<analysis::ComparisonColumn> columns;
-  columns.reserve(result.cells.size());
-  for (const fi::SweepCellResult& cell : result.cells) {
-    columns.push_back({cell.id, cell.aggregate});
-  }
-  std::cout << analysis::render_comparison_report(
-      columns, "Sweep comparison — " + result.spec.name);
+  std::cout << report_of(result);
   return 0;
 }

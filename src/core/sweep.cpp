@@ -1,5 +1,7 @@
 #include "core/sweep.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -60,11 +62,8 @@ util::Status validate_grid(const SweepSpec& spec) {
   return util::ok_status();
 }
 
-/// Everything that determines a cell's runs, as deterministic text. The
-/// sidecar `<cell>.runlog.meta` persists this; resume refuses a log whose
-/// fingerprint doesn't match the current plan, so reusing a logdir with a
-/// changed seed/rate/duration/tuning re-executes instead of silently
-/// serving stale aggregates.
+}  // namespace
+
 std::string plan_fingerprint(const TestPlan& plan) {
   std::string tuning = plan.cell_tuning;
   std::replace(tuning.begin(), tuning.end(), '\n', ';');
@@ -90,11 +89,156 @@ std::string plan_fingerprint(const TestPlan& plan) {
   return out.str();
 }
 
-std::string meta_path_of(const std::string& log_path) {
+std::string cell_meta_path(const std::string& log_path) {
   return log_path + ".meta";
 }
 
-}  // namespace
+util::Status write_text_atomic(const std::string& path, std::string_view text,
+                               const std::string& tag) {
+  const std::string effective_tag =
+      tag.empty() ? std::to_string(static_cast<long>(::getpid())) : tag;
+  const std::string tmp = path + "." + effective_tag + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    out << text;
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return util::Status(util::Code::EIo, "cannot write '" + tmp + "'");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return util::Status(util::Code::EIo, "cannot rename '" + tmp + "' to '" +
+                                             path + "': " + ec.message());
+  }
+  return util::ok_status();
+}
+
+bool cell_log_complete(const TestPlan& plan, const std::string& log_path,
+                       analysis::CampaignAggregate& aggregate) {
+  // The sidecar fingerprint ties the log to the exact plan that wrote
+  // it. Absent (interrupted before completion) or mismatched (the
+  // logdir was reused with a different spec) → the log is not this
+  // cell's data, however complete it looks.
+  {
+    std::ifstream meta(cell_meta_path(log_path));
+    if (!meta) return false;
+    std::ostringstream buffer;
+    buffer << meta.rdbuf();
+    if (meta.bad() || buffer.str() != plan_fingerprint(plan)) {
+      return false;
+    }
+  }
+
+  std::ifstream file(log_path);
+  if (!file) return false;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad()) return false;
+
+  // Complete ⇔ every run index 0..runs-1 exactly once, in order, and not
+  // a single malformed line — anything else (truncated tail from an
+  // interrupt, foreign content) re-executes the cell from scratch.
+  const analysis::ParsedRunLog parsed = analysis::parse_run_log(buffer.str());
+  if (parsed.malformed_lines != 0) return false;
+  if (parsed.entries.size() != plan.runs) return false;
+  for (std::size_t i = 0; i < parsed.entries.size(); ++i) {
+    if (parsed.entries[i].index != i) return false;
+  }
+  aggregate = analysis::aggregate_from_log(parsed);
+  return true;
+}
+
+util::Expected<analysis::CampaignAggregate> execute_cell(
+    const TestPlan& plan, const std::string& log_path,
+    const ExecutorConfig& config, const std::string& tag,
+    const std::function<void(std::uint32_t)>& per_run) {
+  const bool persist = !log_path.empty();
+  const std::string effective_tag =
+      tag.empty() ? std::to_string(static_cast<long>(::getpid())) : tag;
+  const std::string tmp = log_path + "." + effective_tag + ".tmp";
+
+  std::ofstream log_file;
+  if (persist) {
+    // A stale fingerprint must never outlive the log it described: drop
+    // it first, and only commit the new one once the cell's log is
+    // complete on disk. An interrupt anywhere in between leaves no
+    // fingerprint (and no partially-written log — the stream goes to a
+    // temp file renamed into place), so the next invocation re-executes.
+    std::error_code ec;
+    std::filesystem::remove(cell_meta_path(log_path), ec);
+    log_file.open(tmp, std::ios::trunc);
+    if (!log_file) {
+      return util::Status(util::Code::EIo,
+                          "cannot write cell log '" + tmp + "'");
+    }
+  }
+  // Persisted cells stream straight to their temp log file; an in-memory
+  // cell streams into a scratch buffer that dies here (the aggregate is
+  // all the caller keeps).
+  std::ostringstream devnull;
+  analysis::LogSink sink(persist ? static_cast<std::ostream&>(log_file)
+                                 : devnull);
+  CampaignExecutor executor(plan, config);
+  executor.set_progress(
+      [&sink, &per_run](std::uint32_t index, const RunResult& run) {
+        sink.record(index, run);
+        if (per_run) per_run(index);
+      });
+  const CampaignResult campaign = executor.execute();
+  (void)campaign;  // every run already reached the sink, in order
+
+  if (persist) {
+    log_file.flush();
+    if (!log_file) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return util::Status(util::Code::EIo,
+                          "cannot write cell log '" + tmp + "'");
+    }
+    log_file.close();
+    std::error_code ec;
+    std::filesystem::rename(tmp, log_path, ec);
+    if (ec) {
+      std::filesystem::remove(tmp, ec);
+      return util::Status(util::Code::EIo, "cannot rename cell log '" + tmp +
+                                               "': " + ec.message());
+    }
+    const util::Status meta = write_text_atomic(
+        cell_meta_path(log_path), plan_fingerprint(plan), effective_tag);
+    if (!meta.is_ok()) return meta;
+  }
+  return sink.aggregate();
+}
+
+std::string render_sweep_spec(const SweepSpec& spec) {
+  std::ostringstream out;
+  out << "sweep \"" << spec.name << "\"\n";
+  out << "scenario";
+  for (const std::string& scenario : spec.scenarios) out << ' ' << scenario;
+  out << "\nrate";
+  for (const std::uint32_t rate : spec.rates) out << ' ' << rate;
+  out << "\n";
+  if (!spec.boards.empty()) {
+    out << "board";
+    for (const std::string& board : spec.boards) out << ' ' << board;
+    out << "\n";
+  }
+  out << "runs " << spec.runs << "\n"
+      << "seed " << spec.seed << "\n";
+  if (spec.duration_ticks != 0) out << "duration " << spec.duration_ticks << "\n";
+  if (!spec.cell_tuning.empty()) {
+    std::string tuning = spec.cell_tuning;
+    std::replace(tuning.begin(), tuning.end(), '\n', ';');
+    out << "tuning " << tuning << "\n";
+  }
+  if (!spec.log_dir.empty()) out << "logdir " << spec.log_dir << "\n";
+  return out.str();
+}
 
 util::Expected<SweepSpec> parse_sweep_spec(std::string_view text) {
   SweepSpec spec;
@@ -230,36 +374,9 @@ util::Expected<std::vector<TestPlan>> SweepDriver::expand() const {
 }
 
 bool SweepDriver::try_resume(SweepCellResult& cell) const {
-  // The sidecar fingerprint ties the log to the exact plan that wrote
-  // it. Absent (interrupted before completion) or mismatched (the
-  // logdir was reused with a different spec) → the log is not this
-  // cell's data, however complete it looks.
-  {
-    std::ifstream meta(meta_path_of(cell.log_path));
-    if (!meta) return false;
-    std::ostringstream buffer;
-    buffer << meta.rdbuf();
-    if (meta.bad() || buffer.str() != plan_fingerprint(cell.plan)) {
-      return false;
-    }
+  if (!cell_log_complete(cell.plan, cell.log_path, cell.aggregate)) {
+    return false;
   }
-
-  std::ifstream file(cell.log_path);
-  if (!file) return false;
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  if (file.bad()) return false;
-
-  // Complete ⇔ every run index 0..runs-1 exactly once, in order, and not
-  // a single malformed line — anything else (truncated tail from an
-  // interrupt, foreign content) re-executes the cell from scratch.
-  const analysis::ParsedRunLog parsed = analysis::parse_run_log(buffer.str());
-  if (parsed.malformed_lines != 0) return false;
-  if (parsed.entries.size() != cell.plan.runs) return false;
-  for (std::size_t i = 0; i < parsed.entries.size(); ++i) {
-    if (parsed.entries[i].index != i) return false;
-  }
-  cell.aggregate = analysis::aggregate_from_log(parsed);
   cell.resumed = true;
   return true;
 }
@@ -293,44 +410,9 @@ util::Expected<SweepResult> SweepDriver::execute() {
     }
 
     if (!cell.resumed) {
-      std::ofstream log_file;
-      if (persist) {
-        // A stale fingerprint must never outlive the log it described:
-        // drop it first, and only write the new one once the cell's log
-        // is complete on disk. An interrupt anywhere in between leaves
-        // no fingerprint, so the next invocation re-executes.
-        std::error_code ec;
-        std::filesystem::remove(meta_path_of(cell.log_path), ec);
-        log_file.open(cell.log_path, std::ios::trunc);
-        if (!log_file) {
-          return util::Status(util::Code::EIo, "cannot write cell log '" +
-                                                   cell.log_path + "'");
-        }
-      }
-      // Persisted cells stream straight to their log file; an in-memory
-      // sweep streams into a per-cell scratch buffer that dies here (the
-      // aggregate is all the sweep keeps).
-      std::ostringstream devnull;
-      analysis::LogSink sink(persist ? static_cast<std::ostream&>(log_file)
-                                     : devnull);
-      CampaignExecutor executor(cell.plan, config_);
-      executor.set_progress(
-          [&sink](std::uint32_t index, const RunResult& run) {
-            sink.record(index, run);
-          });
-      const CampaignResult campaign = executor.execute();
-      (void)campaign;  // every run already reached the sink, in order
-      cell.aggregate = sink.aggregate();
-      if (persist) {
-        log_file.close();
-        std::ofstream meta(meta_path_of(cell.log_path), std::ios::trunc);
-        meta << plan_fingerprint(cell.plan);
-        if (!meta) {
-          return util::Status(util::Code::EIo, "cannot write cell meta '" +
-                                                   meta_path_of(cell.log_path) +
-                                                   "'");
-        }
-      }
+      auto executed = execute_cell(cell.plan, cell.log_path, config_);
+      if (!executed.is_ok()) return executed.status();
+      cell.aggregate = std::move(executed).value();
       ++result.executed;
     }
 

@@ -72,6 +72,62 @@ struct SweepSpec {
 /// axis values (they would alias per-cell log files) or an empty grid.
 [[nodiscard]] util::Expected<SweepSpec> parse_sweep_spec(std::string_view text);
 
+// --- shared cell-persistence primitives -------------------------------------
+// Used by SweepDriver and by the multi-process SweepWorker runtime
+// (core/sweep_worker.hpp): one cell's on-disk artifacts — run log +
+// fingerprint sidecar — are written crash-tolerantly and validated the
+// same way no matter which process produced them.
+
+/// Everything that determines a cell's runs, as deterministic text. The
+/// sidecar `<cell>.runlog.meta` persists this; resume refuses a log whose
+/// fingerprint doesn't match the current plan, so reusing a logdir with a
+/// changed seed/rate/duration/tuning re-executes instead of silently
+/// serving stale aggregates.
+[[nodiscard]] std::string plan_fingerprint(const TestPlan& plan);
+
+/// The fingerprint sidecar path for a cell log ("<log_path>.meta").
+[[nodiscard]] std::string cell_meta_path(const std::string& log_path);
+
+/// Write `text` to `path` atomically: stream into `<path>.<tag>.tmp`,
+/// flush, then std::filesystem::rename into place — a crash mid-write can
+/// never leave a truncated file at `path`, and concurrent writers of the
+/// same path commit whole files, last rename wins. `tag` keeps writers'
+/// temp files apart; empty → the calling process id.
+[[nodiscard]] util::Status write_text_atomic(const std::string& path,
+                                             std::string_view text,
+                                             const std::string& tag = "");
+
+/// True when `log_path` holds a complete run log written by exactly
+/// `plan`: the sidecar fingerprint matches the plan, and the log has
+/// every index 0..runs-1 exactly once with no malformed lines. Fills
+/// `aggregate` (bit-identical to the live sink's) on success.
+[[nodiscard]] bool cell_log_complete(const TestPlan& plan,
+                                     const std::string& log_path,
+                                     analysis::CampaignAggregate& aggregate);
+
+/// Execute one grid cell and persist its artifacts crash-tolerantly: the
+/// run log streams into `<log_path>.<tag>.tmp` and is renamed into place
+/// only once complete; the fingerprint sidecar follows, temp + rename
+/// too. An interruption anywhere leaves either the previous artifacts or
+/// none — never a truncated log — and because per-cell runs are
+/// deterministic in the plan, a concurrent duplicate execution of the
+/// same cell (a stolen lease whose old holder turned out alive) is
+/// harmless: both writers commit byte-identical bytes atomically. Empty
+/// `log_path` → execute in memory, persist nothing. `per_run` (optional)
+/// fires after each recorded run, serialized by the executor's progress
+/// mutex — the lease-heartbeat hook of the distributed runtime.
+[[nodiscard]] util::Expected<analysis::CampaignAggregate> execute_cell(
+    const TestPlan& plan, const std::string& log_path,
+    const ExecutorConfig& config, const std::string& tag = "",
+    const std::function<void(std::uint32_t)>& per_run = {});
+
+/// Render a spec as config text that round-trips through
+/// parse_sweep_spec — what a distributed coordinator persists as
+/// `<logdir>/sweep.spec` so `--join` workers on the same shared
+/// filesystem expand the exact same grid (same cell ids, same per-cell
+/// seeds) with no other coordination channel.
+[[nodiscard]] std::string render_sweep_spec(const SweepSpec& spec);
+
 /// One executed (or resumed) grid cell.
 struct SweepCellResult {
   std::string id;        ///< "scenario_rN[_board]" — also the log file stem

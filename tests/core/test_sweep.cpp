@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <set>
+#include <sstream>
 
 #include "core/scenario.hpp"
 
@@ -200,6 +203,76 @@ TEST(SweepDriver, CellAggregatesAreBitIdenticalAcrossThreadCounts) {
 TEST(SweepDriver, CellLogPathJoinsDirAndStem) {
   EXPECT_EQ(SweepDriver::cell_log_path("logs", "a_r100"),
             "logs/a_r100.runlog");
+}
+
+// --- cell persistence primitives --------------------------------------------
+// The shared substrate both the single-process driver and the
+// distributed workers commit cells through: whole-file atomic renames,
+// meta written only after the log, per-run hook for lease heartbeats.
+
+TEST(CellPersistence, ExecuteCellCommitsLogThenMetaWithNoTempLitter) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(testing::TempDir()) / "mcs_execute_cell";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  auto plans = SweepDriver(small_spec()).expand();
+  ASSERT_TRUE(plans.is_ok());
+  const TestPlan& plan = plans.value().front();
+  const std::string log_path =
+      SweepDriver::cell_log_path(dir.string(), plan.name);
+
+  // A stale sidecar from an earlier crash (meta present, log absent)
+  // must be swept away, never trusted.
+  { std::ofstream(cell_meta_path(log_path)) << "stale-fingerprint\n"; }
+
+  std::uint32_t per_run_fires = 0;
+  auto aggregate = execute_cell(plan, log_path, {1, true}, "tagged",
+                                [&per_run_fires](std::uint32_t) {
+                                  ++per_run_fires;
+                                });
+  ASSERT_TRUE(aggregate.is_ok()) << aggregate.status().to_string();
+  EXPECT_EQ(aggregate.value().distribution.total(), plan.runs);
+  EXPECT_EQ(per_run_fires, plan.runs);  // the lease-heartbeat hook
+
+  // Committed: log + matching fingerprint sidecar, nothing else.
+  analysis::CampaignAggregate rebuilt;
+  EXPECT_TRUE(cell_log_complete(plan, log_path, rebuilt));
+  EXPECT_EQ(rebuilt.distribution.total(), plan.runs);
+  std::ifstream meta(cell_meta_path(log_path));
+  std::stringstream fingerprint;
+  fingerprint << meta.rdbuf();
+  EXPECT_EQ(fingerprint.str(), plan_fingerprint(plan));
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().string().find(".tmp"), std::string::npos)
+        << "temp litter: " << entry.path();
+  }
+  fs::remove_all(dir);
+}
+
+TEST(CellPersistence, FingerprintPinsEveryResumeRelevantPlanField) {
+  auto plans = SweepDriver(small_spec()).expand();
+  ASSERT_TRUE(plans.is_ok());
+  TestPlan plan = plans.value().front();
+  const std::string base = plan_fingerprint(plan);
+
+  TestPlan reseeded = plan;
+  reseeded.seed ^= 1;
+  EXPECT_NE(plan_fingerprint(reseeded), base);
+
+  TestPlan longer = plan;
+  longer.duration_ticks += 1;
+  EXPECT_NE(plan_fingerprint(longer), base);
+
+  TestPlan more_runs = plan;
+  more_runs.runs += 1;
+  EXPECT_NE(plan_fingerprint(more_runs), base);
+
+  EXPECT_EQ(plan_fingerprint(plan), base);  // and it is a pure function
+}
+
+TEST(CellPersistence, MetaPathIsTheLogPathPlusMeta) {
+  EXPECT_EQ(cell_meta_path("logs/a_r100.runlog"), "logs/a_r100.runlog.meta");
 }
 
 }  // namespace

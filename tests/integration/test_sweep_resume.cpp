@@ -197,6 +197,42 @@ TEST(SweepResume, ChangedSpecReExecutesInsteadOfServingStaleLogs) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(SweepResume, TornMetaSidecarReExecutesInsteadOfBlockingResume) {
+  // The failure the atomic sidecar write exists to prevent: a process
+  // dying mid-meta-write used to be able to leave a truncated
+  // fingerprint. Committing via temp + rename means the sidecar is
+  // either absent or whole — and if damage does appear (disk surgery,
+  // an older writer), the mismatch re-executes the cell rather than
+  // wedging or resuming someone else's data.
+  const std::filesystem::path dir =
+      std::filesystem::path(testing::TempDir()) / "mcs_sweep_torn_meta";
+  std::filesystem::remove_all(dir);
+
+  auto fresh = fi::SweepDriver(resume_spec(dir.string()), {2, true}).execute();
+  ASSERT_TRUE(fresh.is_ok());
+  const std::string fresh_report = report_of(fresh.value());
+
+  const std::string log =
+      fi::SweepDriver::cell_log_path(dir.string(), "freertos-steady_r100");
+  const std::string meta = fi::cell_meta_path(log);
+  std::ifstream meta_in(meta);
+  std::string fingerprint;
+  std::getline(meta_in, fingerprint);
+  meta_in.close();
+  ASSERT_GT(fingerprint.size(), 4u);
+  std::ofstream(meta, std::ios::trunc)
+      << fingerprint.substr(0, fingerprint.size() / 2);
+
+  auto resumed =
+      fi::SweepDriver(resume_spec(dir.string()), {2, true}).execute();
+  ASSERT_TRUE(resumed.is_ok());
+  EXPECT_EQ(resumed.value().executed, 1u);  // only the torn-meta cell
+  EXPECT_EQ(resumed.value().resumed, 3u);
+  EXPECT_EQ(report_of(resumed.value()), fresh_report);
+
+  std::filesystem::remove_all(dir);
+}
+
 TEST(SweepResume, InMemorySweepMatchesPersistedSweep) {
   const std::filesystem::path dir =
       std::filesystem::path(testing::TempDir()) / "mcs_sweep_inmem";
