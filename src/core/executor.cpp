@@ -115,6 +115,11 @@ RunResult CampaignExecutor::run_with(const Scenario* scenario,
     }
   }
 
+  // Window this run's guest-access activity: counters are monotonic for
+  // the testbed's lifetime, so the (after − before) delta is exact even
+  // on reused slots.
+  const Testbed::AccessCounters access_before = testbed->access_counters();
+
   Injector injector(plan_, run_seed, testbed->board().clock());
   RunMonitor monitor;
 
@@ -163,6 +168,7 @@ RunResult CampaignExecutor::run_with(const Scenario* scenario,
   }
 
   injector.detach(testbed->hypervisor());
+  TestbedPool::instance().record_access(testbed->access_counters(), access_before);
   return result;
 }
 

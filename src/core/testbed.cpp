@@ -163,6 +163,16 @@ void Testbed::run(std::uint64_t ticks) { machine_.run_ticks(ticks); }
 
 void Testbed::run_until(util::Ticks target) { machine_.run_until(target); }
 
+Testbed::AccessCounters Testbed::access_counters() noexcept {
+  AccessCounters counters;
+  counters.tlb_hits = hv_.stage2_tlb_hits();
+  counters.tlb_misses = hv_.stage2_tlb_misses();
+  counters.dram_fast_ops = board_->dram().fast_ops();
+  counters.dram_slow_ops = board_->dram().slow_ops();
+  counters.deadline_refreshes = board_->deadline_refreshes();
+  return counters;
+}
+
 Testbed::GoldenProfile Testbed::profile_golden(std::uint64_t ticks) {
   const int cpus = board_->num_cpus();
   const jh::Counters before = hv_.counters();

@@ -206,6 +206,20 @@ class Testbed {
   };
   GoldenProfile profile_golden(std::uint64_t ticks);
 
+  /// Guest-access fast-path instrumentation rolled up across the whole
+  /// testbed. Every field is monotonic for the testbed's lifetime —
+  /// surviving reset(), snapshot restore and cell destruction (the
+  /// hypervisor retires dying cells' TLB counters into its tally) — so
+  /// consumers window a run by differencing two samples. Allocation-free.
+  struct AccessCounters {
+    std::uint64_t tlb_hits = 0;       ///< stage-2 translations served from TLB
+    std::uint64_t tlb_misses = 0;     ///< translations that walked the map
+    std::uint64_t dram_fast_ops = 0;  ///< direct-map aligned word accesses
+    std::uint64_t dram_slow_ops = 0;  ///< bounds-checked byte/block accesses
+    std::uint64_t deadline_refreshes = 0;  ///< board deadline-cache re-polls
+  };
+  [[nodiscard]] AccessCounters access_counters() noexcept;
+
   // --- accessors ----------------------------------------------------------
   [[nodiscard]] platform::Board& board() noexcept { return *board_; }
   [[nodiscard]] jh::Hypervisor& hypervisor() noexcept { return hv_; }

@@ -88,6 +88,10 @@ TestbedPool::Stats TestbedPool::stats() const {
   stats.captures = captures_.load(std::memory_order_relaxed);
   stats.snapshot_bytes = snapshot_bytes_.load(std::memory_order_relaxed);
   stats.dirty_pages = dirty_pages_.load(std::memory_order_relaxed);
+  stats.tlb_hits = tlb_hits_.load(std::memory_order_relaxed);
+  stats.tlb_misses = tlb_misses_.load(std::memory_order_relaxed);
+  stats.dram_fast_ops = dram_fast_ops_.load(std::memory_order_relaxed);
+  stats.dram_slow_ops = dram_slow_ops_.load(std::memory_order_relaxed);
   return stats;
 }
 

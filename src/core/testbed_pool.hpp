@@ -113,6 +113,12 @@ class TestbedPool {
     std::uint64_t captures = 0;        ///< snapshots captured
     std::uint64_t snapshot_bytes = 0;  ///< DRAM payload bytes, last capture
     std::uint64_t dirty_pages = 0;     ///< dirty DRAM pages, last capture
+    // Guest-access fast-path activity summed over every executor run
+    // (windowed per run via Testbed::access_counters deltas).
+    std::uint64_t tlb_hits = 0;        ///< stage-2 TLB hits
+    std::uint64_t tlb_misses = 0;      ///< stage-2 map walks
+    std::uint64_t dram_fast_ops = 0;   ///< direct-map word accesses
+    std::uint64_t dram_slow_ops = 0;   ///< bounds-checked slow accesses
   };
   [[nodiscard]] Stats stats() const;
 
@@ -123,6 +129,19 @@ class TestbedPool {
     captures_.fetch_add(1, std::memory_order_relaxed);
     snapshot_bytes_.store(bytes, std::memory_order_relaxed);
     dirty_pages_.store(dirty_pages, std::memory_order_relaxed);
+  }
+  /// One run's guest-access activity window (after − before samples of
+  /// Testbed::access_counters()); the executor calls this once per run.
+  void record_access(const Testbed::AccessCounters& after,
+                     const Testbed::AccessCounters& before) noexcept {
+    tlb_hits_.fetch_add(after.tlb_hits - before.tlb_hits,
+                        std::memory_order_relaxed);
+    tlb_misses_.fetch_add(after.tlb_misses - before.tlb_misses,
+                          std::memory_order_relaxed);
+    dram_fast_ops_.fetch_add(after.dram_fast_ops - before.dram_fast_ops,
+                             std::memory_order_relaxed);
+    dram_slow_ops_.fetch_add(after.dram_slow_ops - before.dram_slow_ops,
+                             std::memory_order_relaxed);
   }
 
   /// Destroy all idle slots (tests; checked-out slots are unaffected and
@@ -143,6 +162,10 @@ class TestbedPool {
   std::atomic<std::uint64_t> captures_{0};
   std::atomic<std::uint64_t> snapshot_bytes_{0};
   std::atomic<std::uint64_t> dirty_pages_{0};
+  std::atomic<std::uint64_t> tlb_hits_{0};
+  std::atomic<std::uint64_t> tlb_misses_{0};
+  std::atomic<std::uint64_t> dram_fast_ops_{0};
+  std::atomic<std::uint64_t> dram_slow_ops_{0};
 };
 
 }  // namespace mcs::fi

@@ -51,6 +51,9 @@ class Cell {
   [[nodiscard]] mem::MemoryMap& memory_map() noexcept { return map_; }
   [[nodiscard]] const mem::MemoryMap& memory_map() const noexcept { return map_; }
   [[nodiscard]] mem::AddressSpace& address_space() noexcept { return space_; }
+  [[nodiscard]] const mem::AddressSpace& address_space() const noexcept {
+    return space_;
+  }
 
   /// Regions carved out of the root cell at create time, to be restored at
   /// destroy time.

@@ -30,9 +30,31 @@ void Hypervisor::reset() {
   counters_ = Counters{};
   hook_ = nullptr;
   next_cell_id_ = 1;
+  retire_all_tlb_counters();
   cells_.clear();
   config_registry_.clear();
   cpu_owner_.fill(kRootCellId);
+}
+
+void Hypervisor::retire_tlb_counters(const Cell& cell) noexcept {
+  retired_tlb_hits_ += cell.address_space().tlb_hits();
+  retired_tlb_misses_ += cell.address_space().tlb_misses();
+}
+
+void Hypervisor::retire_all_tlb_counters() noexcept {
+  for (const auto& [id, cell] : cells_) retire_tlb_counters(*cell);
+}
+
+std::uint64_t Hypervisor::stage2_tlb_hits() const noexcept {
+  std::uint64_t total = retired_tlb_hits_;
+  for (const auto& [id, cell] : cells_) total += cell->address_space().tlb_hits();
+  return total;
+}
+
+std::uint64_t Hypervisor::stage2_tlb_misses() const noexcept {
+  std::uint64_t total = retired_tlb_misses_;
+  for (const auto& [id, cell] : cells_) total += cell->address_space().tlb_misses();
+  return total;
 }
 
 void Hypervisor::snapshot_to(Snapshot& out) const {
@@ -66,7 +88,12 @@ void Hypervisor::restore_from(const Snapshot& snapshot) {
     const bool captured =
         std::any_of(snapshot.cells.begin(), snapshot.cells.end(),
                     [&](const Cell::Snapshot& cell) { return cell.id == it->first; });
-    it = captured ? std::next(it) : cells_.erase(it);
+    if (captured) {
+      it = std::next(it);
+    } else {
+      retire_tlb_counters(*it->second);
+      it = cells_.erase(it);
+    }
   }
   for (const Cell::Snapshot& cell_snap : snapshot.cells) {
     auto it = cells_.find(cell_snap.id);
@@ -101,6 +128,7 @@ util::Status Hypervisor::enable(CellConfig root_config) {
     cpu_owner_[static_cast<std::size_t>(cpu)] = kRootCellId;
   }
   root->set_state(CellState::Running);
+  retire_all_tlb_counters();
   cells_.clear();
   cells_.emplace(kRootCellId, std::move(root));
   enabled_ = true;
@@ -527,6 +555,7 @@ HvcResult Hypervisor::do_cell_destroy(std::uint32_t id) {
     (void)root.memory_map().add_region(piece);
   }
   log(util::Severity::Info, -1, "cell '" + cell->name() + "' destroyed");
+  retire_tlb_counters(*cell);
   cells_.erase(id);
   return 0;
 }

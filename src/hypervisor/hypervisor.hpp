@@ -171,6 +171,13 @@ class Hypervisor {
   [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
   [[nodiscard]] platform::Board& board() noexcept { return *board_; }
 
+  /// Stage-2 TLB totals summed over live cells plus every cell retired so
+  /// far (destroy/disable/reset take a cell's counters into the retired
+  /// tally first, so the totals are monotonic instrumentation — never
+  /// snapshotted or restored; consumers window them by differencing).
+  [[nodiscard]] std::uint64_t stage2_tlb_hits() const noexcept;
+  [[nodiscard]] std::uint64_t stage2_tlb_misses() const noexcept;
+
   // --- snapshot / restore (testbed warm-start) --------------------------
   /// Captures everything a run can mutate. The config registry is written
   /// only during scenario setup (pre-capture) and the entry hook is
@@ -248,9 +255,18 @@ class Hypervisor {
   Counters counters_;
   EntryHook hook_;
   CellId next_cell_id_ = 1;
+  /// Fold a dying cell's TLB counters into the retired tally (call before
+  /// any cells_.erase()/clear() so stage2_tlb_* stays monotonic).
+  void retire_tlb_counters(const Cell& cell) noexcept;
+  void retire_all_tlb_counters() noexcept;
+
   std::map<CellId, std::unique_ptr<Cell>> cells_;
   std::map<std::uint64_t, CellConfig> config_registry_;
   std::array<CellId, irq::kMaxCpus> cpu_owner_{};
+  /// Monotonic instrumentation (see stage2_tlb_hits): survives reset and
+  /// snapshot restore by design.
+  std::uint64_t retired_tlb_hits_ = 0;
+  std::uint64_t retired_tlb_misses_ = 0;
 };
 
 }  // namespace mcs::jh

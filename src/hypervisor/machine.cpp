@@ -141,7 +141,10 @@ util::Ticks GuestContext::now() const noexcept {
 }
 
 util::Status GuestContext::mmio_write_u32(std::uint64_t addr, std::uint32_t value) {
-  auto walk = cell_->memory_map().translate(addr, mem::Access::Write, 4);
+  // Cached stage-2 walk: console and device rings hit the same region
+  // every access, so the cell TLB turns the per-byte walk into two
+  // compares. Fault recording on a miss is identical to the full walk.
+  auto walk = cell_->address_space().translate_cached(addr, mem::Access::Write, 4);
   if (walk.is_ok()) {
     // Mapped (passthrough or RAM): straight to the bus, no trap.
     return hv_->board().bus().write_u32(walk.value().phys, value);
@@ -157,7 +160,7 @@ util::Status GuestContext::mmio_write_u32(std::uint64_t addr, std::uint32_t valu
 }
 
 util::Expected<std::uint32_t> GuestContext::mmio_read_u32(std::uint64_t addr) {
-  auto walk = cell_->memory_map().translate(addr, mem::Access::Read, 4);
+  auto walk = cell_->address_space().translate_cached(addr, mem::Access::Read, 4);
   if (walk.is_ok()) {
     return hv_->board().bus().read_u32(walk.value().phys);
   }

@@ -1,6 +1,7 @@
 #include "irq/gic.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace mcs::irq {
 
@@ -10,6 +11,7 @@ Gic::Gic(int num_cpus) : num_cpus_(std::clamp(num_cpus, 1, kMaxCpus)) {
 
 void Gic::reset() noexcept {
   for (Line& line : lines_) line = Line{};
+  for (PendingBits& bits : pending_bits_) bits.fill(0);
   priority_mask_.fill(kIdlePriority);  // everything unmasked by default
   // Banked per-CPU lines (SGIs and PPIs) come out of reset enabled at a
   // mid-range priority — the state Linux/Jailhouse leave them in before
@@ -80,27 +82,36 @@ int Gic::target(IrqId irq) const noexcept {
 }
 
 util::Status Gic::raise_spi(IrqId irq) {
+  // Valid-wiring fast path first: peripherals assert their line on every
+  // event, so don't pay the Status validation round-trips per raise.
+  if (is_spi(irq)) [[likely]] {
+    mark_pending(lines_[irq].target, irq);
+    return util::ok_status();
+  }
   MCS_RETURN_IF_ERROR(check_irq(irq));
-  if (!is_spi(irq)) return util::invalid_argument("not an SPI");
-  Line& line = lines_[irq];
-  line.pending[static_cast<std::size_t>(line.target)] = true;
-  return util::ok_status();
+  return util::invalid_argument("not an SPI");
 }
 
 util::Status Gic::raise_ppi(int cpu, IrqId irq) {
+  // The timer raises a PPI every guest tick — same fast path as SPIs.
+  if (is_ppi(irq) && cpu >= 0 && cpu < num_cpus_) [[likely]] {
+    mark_pending(cpu, irq);
+    return util::ok_status();
+  }
   MCS_RETURN_IF_ERROR(check_irq(irq));
   MCS_RETURN_IF_ERROR(check_cpu(cpu));
-  if (!is_ppi(irq)) return util::invalid_argument("not a PPI");
-  lines_[irq].pending[static_cast<std::size_t>(cpu)] = true;
-  return util::ok_status();
+  return util::invalid_argument("not a PPI");
 }
 
 util::Status Gic::send_sgi(int source_cpu, int target_cpu, IrqId irq) {
+  if (is_sgi(irq) && source_cpu >= 0 && source_cpu < num_cpus_ &&
+      target_cpu >= 0 && target_cpu < num_cpus_) [[likely]] {
+    mark_pending(target_cpu, irq);
+    return util::ok_status();
+  }
   MCS_RETURN_IF_ERROR(check_cpu(source_cpu));
   MCS_RETURN_IF_ERROR(check_cpu(target_cpu));
-  if (!is_sgi(irq)) return util::invalid_argument("not an SGI");
-  lines_[irq].pending[static_cast<std::size_t>(target_cpu)] = true;
-  return util::ok_status();
+  return util::invalid_argument("not an SGI");
 }
 
 void Gic::set_priority_mask(int cpu, std::uint8_t mask) noexcept {
@@ -120,14 +131,21 @@ IrqId Gic::peek(int cpu) const noexcept {
   const auto cpu_index = static_cast<std::size_t>(cpu);
   IrqId best = kSpuriousIrq;
   std::uint8_t best_priority = kIdlePriority;
-  for (IrqId irq = 0; irq < kNumIrqs; ++irq) {
-    const Line& line = lines_[irq];
-    if (!line.enabled || !line.pending[cpu_index] || line.active[cpu_index]) continue;
-    if (line.priority >= priority_mask_[cpu_index]) continue;  // masked
-    if (line.priority < best_priority ||
-        (line.priority == best_priority && irq < best)) {
-      best = irq;
-      best_priority = line.priority;
+  // Walk only the pending lines (ascending id, so an equal-priority later
+  // hit never displaces an earlier one — same best as the full scan).
+  for (std::size_t word = 0; word < kPendingWords; ++word) {
+    std::uint64_t bits = pending_bits_[cpu_index][word];
+    while (bits != 0) {
+      const auto irq =
+          static_cast<IrqId>(word * 64 + static_cast<unsigned>(std::countr_zero(bits)));
+      bits &= bits - 1;
+      const Line& line = lines_[irq];
+      if (!line.enabled || line.active[cpu_index]) continue;
+      if (line.priority >= priority_mask_[cpu_index]) continue;  // masked
+      if (line.priority < best_priority) {
+        best = irq;
+        best_priority = line.priority;
+      }
     }
   }
   return best;
@@ -137,8 +155,8 @@ IrqId Gic::acknowledge(int cpu) noexcept {
   const IrqId irq = peek(cpu);
   if (irq == kSpuriousIrq) return kSpuriousIrq;
   const auto cpu_index = static_cast<std::size_t>(cpu);
+  clear_pending(cpu, irq);
   Line& line = lines_[irq];
-  line.pending[cpu_index] = false;
   line.active[cpu_index] = true;
   ++line.delivered;
   return irq;
@@ -172,6 +190,19 @@ void Gic::reset_cpu(int cpu) noexcept {
   for (Line& line : lines_) {
     line.pending[cpu_index] = false;
     line.active[cpu_index] = false;
+  }
+  pending_bits_[cpu_index].fill(0);
+}
+
+void Gic::rebuild_pending_bits() noexcept {
+  for (PendingBits& bits : pending_bits_) bits.fill(0);
+  for (IrqId irq = 0; irq < kNumIrqs; ++irq) {
+    for (int cpu = 0; cpu < num_cpus_; ++cpu) {
+      if (lines_[irq].pending[static_cast<std::size_t>(cpu)]) {
+        pending_bits_[static_cast<std::size_t>(cpu)][irq / 64] |=
+            std::uint64_t{1} << (irq % 64);
+      }
+    }
   }
 }
 

@@ -111,12 +111,34 @@ class Gic {
     std::uint64_t delivered = 0;
   };
 
+  /// Per-CPU pending summary: bit `irq` mirrors lines_[irq].pending[cpu].
+  /// peek() visits only set bits, so the machine's once-per-tick-per-CPU
+  /// "anything deliverable?" poll costs two word compares when quiescent
+  /// instead of a scan over all kNumIrqs lines. Every site that writes a
+  /// Line's pending flag keeps the mirror in sync; restore_from rebuilds
+  /// it from the lines (the snapshot stays plain Line state).
+  static constexpr std::size_t kPendingWords = (kNumIrqs + 63) / 64;
+  using PendingBits = std::array<std::uint64_t, kPendingWords>;
+
+  void mark_pending(int cpu, IrqId irq) noexcept {
+    lines_[irq].pending[static_cast<std::size_t>(cpu)] = true;
+    pending_bits_[static_cast<std::size_t>(cpu)][irq / 64] |=
+        std::uint64_t{1} << (irq % 64);
+  }
+  void clear_pending(int cpu, IrqId irq) noexcept {
+    lines_[irq].pending[static_cast<std::size_t>(cpu)] = false;
+    pending_bits_[static_cast<std::size_t>(cpu)][irq / 64] &=
+        ~(std::uint64_t{1} << (irq % 64));
+  }
+  void rebuild_pending_bits() noexcept;
+
   [[nodiscard]] util::Status check_irq(IrqId irq) const;
   [[nodiscard]] util::Status check_cpu(int cpu) const;
 
   int num_cpus_;
   std::array<Line, kNumIrqs> lines_{};
   std::array<std::uint8_t, kMaxCpus> priority_mask_{};
+  std::array<PendingBits, kMaxCpus> pending_bits_{};
 };
 
 /// The whole distributor + CPU-interface state, trivially copyable —
@@ -134,6 +156,7 @@ inline void Gic::snapshot_to(Snapshot& out) const noexcept {
 inline void Gic::restore_from(const Snapshot& snapshot) noexcept {
   lines_ = snapshot.lines;
   priority_mask_ = snapshot.priority_mask;
+  rebuild_pending_bits();
 }
 
 }  // namespace mcs::irq

@@ -5,7 +5,7 @@ namespace mcs::mem {
 template <typename Op>
 auto AddressSpace::guarded(GuestAddr addr, Access access, std::uint64_t len, Op op)
     -> decltype(op(PhysAddr{})) {
-  auto walk = map_->translate(addr, access, len);
+  auto walk = translate_cached(addr, access, len);
   if (!walk.is_ok()) {
     ++faults_;
     return walk.status();

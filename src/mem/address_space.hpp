@@ -6,8 +6,20 @@
 // invariant rests on: two cells whose maps don't share physical ranges
 // cannot observe each other's writes, which the property tests assert
 // under random fault sweeps.
+//
+// Translation cache (the stage-2 "TLB"): guest workloads hammer the same
+// region — a UART ring, an ivshmem window, the RAM image — so the space
+// keeps the last-hit region per access kind and revalidates it with two
+// compares (map generation + range) instead of a full walk. A cached
+// entry is valid iff its recorded MemoryMap generation still matches:
+// cell create/destroy, root carve-outs and snapshot restore all bump the
+// generation, so a stale region pointer can never be dereferenced. Fills
+// happen only on a *successful* walk for that access kind, so permission
+// is pre-validated for every hit. Misses run the full translate(), which
+// records stage-2 faults byte-identically to the uncached walk.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 
@@ -33,6 +45,33 @@ class AddressSpace {
   util::Status read_block(GuestAddr addr, std::span<std::uint8_t> out);
   util::Status write_block(GuestAddr addr, std::span<const std::uint8_t> data);
 
+  /// Cached stage-2 walk: TLB hit → physical address in two compares;
+  /// miss → full MemoryMap::translate() (fault recording identical) and a
+  /// TLB fill on success. Does NOT bump fault_count() — that counter
+  /// belongs to the guarded block/word accessors above; the hypervisor's
+  /// MMIO path accounts its faults as cell stage-2 trap statistics
+  /// instead.
+  [[nodiscard]] util::Expected<Translation> translate_cached(
+      GuestAddr addr, Access access, std::uint64_t len = 1) {
+    TlbEntry& entry = tlb_[static_cast<std::size_t>(access)];
+    if (entry.generation == map_->generation() &&
+        entry.region->contains(addr, len)) {
+      ++tlb_hits_;
+      return Translation{entry.region->phys_start + (addr - entry.region->virt_start),
+                         entry.region};
+    }
+    ++tlb_misses_;
+    auto walk = map_->translate(addr, access, len);
+    if (walk.is_ok()) {
+      entry = TlbEntry{walk.value().region, map_->generation()};
+    }
+    return walk;
+  }
+
+  /// Drop every cached translation (entries also self-invalidate via the
+  /// map generation; this is for tests and explicit hygiene).
+  void invalidate_tlb() noexcept { tlb_.fill(TlbEntry{}); }
+
   /// Stage-2 faults taken through this address space since construction.
   [[nodiscard]] std::uint64_t fault_count() const noexcept { return faults_; }
 
@@ -40,7 +79,19 @@ class AddressSpace {
   /// captured value.
   void set_fault_count(std::uint64_t faults) noexcept { faults_ = faults; }
 
+  // --- instrumentation (monotonic; never reset, never snapshotted) ------
+  [[nodiscard]] std::uint64_t tlb_hits() const noexcept { return tlb_hits_; }
+  [[nodiscard]] std::uint64_t tlb_misses() const noexcept { return tlb_misses_; }
+
  private:
+  /// One cached translation per access kind. `generation == 0` never
+  /// validates (MemoryMap generations start at 1), so `region` is only
+  /// dereferenced for entries filled from a live walk.
+  struct TlbEntry {
+    const MemRegion* region = nullptr;
+    std::uint64_t generation = 0;
+  };
+
   template <typename Op>
   auto guarded(GuestAddr addr, Access access, std::uint64_t len, Op op)
       -> decltype(op(PhysAddr{}));
@@ -48,6 +99,9 @@ class AddressSpace {
   MemoryMap* map_;
   PhysicalMemory* phys_;
   std::uint64_t faults_ = 0;
+  std::array<TlbEntry, 3> tlb_{};  ///< indexed by Access
+  std::uint64_t tlb_hits_ = 0;
+  std::uint64_t tlb_misses_ = 0;
 };
 
 }  // namespace mcs::mem

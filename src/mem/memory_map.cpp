@@ -1,29 +1,75 @@
 #include "mem/memory_map.hpp"
 
 #include <algorithm>
-
-#include "util/strings.hpp"
+#include <limits>
 
 namespace mcs::mem {
+
+namespace {
+inline constexpr std::size_t kNpos = std::numeric_limits<std::size_t>::max();
+}  // namespace
+
+std::size_t MemoryMap::candidate_for(GuestAddr addr) const noexcept {
+  // First sorted entry whose virt_start exceeds addr; the candidate (the
+  // unique region that can contain addr, regions being non-overlapping)
+  // is its predecessor.
+  const auto it = std::upper_bound(
+      sorted_.begin(), sorted_.end(), addr,
+      [this](GuestAddr a, std::uint32_t index) {
+        return a < regions_[index].virt_start;
+      });
+  if (it == sorted_.begin()) return kNpos;
+  return *(it - 1);
+}
+
+void MemoryMap::rebuild_sorted() {
+  sorted_.resize(regions_.size());
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    sorted_[i] = static_cast<std::uint32_t>(i);
+  }
+  std::sort(sorted_.begin(), sorted_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              return regions_[a].virt_start < regions_[b].virt_start;
+            });
+}
 
 util::Status MemoryMap::add_region(MemRegion region) {
   if (region.size == 0) {
     return util::invalid_argument("zero-sized memory region '" + region.name + "'");
   }
-  for (const MemRegion& existing : regions_) {
-    if (existing.overlaps_guest(region)) {
-      return util::invalid_argument("region '" + region.name +
-                                    "' overlaps '" + existing.name +
-                                    "' in guest space");
+  // Existing regions are pairwise non-overlapping, so only the sorted
+  // neighbours of the insertion point can overlap the newcomer: two
+  // comparisons instead of a full scan.
+  const auto insert_at = std::upper_bound(
+      sorted_.begin(), sorted_.end(), region.virt_start,
+      [this](GuestAddr start, std::uint32_t index) {
+        return start < regions_[index].virt_start;
+      });
+  if (insert_at != sorted_.begin()) {
+    const MemRegion& pred = regions_[*(insert_at - 1)];
+    if (pred.overlaps_guest(region)) {
+      return util::invalid_argument("region '" + region.name + "' overlaps '" +
+                                    pred.name + "' in guest space");
     }
   }
+  if (insert_at != sorted_.end()) {
+    const MemRegion& succ = regions_[*insert_at];
+    if (succ.overlaps_guest(region)) {
+      return util::invalid_argument("region '" + region.name + "' overlaps '" +
+                                    succ.name + "' in guest space");
+    }
+  }
+  sorted_.insert(insert_at, static_cast<std::uint32_t>(regions_.size()));
   regions_.push_back(std::move(region));
+  ++generation_;
   return util::ok_status();
 }
 
 std::size_t MemoryMap::remove_regions_named(const std::string& name) {
   const auto before = regions_.size();
   std::erase_if(regions_, [&](const MemRegion& r) { return r.name == name; });
+  rebuild_sorted();
+  ++generation_;
   return before - regions_.size();
 }
 
@@ -66,6 +112,8 @@ std::vector<MemRegion> MemoryMap::carve_out_phys(PhysAddr start, std::uint64_t s
     }
   }
   regions_ = std::move(rebuilt);
+  rebuild_sorted();
+  ++generation_;
   return removed;
 }
 
@@ -89,18 +137,23 @@ bool MemoryMap::covers_phys(PhysAddr start, std::uint64_t size) const noexcept {
 
 util::Expected<Translation> MemoryMap::translate(GuestAddr addr, Access access,
                                                  std::uint64_t len) const {
-  for (const MemRegion& region : regions_) {
-    if (!region.contains(addr, len)) continue;
-    if (!region.allows(access)) {
-      last_fault_ = Stage2Fault{addr, access, FaultKind::Permission};
-      return util::perm("stage-2 permission fault at " + util::hex(addr) +
-                        " in region '" + region.name + "'");
+  const std::size_t index = candidate_for(addr);
+  if (index != kNpos) {
+    const MemRegion& region = regions_[index];
+    if (region.contains(addr, len)) {
+      if (!region.allows(access)) {
+        last_fault_ = Stage2Fault{addr, access, FaultKind::Permission};
+        // Lazy statuses: the fault path allocates nothing (pinned by the
+        // AllocationObserver fault tests).
+        return util::Status{util::Code::EPerm, "stage-2 permission fault at ",
+                            addr};
+      }
+      last_fault_.reset();
+      return Translation{region.phys_start + (addr - region.virt_start), &region};
     }
-    last_fault_.reset();
-    return Translation{region.phys_start + (addr - region.virt_start), &region};
   }
   last_fault_ = Stage2Fault{addr, access, FaultKind::NoMapping};
-  return util::fault("stage-2 translation fault at " + util::hex(addr));
+  return util::Status{util::Code::EFault, "stage-2 translation fault at ", addr};
 }
 
 bool MemoryMap::maps_phys(PhysAddr phys, std::uint64_t len) const noexcept {

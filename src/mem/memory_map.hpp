@@ -83,6 +83,16 @@ struct Stage2Fault {
 };
 
 /// Ordered collection of regions forming one cell's guest-physical view.
+///
+/// Alongside the insertion-ordered `regions_` (the observable order cell
+/// configs and reports rely on), the map keeps a virt-sorted index:
+/// regions are pairwise non-overlapping in guest space, so the region
+/// with the greatest virt_start ≤ addr is the *only* possible match —
+/// translate() and add_region()'s overlap check are both O(log n).
+///
+/// Every mutation bumps `generation_`; AddressSpace TLBs cache region
+/// pointers keyed by that counter, so cell create/destroy and root-cell
+/// carve-outs invalidate every cached translation at once.
 class MemoryMap {
  public:
   /// Add a region; rejects zero-sized or guest-overlapping regions.
@@ -120,9 +130,17 @@ class MemoryMap {
   /// True iff any region maps (any part of) the given physical range.
   [[nodiscard]] bool maps_phys(PhysAddr phys, std::uint64_t len = 1) const noexcept;
 
+  /// Mutation counter: bumped by every add_region / remove_regions_named /
+  /// carve_out_phys / clear / restore_from, *unconditionally* — a cached
+  /// region pointer is valid iff its recorded generation still matches.
+  /// Never zero (so a TLB entry with gen 0 can never validate).
+  [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
+
   void clear() noexcept {
     regions_.clear();
+    sorted_.clear();
     last_fault_.reset();
+    ++generation_;
   }
 
   // --- snapshot / restore (testbed warm-start) --------------------------
@@ -138,14 +156,27 @@ class MemoryMap {
 
   /// Compare-and-skip assignment: on the steady executor path the map is
   /// unchanged between capture and restore, so restore performs no vector
-  /// or string allocations.
+  /// or string allocations. The generation is bumped even when nothing
+  /// changed — restore moves the map to a (possibly) different point in
+  /// time, so every cached translation must revalidate (the stale-TLB-
+  /// after-restore tests pin this).
   void restore_from(const Snapshot& snapshot) {
-    if (regions_ != snapshot.regions) regions_ = snapshot.regions;
+    if (regions_ != snapshot.regions) {
+      regions_ = snapshot.regions;
+      rebuild_sorted();
+    }
     last_fault_ = snapshot.last_fault;
+    ++generation_;
   }
 
  private:
-  std::vector<MemRegion> regions_;
+  /// Index of the region with the greatest virt_start ≤ addr, or npos.
+  [[nodiscard]] std::size_t candidate_for(GuestAddr addr) const noexcept;
+  void rebuild_sorted();
+
+  std::vector<MemRegion> regions_;         ///< insertion order (observable)
+  std::vector<std::uint32_t> sorted_;      ///< indexes into regions_, by virt_start
+  std::uint64_t generation_ = 1;
   mutable std::optional<Stage2Fault> last_fault_;
 };
 

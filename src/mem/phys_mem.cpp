@@ -1,47 +1,42 @@
 #include "mem/phys_mem.hpp"
 
 #include <algorithm>
-#include <cstring>
-
-#include "util/strings.hpp"
 
 namespace mcs::mem {
 namespace {
 
-util::Status out_of_range(PhysAddr addr) {
-  return util::fault("physical access outside DRAM at " + util::hex(addr));
+util::Status out_of_range(PhysAddr addr) noexcept {
+  // Lazy status: the message renders only if someone reads it, so the
+  // fault path itself never allocates.
+  return {util::Code::EFault, "physical access outside DRAM at ", addr};
 }
 
 }  // namespace
 
-const std::uint8_t* PhysicalMemory::find_page(PhysAddr addr) const noexcept {
-  const auto it = pages_.find((addr - base_) / kPageSize);
-  return it == pages_.end() ? nullptr : it->second.data;
-}
-
 std::uint8_t* PhysicalMemory::touch_page(PhysAddr addr) {
   const std::uint64_t index = (addr - base_) / kPageSize;
-  PageEntry& page = pages_[index];
-  if (page.data == nullptr) {
-    page.data = arena_.allocate_array<std::uint8_t>(kPageSize);
-    std::memset(page.data, 0, kPageSize);
+  std::uint8_t* page = table_[index];
+  if (page == nullptr) {
+    page = arena_.allocate_array<std::uint8_t>(kPageSize);
+    std::memset(page, 0, kPageSize);
+    table_[index] = page;
+    ++resident_;
   }
   // Every caller is a write path, so touching *is* dirtying. Marking on
   // the transition only keeps the dirty list duplicate-free.
-  if (!page.dirty) {
-    page.dirty = true;
+  if (dirty_flags_[index] == 0) {
+    dirty_flags_[index] = 1;
     dirty_list_.push_back(index);
   }
-  return page.data;
+  return page;
 }
 
 void PhysicalMemory::reset_contents() noexcept {
   // Clean resident pages are all-zero by invariant; only written pages
   // need scrubbing.
   for (const std::uint64_t index : dirty_list_) {
-    PageEntry& page = pages_[index];
-    std::memset(page.data, 0, kPageSize);
-    page.dirty = false;
+    std::memset(table_[index], 0, kPageSize);
+    dirty_flags_[index] = 0;
   }
   dirty_list_.clear();
 }
@@ -51,7 +46,7 @@ void PhysicalMemory::snapshot_to(Snapshot& out, util::Arena& arena) const {
   out.pages.reserve(dirty_list_.size());
   for (const std::uint64_t index : dirty_list_) {
     auto* copy = arena.allocate_array<std::uint8_t>(kPageSize);
-    std::memcpy(copy, pages_.at(index).data, kPageSize);
+    std::memcpy(copy, table_[index], kPageSize);
     out.pages.push_back({index, copy});
   }
   std::sort(out.pages.begin(), out.pages.end(),
@@ -67,16 +62,16 @@ void PhysicalMemory::restore_from(const Snapshot& snapshot) noexcept {
   const auto begin = snapshot.pages.begin();
   const auto end = snapshot.pages.end();
   for (const std::uint64_t index : dirty_list_) {
-    PageEntry& page = pages_[index];
+    std::uint8_t* page = table_[index];
     const auto it = std::lower_bound(
         begin, end, index, [](const Snapshot::Page& p, std::uint64_t want) {
           return p.index < want;
         });
     if (it != end && it->index == index) {
-      std::memcpy(page.data, it->data, kPageSize);
+      std::memcpy(page, it->data, kPageSize);
     } else {
-      std::memset(page.data, 0, kPageSize);
-      page.dirty = false;
+      std::memset(page, 0, kPageSize);
+      dirty_flags_[index] = 0;
     }
   }
   // The dirty set is now exactly the snapshot's (those flags stayed set).
@@ -88,17 +83,18 @@ void PhysicalMemory::restore_from(const Snapshot& snapshot) noexcept {
 
 util::Status PhysicalMemory::write_u8(PhysAddr addr, std::uint8_t value) {
   if (!contains(addr)) return out_of_range(addr);
+  ++slow_ops_;
   touch_page(addr)[(addr - base_) % kPageSize] = value;
   return util::ok_status();
 }
 
-util::Status PhysicalMemory::write_u32(PhysAddr addr, std::uint32_t value) {
+util::Status PhysicalMemory::write_u32_slow(PhysAddr addr, std::uint32_t value) {
   std::uint8_t bytes[4];
   std::memcpy(bytes, &value, sizeof bytes);
   return write_block(addr, bytes);
 }
 
-util::Status PhysicalMemory::write_u64(PhysAddr addr, std::uint64_t value) {
+util::Status PhysicalMemory::write_u64_slow(PhysAddr addr, std::uint64_t value) {
   std::uint8_t bytes[8];
   std::memcpy(bytes, &value, sizeof bytes);
   return write_block(addr, bytes);
@@ -107,6 +103,7 @@ util::Status PhysicalMemory::write_u64(PhysAddr addr, std::uint64_t value) {
 util::Status PhysicalMemory::write_block(PhysAddr addr,
                                          std::span<const std::uint8_t> data) {
   if (!contains(addr, data.size())) return out_of_range(addr);
+  ++slow_ops_;
   std::uint64_t offset = addr - base_;
   std::size_t written = 0;
   while (written < data.size()) {
@@ -124,12 +121,13 @@ util::Status PhysicalMemory::write_block(PhysAddr addr,
 
 util::Expected<std::uint8_t> PhysicalMemory::read_u8(PhysAddr addr) const {
   if (!contains(addr)) return out_of_range(addr);
+  ++slow_ops_;
   const std::uint8_t* page = find_page(addr);
   if (page == nullptr) return std::uint8_t{0};
   return page[(addr - base_) % kPageSize];
 }
 
-util::Expected<std::uint32_t> PhysicalMemory::read_u32(PhysAddr addr) const {
+util::Expected<std::uint32_t> PhysicalMemory::read_u32_slow(PhysAddr addr) const {
   std::uint8_t bytes[4]{};
   MCS_RETURN_IF_ERROR(read_block(addr, bytes));
   std::uint32_t value = 0;
@@ -137,7 +135,7 @@ util::Expected<std::uint32_t> PhysicalMemory::read_u32(PhysAddr addr) const {
   return value;
 }
 
-util::Expected<std::uint64_t> PhysicalMemory::read_u64(PhysAddr addr) const {
+util::Expected<std::uint64_t> PhysicalMemory::read_u64_slow(PhysAddr addr) const {
   std::uint8_t bytes[8]{};
   MCS_RETURN_IF_ERROR(read_block(addr, bytes));
   std::uint64_t value = 0;
@@ -148,6 +146,7 @@ util::Expected<std::uint64_t> PhysicalMemory::read_u64(PhysAddr addr) const {
 util::Status PhysicalMemory::read_block(PhysAddr addr,
                                         std::span<std::uint8_t> out) const {
   if (!contains(addr, out.size())) return out_of_range(addr);
+  ++slow_ops_;
   std::uint64_t offset = addr - base_;
   std::size_t read = 0;
   while (read < out.size()) {
@@ -170,6 +169,7 @@ util::Status PhysicalMemory::read_block(PhysAddr addr,
 util::Status PhysicalMemory::fill(PhysAddr addr, std::uint64_t len,
                                   std::uint8_t value) {
   if (!contains(addr, len)) return out_of_range(addr);
+  ++slow_ops_;
   std::uint64_t offset = 0;
   while (offset < len) {
     const std::uint64_t in_page = (addr + offset - base_) % kPageSize;

@@ -7,6 +7,14 @@
 // power-on zeroes *in place* — no frees, no allocations — which is what
 // lets a pooled testbed reuse its board RAM windows run after run.
 //
+// Page lookup is a *flat pointer table* indexed by page number (2 MiB of
+// pointers for the 1 GiB window) instead of a hash map: the per-access
+// cost is one shift, one load and one null check. Aligned u32/u64
+// accesses take an inline fast path straight into the page — no
+// byte-buffer hop, no page-cross handling (a 4-aligned u32 / 8-aligned
+// u64 can never cross a 4 KiB boundary). Unaligned or page-crossing
+// accesses fall back to the block path, which is bit-identical.
+//
 // Pages are dirty-tracked: every write path marks its page, and the
 // invariant "a resident page not on the dirty list is all-zero" lets
 // reset_contents(), snapshot capture and snapshot restore touch only the
@@ -16,9 +24,10 @@
 // here.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "util/arena.hpp"
@@ -35,9 +44,12 @@ inline constexpr std::uint64_t kPageSize = 4096;
 
 class PhysicalMemory {
  public:
-  PhysicalMemory() noexcept = default;
-  PhysicalMemory(PhysAddr base, std::uint64_t size) noexcept
-      : base_(base), size_(size) {}
+  PhysicalMemory() : PhysicalMemory(kDramBase, kDramSize) {}
+  PhysicalMemory(PhysAddr base, std::uint64_t size)
+      : base_(base),
+        size_(size),
+        table_((size + kPageSize - 1) / kPageSize, nullptr),
+        dirty_flags_((size + kPageSize - 1) / kPageSize, 0) {}
 
   PhysicalMemory(const PhysicalMemory&) = delete;
   PhysicalMemory& operator=(const PhysicalMemory&) = delete;
@@ -50,20 +62,78 @@ class PhysicalMemory {
   }
 
   util::Status write_u8(PhysAddr addr, std::uint8_t value);
-  util::Status write_u32(PhysAddr addr, std::uint32_t value);
-  util::Status write_u64(PhysAddr addr, std::uint64_t value);
+
+  /// Aligned word fast path: one table load, one memcpy into the page.
+  /// The page must already be materialised *and* dirty (the steady state
+  /// once a run has written it once); first touches take the slow path,
+  /// which materialises and dirty-marks exactly as before.
+  util::Status write_u32(PhysAddr addr, std::uint32_t value) {
+    const std::uint64_t off = addr - base_;  // wraps huge when addr < base_
+    if ((off & 3) == 0 && (off | 3) < size_) [[likely]] {
+      const std::uint64_t index = off / kPageSize;
+      if (std::uint8_t* page = table_[index];
+          page != nullptr && dirty_flags_[index] != 0) {
+        ++fast_ops_;
+        std::memcpy(page + (off & (kPageSize - 1)), &value, 4);
+        return util::ok_status();
+      }
+    }
+    return write_u32_slow(addr, value);
+  }
+
+  util::Status write_u64(PhysAddr addr, std::uint64_t value) {
+    const std::uint64_t off = addr - base_;
+    if ((off & 7) == 0 && (off | 7) < size_) [[likely]] {
+      const std::uint64_t index = off / kPageSize;
+      if (std::uint8_t* page = table_[index];
+          page != nullptr && dirty_flags_[index] != 0) {
+        ++fast_ops_;
+        std::memcpy(page + (off & (kPageSize - 1)), &value, 8);
+        return util::ok_status();
+      }
+    }
+    return write_u64_slow(addr, value);
+  }
+
   util::Status write_block(PhysAddr addr, std::span<const std::uint8_t> data);
 
   [[nodiscard]] util::Expected<std::uint8_t> read_u8(PhysAddr addr) const;
-  [[nodiscard]] util::Expected<std::uint32_t> read_u32(PhysAddr addr) const;
-  [[nodiscard]] util::Expected<std::uint64_t> read_u64(PhysAddr addr) const;
+
+  /// Aligned word fast path; a hole (non-resident page) reads zero
+  /// without materialising anything, exactly like the block path.
+  [[nodiscard]] util::Expected<std::uint32_t> read_u32(PhysAddr addr) const {
+    const std::uint64_t off = addr - base_;
+    if ((off & 3) == 0 && (off | 3) < size_) [[likely]] {
+      ++fast_ops_;
+      const std::uint8_t* page = table_[off / kPageSize];
+      if (page == nullptr) return std::uint32_t{0};
+      std::uint32_t value;
+      std::memcpy(&value, page + (off & (kPageSize - 1)), 4);
+      return value;
+    }
+    return read_u32_slow(addr);
+  }
+
+  [[nodiscard]] util::Expected<std::uint64_t> read_u64(PhysAddr addr) const {
+    const std::uint64_t off = addr - base_;
+    if ((off & 7) == 0 && (off | 7) < size_) [[likely]] {
+      ++fast_ops_;
+      const std::uint8_t* page = table_[off / kPageSize];
+      if (page == nullptr) return std::uint64_t{0};
+      std::uint64_t value;
+      std::memcpy(&value, page + (off & (kPageSize - 1)), 8);
+      return value;
+    }
+    return read_u64_slow(addr);
+  }
+
   util::Status read_block(PhysAddr addr, std::span<std::uint8_t> out) const;
 
   /// Fill [addr, addr+len) with `value`.
   util::Status fill(PhysAddr addr, std::uint64_t len, std::uint8_t value);
 
   /// Number of 4 KiB pages materialised so far.
-  [[nodiscard]] std::size_t resident_pages() const noexcept { return pages_.size(); }
+  [[nodiscard]] std::size_t resident_pages() const noexcept { return resident_; }
 
   /// Pages written since the last reset_contents()/restore_from() — the
   /// set the next power-on restore has to zero (and a snapshot has to
@@ -72,11 +142,20 @@ class PhysicalMemory {
     return dirty_list_.size();
   }
 
+  // --- instrumentation (monotonic; never reset, never snapshotted) ------
+  /// Aligned word accesses served by the inline fast path.
+  [[nodiscard]] std::uint64_t fast_ops() const noexcept { return fast_ops_; }
+  /// Accesses that went through the byte-block slow path (unaligned,
+  /// page-crossing, first-touch writes, block transfers, faults).
+  [[nodiscard]] std::uint64_t slow_ops() const noexcept { return slow_ops_; }
+
   /// Drop all contents and page residency (cold reset: the next touch
   /// re-materialises from the rewound arena).
   void clear() noexcept {
-    pages_.clear();
+    std::fill(table_.begin(), table_.end(), nullptr);
+    std::fill(dirty_flags_.begin(), dirty_flags_.end(), std::uint8_t{0});
     dirty_list_.clear();
+    resident_ = 0;
     arena_.reset();
   }
 
@@ -113,24 +192,34 @@ class PhysicalMemory {
   void restore_from(const Snapshot& snapshot) noexcept;
 
  private:
-  struct PageEntry {
-    std::uint8_t* data = nullptr;
-    bool dirty = false;
-  };
-
   /// Pages are arena chunks; a resident page is always fully initialised.
-  [[nodiscard]] const std::uint8_t* find_page(PhysAddr addr) const noexcept;
+  [[nodiscard]] const std::uint8_t* find_page(PhysAddr addr) const noexcept {
+    return table_[(addr - base_) / kPageSize];
+  }
   std::uint8_t* touch_page(PhysAddr addr);
+
+  // Out-of-line slow halves of the word accessors (unaligned, crossing,
+  // out-of-range, first touch); all funnel through the block path.
+  util::Status write_u32_slow(PhysAddr addr, std::uint32_t value);
+  util::Status write_u64_slow(PhysAddr addr, std::uint64_t value);
+  [[nodiscard]] util::Expected<std::uint32_t> read_u32_slow(PhysAddr addr) const;
+  [[nodiscard]] util::Expected<std::uint64_t> read_u64_slow(PhysAddr addr) const;
 
   PhysAddr base_ = kDramBase;
   std::uint64_t size_ = kDramSize;
   /// 64 pages per block: a booted testbed dirties a few dozen pages, so
   /// the whole working set fits in one or two blocks.
   util::Arena arena_{64 * kPageSize};
-  std::unordered_map<std::uint64_t, PageEntry> pages_;
+  /// Page number → page storage (nullptr while not materialised).
+  std::vector<std::uint8_t*> table_;
+  /// Page number → written-since-last-reset flag (mirrors dirty_list_).
+  std::vector<std::uint8_t> dirty_flags_;
   /// Indexes of pages written since the last reset/restore (unordered;
   /// capacity kept across resets for the zero-allocation steady state).
   std::vector<std::uint64_t> dirty_list_;
+  std::size_t resident_ = 0;
+  mutable std::uint64_t fast_ops_ = 0;
+  mutable std::uint64_t slow_ops_ = 0;
 };
 
 }  // namespace mcs::mem

@@ -91,9 +91,18 @@ class Board {
   void advance_to(util::Ticks target);
 
   /// Earliest deadline any device has published (kNoDeadline when the
-  /// whole board is quiescent). Re-polled before every leap, so devices
-  /// reprogrammed mid-quantum are picked up without notification.
+  /// whole board is quiescent). Cached behind the deadline generation:
+  /// devices bump it (via Device::note_deadline_change) whenever they
+  /// re-arm, so the steady-state cost is one compare instead of a
+  /// virtual next_deadline() call per device.
   [[nodiscard]] util::Ticks next_device_deadline() const;
+
+  /// Times the deadline cache had to re-poll the devices (monotonic
+  /// instrumentation; a busy-tick span should refresh once per re-arm,
+  /// not once per query).
+  [[nodiscard]] std::uint64_t deadline_refreshes() const noexcept {
+    return deadline_refreshes_;
+  }
 
   /// Power-on restore without freeing memory: clock back to tick 0, CPUs
   /// (including profiling counters), devices and serial captures, irqchip
@@ -145,6 +154,12 @@ class Board {
   std::vector<arch::Cpu*> cpus_;  ///< arena-placed; destroyed by ~Board
   /// The deadline queue: every ticking device, in legacy tick order.
   std::array<Device*, 4> scheduled_{};
+  /// Bumped by devices on every re-arm (they hold a pointer to it);
+  /// starts at 1 so the never-refreshed cache (gen 0) is always stale.
+  std::uint64_t deadline_gen_ = 1;
+  mutable util::Ticks cached_deadline_ = kNoDeadline;
+  mutable std::uint64_t cached_deadline_gen_ = 0;
+  mutable std::uint64_t deadline_refreshes_ = 0;
 };
 
 /// The paper's testbed: dual-core Cortex-A7, 1 GiB DRAM.

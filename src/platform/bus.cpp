@@ -1,41 +1,48 @@
 #include "platform/bus.hpp"
 
-#include "util/strings.hpp"
+#include <algorithm>
 
 namespace mcs::platform {
 
 util::Status Bus::attach(Device& device) {
-  for (const Device* existing : devices_) {
-    const bool overlap = device.base() < existing->base() + existing->size() &&
-                         existing->base() < device.base() + device.size();
-    if (overlap) {
-      return util::invalid_argument("device window '" + device.name() +
-                                    "' overlaps '" + existing->name() + "'");
-    }
+  const PhysAddr base = device.base();
+  const PhysAddr end = device.base() + device.size();
+  // The DRAM pre-check in read/write assumes every device lives outside
+  // the DRAM window; reject wiring that would break it.
+  if (base < dram_->base() + dram_->size() && dram_->base() < end) {
+    return util::invalid_argument("device window '" + device.name() +
+                                  "' overlaps DRAM");
   }
+  // Windows are kept sorted and pairwise disjoint, so only the sorted
+  // neighbours of the insertion point can overlap the newcomer.
+  const auto insert_at = std::upper_bound(
+      windows_.begin(), windows_.end(), base,
+      [](PhysAddr b, const Window& w) { return b < w.base; });
+  const Window* overlapping = nullptr;
+  if (insert_at != windows_.begin() && (insert_at - 1)->end > base) {
+    overlapping = &*(insert_at - 1);
+  } else if (insert_at != windows_.end() && insert_at->base < end) {
+    overlapping = &*insert_at;
+  }
+  if (overlapping != nullptr) {
+    return util::invalid_argument("device window '" + device.name() +
+                                  "' overlaps '" +
+                                  overlapping->device->name() + "'");
+  }
+  windows_.insert(insert_at, Window{base, end, &device});
   devices_.push_back(&device);
   return util::ok_status();
 }
 
 Device* Bus::find_device(PhysAddr addr) noexcept {
-  for (Device* device : devices_) {
-    if (device->contains(addr)) return device;
-  }
-  return nullptr;
-}
-
-util::Expected<std::uint32_t> Bus::read_u32(PhysAddr addr) {
-  if (Device* device = find_device(addr)) {
-    return device->mmio_read(addr - device->base());
-  }
-  return dram_->read_u32(addr);
-}
-
-util::Status Bus::write_u32(PhysAddr addr, std::uint32_t value) {
-  if (Device* device = find_device(addr)) {
-    return device->mmio_write(addr - device->base(), value);
-  }
-  return dram_->write_u32(addr, value);
+  // Greatest base ≤ addr; windows are disjoint, so it is the only
+  // candidate.
+  const auto it = std::upper_bound(
+      windows_.begin(), windows_.end(), addr,
+      [](PhysAddr a, const Window& w) { return a < w.base; });
+  if (it == windows_.begin()) return nullptr;
+  const Window& window = *(it - 1);
+  return addr < window.end ? window.device : nullptr;
 }
 
 }  // namespace mcs::platform

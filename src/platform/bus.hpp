@@ -1,6 +1,12 @@
 // Physical bus: routes physical addresses either to DRAM or to an MMIO
 // device window. Cells reach it only through their AddressSpace (stage-2
 // checked); the hypervisor reaches it directly.
+//
+// Dispatch is two-tier: a branch-predictable DRAM range pre-check first
+// (the overwhelming majority of guest accesses are RAM, and attach()
+// guarantees no device window overlaps DRAM, so the check is exact), then
+// a binary search over a base-sorted window table for the peripheral
+// block. Device lookup is O(log n) and the DRAM path never touches it.
 #pragma once
 
 #include <cstdint>
@@ -17,22 +23,46 @@ class Bus {
   explicit Bus(mem::PhysicalMemory& dram) noexcept : dram_(&dram) {}
 
   /// Register a device window. Devices are owned by the board; the bus
-  /// only routes. Rejects overlapping windows.
+  /// only routes. Rejects overlapping windows, and windows that overlap
+  /// DRAM (those would shadow RAM and break the DRAM fast path's
+  /// pre-check soundness).
   util::Status attach(Device& device);
 
   [[nodiscard]] Device* find_device(PhysAddr addr) noexcept;
+
+  /// Attached devices in attach order (reports/tests iterate this).
   [[nodiscard]] const std::vector<Device*>& devices() const noexcept {
     return devices_;
   }
 
-  [[nodiscard]] util::Expected<std::uint32_t> read_u32(PhysAddr addr);
-  util::Status write_u32(PhysAddr addr, std::uint32_t value);
+  [[nodiscard]] util::Expected<std::uint32_t> read_u32(PhysAddr addr) {
+    if (dram_->contains(addr, 4)) [[likely]] return dram_->read_u32(addr);
+    if (Device* device = find_device(addr)) {
+      return device->mmio_read(addr - device->base());
+    }
+    return dram_->read_u32(addr);  // out-of-range fault, same as before
+  }
+
+  util::Status write_u32(PhysAddr addr, std::uint32_t value) {
+    if (dram_->contains(addr, 4)) [[likely]] return dram_->write_u32(addr, value);
+    if (Device* device = find_device(addr)) {
+      return device->mmio_write(addr - device->base(), value);
+    }
+    return dram_->write_u32(addr, value);
+  }
 
   [[nodiscard]] mem::PhysicalMemory& dram() noexcept { return *dram_; }
 
  private:
+  struct Window {
+    PhysAddr base = 0;
+    PhysAddr end = 0;  ///< exclusive
+    Device* device = nullptr;
+  };
+
   mem::PhysicalMemory* dram_;
-  std::vector<Device*> devices_;
+  std::vector<Device*> devices_;  ///< attach order (observable)
+  std::vector<Window> windows_;   ///< sorted by base (dispatch)
 };
 
 }  // namespace mcs::platform

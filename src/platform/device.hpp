@@ -9,10 +9,14 @@
 //   calls tick(now) only when that deadline arrives. The board may leap
 //   the clock across any span that contains no published deadline, so
 //   tick(now) must treat `now` as authoritative absolute time — never
-//   count invocations. A device whose deadline can move outside tick()
-//   (e.g. a timer reprogrammed via MMIO mid-quantum) simply reports the
-//   new deadline on the next next_deadline() query; the board re-polls
-//   before every leap, so no explicit invalidation callback is needed.
+//   count invocations. Deadlines are *absolute*, so the board caches the
+//   earliest one and devices signal re-arms through a shared deadline
+//   generation: every code path that can change a device's published
+//   deadline (MMIO reprogramming, internal re-arm in tick(), reset,
+//   snapshot restore) must call note_deadline_change(), and the board
+//   re-polls only when the generation moved. A device that never calls
+//   it must publish kNoDeadline forever (the quiescent default). New
+//   device models (e.g. a NIC) inherit this contract.
 #pragma once
 
 #include <cstdint>
@@ -69,10 +73,22 @@ class Device {
   /// Cold reset.
   virtual void reset() {}
 
+  /// Board wiring: point the device at the board's deadline generation
+  /// counter so note_deadline_change() can invalidate the board's cached
+  /// earliest deadline. Unbound devices (unit tests) bump nothing.
+  void bind_deadline_gen(std::uint64_t* gen) noexcept { deadline_gen_ = gen; }
+
+ protected:
+  /// Call from every code path that may change next_deadline()'s answer.
+  void note_deadline_change() noexcept {
+    if (deadline_gen_ != nullptr) ++*deadline_gen_;
+  }
+
  private:
   std::string name_;
   PhysAddr base_;
   std::uint64_t size_;
+  std::uint64_t* deadline_gen_ = nullptr;
 };
 
 }  // namespace mcs::platform

@@ -64,6 +64,7 @@ util::Status PeriodicTimer::mmio_write(std::uint64_t offset, std::uint32_t value
         state.next_fire = kNoDeadline;
       }
       state.enabled = enable;
+      note_deadline_change();
       return util::ok_status();
     }
     case kTimerInterval:
@@ -73,6 +74,7 @@ util::Status PeriodicTimer::mmio_write(std::uint64_t offset, std::uint32_t value
       } else {
         state.paused_remaining = value;
       }
+      note_deadline_change();
       return util::ok_status();
     default:
       return util::invalid_argument("timer write at bad offset " + util::hex(offset));
@@ -90,6 +92,7 @@ util::Ticks PeriodicTimer::next_deadline(util::Ticks /*now*/) const {
 }
 
 void PeriodicTimer::tick(util::Ticks now) {
+  bool rearmed = false;
   for (int cpu = 0; cpu < num_cpus_; ++cpu) {
     PerCpu& state = cpus_[static_cast<std::size_t>(cpu)];
     if (!state.enabled || state.interval == 0 || state.next_fire == kNoDeadline) {
@@ -98,12 +101,17 @@ void PeriodicTimer::tick(util::Ticks now) {
     while (state.next_fire <= now) {
       state.next_fire += util::Ticks{state.interval};
       ++state.fires;
+      rearmed = true;
       (void)gic_->raise_ppi(cpu, kVirtualTimerPpi);
     }
   }
+  if (rearmed) note_deadline_change();
 }
 
-void PeriodicTimer::reset() { cpus_.fill(PerCpu{}); }
+void PeriodicTimer::reset() {
+  cpus_.fill(PerCpu{});
+  note_deadline_change();
+}
 
 void PeriodicTimer::start(int cpu, std::uint32_t period_ticks) {
   if (cpu < 0 || cpu >= num_cpus_ || period_ticks == 0) return;
@@ -112,6 +120,7 @@ void PeriodicTimer::start(int cpu, std::uint32_t period_ticks) {
   state.interval = period_ticks;
   state.next_fire = clock_->now() + util::Ticks{period_ticks};
   state.paused_remaining = 0;
+  note_deadline_change();
 }
 
 void PeriodicTimer::stop(int cpu) {
@@ -122,6 +131,7 @@ void PeriodicTimer::stop(int cpu) {
     state.next_fire = kNoDeadline;
   }
   state.enabled = false;
+  note_deadline_change();
 }
 
 bool PeriodicTimer::is_running(int cpu) const noexcept {

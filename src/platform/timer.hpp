@@ -88,6 +88,7 @@ inline void PeriodicTimer::snapshot_to(Snapshot& out) const noexcept {
 
 inline void PeriodicTimer::restore_from(const Snapshot& snapshot) noexcept {
   cpus_ = snapshot.cpus;
+  note_deadline_change();
 }
 
 }  // namespace mcs::platform

@@ -1,5 +1,7 @@
 #include "util/status.hpp"
 
+#include "util/strings.hpp"
+
 namespace mcs::util {
 
 std::string_view code_name(Code code) noexcept {
@@ -21,11 +23,19 @@ std::string_view code_name(Code code) noexcept {
   return "UNKNOWN";
 }
 
+std::string Status::message() const {
+  if (lazy_prefix_ == nullptr) return message_;
+  std::string out{lazy_prefix_};
+  out += hex(lazy_arg_);
+  return out;
+}
+
 std::string Status::to_string() const {
   std::string out{code_name(code_)};
-  if (!message_.empty()) {
+  const std::string detail = message();
+  if (!detail.empty()) {
     out += ": ";
-    out += message_;
+    out += detail;
   }
   return out;
 }

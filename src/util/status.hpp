@@ -37,11 +37,23 @@ enum class Code : std::int32_t {
 std::string_view code_name(Code code) noexcept;
 
 /// A success/error result with an optional context message.
+///
+/// Hot failure paths (stage-2 faults, out-of-DRAM accesses) use the
+/// *lazy* form: a static-storage prefix plus a numeric argument, rendered
+/// into a string only when someone actually asks for the message. An
+/// injection campaign that provokes millions of faults never touches the
+/// heap for them (pinned by the AllocationObserver fault-path test).
 class [[nodiscard]] Status {
  public:
   Status() noexcept = default;
   Status(Code code, std::string message) : code_(code), message_(std::move(message)) {}
   explicit Status(Code code) : code_(code) {}
+
+  /// Lazy form: `prefix` must have static storage duration (a string
+  /// literal); the rendered message is `prefix` + hex(arg). Allocation-free
+  /// to construct, copy and move.
+  Status(Code code, const char* prefix, std::uint64_t arg) noexcept
+      : code_(code), lazy_prefix_(prefix), lazy_arg_(arg) {}
 
   static Status ok() noexcept { return Status{}; }
 
@@ -49,7 +61,10 @@ class [[nodiscard]] Status {
   explicit operator bool() const noexcept { return is_ok(); }
 
   [[nodiscard]] Code code() const noexcept { return code_; }
-  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// Renders the message on demand (lazy statuses materialise their string
+  /// here, not at construction).
+  [[nodiscard]] std::string message() const;
 
   /// Jailhouse-style negative errno (0 on success); what the root-cell
   /// driver prints, e.g. -22 → "invalid arguments".
@@ -66,6 +81,8 @@ class [[nodiscard]] Status {
  private:
   Code code_ = Code::Ok;
   std::string message_;
+  const char* lazy_prefix_ = nullptr;  ///< static storage; see lazy ctor
+  std::uint64_t lazy_arg_ = 0;
 };
 
 std::ostream& operator<<(std::ostream& os, const Status& status);

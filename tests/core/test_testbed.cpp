@@ -73,6 +73,60 @@ TEST(Testbed, TwoTestbedsAreIndependent) {
 
 // --- power-on restore (the testbed pool's reuse contract) -------------------
 
+TEST(Testbed, RootTlbRevalidatesAcrossCellLifecycle) {
+  // The stale-TLB hazard at system level: the root cell's address space
+  // caches a translation for the loanable RAM pool, then cell create
+  // carves that pool out of the root map. A stale hit would let the root
+  // keep reaching memory it loaned away — the exact isolation break the
+  // generation protocol exists to prevent.
+  Testbed testbed;
+  ASSERT_TRUE(testbed.enable_hypervisor().is_ok());
+  mem::AddressSpace& root = testbed.hypervisor().root_cell().address_space();
+
+  const mem::GuestAddr pool = jh::kFreeRtosRamBase;  // root maps it identity
+  const auto before = root.translate_cached(pool, mem::Access::Write, 4);
+  ASSERT_TRUE(before.is_ok());
+  EXPECT_EQ(before.value().phys, pool);
+
+  testbed.boot_freertos_cell();  // carve-out: the pool leaves the root map
+  EXPECT_EQ(root.translate_cached(pool, mem::Access::Write, 4).status().code(),
+            util::Code::EFault);
+
+  testbed.destroy_workload_cell();  // hand-back: translations return
+  const auto after = root.translate_cached(pool, mem::Access::Write, 4);
+  ASSERT_TRUE(after.is_ok());
+  EXPECT_EQ(after.value().phys, pool);
+}
+
+TEST(Testbed, TlbRevalidatesAfterSnapshotRestore) {
+  // Snapshot restore reassigns the region vectors it captured, so every
+  // region pointer cached before the restore dangles. The map generation
+  // bump is what keeps those pointers from ever being dereferenced; under
+  // the sanitize CI job a stale hit here is a hard use-after-free.
+  Testbed testbed;
+  ASSERT_TRUE(testbed.enable_hypervisor().is_ok());
+  testbed.boot_freertos_cell();
+  testbed.capture_snapshot("tlb");
+
+  mem::AddressSpace& root = testbed.hypervisor().root_cell().address_space();
+  const mem::GuestAddr pool = jh::kFreeRtosRamBase;
+  // Captured state: the pool is carved out of the root.
+  ASSERT_FALSE(root.translate_cached(pool, mem::Access::Read, 4).is_ok());
+
+  // Destroy hands the pool back and fills the root TLB with a pointer
+  // into the *current* region vector.
+  testbed.destroy_workload_cell();
+  ASSERT_TRUE(root.translate_cached(pool, mem::Access::Read, 4).is_ok());
+
+  // Restore rewinds to the carved state: the cached pointer is stale and
+  // the walk must fault again instead of hitting it.
+  ASSERT_TRUE(testbed.restore_snapshot());
+  EXPECT_EQ(root.translate_cached(pool, mem::Access::Read, 4).status().code(),
+            util::Code::EFault);
+  ASSERT_NE(testbed.freertos_cell(), nullptr);
+  EXPECT_EQ(testbed.freertos_cell()->state(), jh::CellState::Running);
+}
+
 TEST(TestbedReset, RestoresHypervisorMachineAndCellBookkeeping) {
   Testbed testbed;
   ASSERT_TRUE(testbed.enable_hypervisor().is_ok());

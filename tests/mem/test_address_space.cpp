@@ -101,5 +101,112 @@ TEST_F(AddressSpaceTest, DisjointSpacesCannotObserveEachOther) {
   EXPECT_EQ(other.read_u32(0x1000'0000).value(), 222u);
 }
 
+// --- stage-2 TLB: fills, hits, and every invalidation source ---------------
+
+TEST_F(AddressSpaceTest, TranslateCachedFillsOnMissAndHitsAfter) {
+  EXPECT_EQ(space_.tlb_hits(), 0u);
+  const auto miss = space_.translate_cached(0x1000'0100, Access::Read, 4);
+  ASSERT_TRUE(miss.is_ok());
+  EXPECT_EQ(miss.value().phys, kDramBase + 0x100);
+  EXPECT_EQ(space_.tlb_misses(), 1u);
+
+  const auto hit = space_.translate_cached(0x1000'0200, Access::Read, 4);
+  ASSERT_TRUE(hit.is_ok());
+  EXPECT_EQ(hit.value().phys, kDramBase + 0x200);
+  EXPECT_EQ(space_.tlb_hits(), 1u);
+  EXPECT_EQ(space_.tlb_misses(), 1u);
+}
+
+TEST_F(AddressSpaceTest, TlbEntriesArePerAccessKind) {
+  // Fill the *read* entry for the read-only region; a write to the same
+  // region must not ride that entry past its permission check.
+  ASSERT_TRUE(space_.translate_cached(0x2000'0000, Access::Read, 4).is_ok());
+  ASSERT_TRUE(space_.translate_cached(0x2000'0000, Access::Read, 4).is_ok());
+  EXPECT_EQ(space_.tlb_hits(), 1u);
+  EXPECT_EQ(space_.translate_cached(0x2000'0000, Access::Write, 4).status().code(),
+            util::Code::EPerm);
+  EXPECT_EQ(space_.tlb_hits(), 1u);  // write kind never filled, never hit
+}
+
+TEST_F(AddressSpaceTest, CachedMissRecordsFaultsLikeTheUncachedWalk) {
+  const auto cached = space_.translate_cached(0x3000'0000, Access::Write, 4);
+  ASSERT_FALSE(cached.is_ok());
+  ASSERT_TRUE(map_.last_fault().has_value());
+  EXPECT_EQ(map_.last_fault()->kind, FaultKind::NoMapping);
+  EXPECT_EQ(map_.last_fault()->addr, 0x3000'0000u);
+  // translate_cached leaves fault_count() to the guarded accessors.
+  EXPECT_EQ(space_.fault_count(), 0u);
+  EXPECT_EQ(cached.status().message(),
+            map_.translate(0x3000'0000, Access::Write, 4).status().message());
+}
+
+TEST_F(AddressSpaceTest, TlbInvalidatedByAddRegion) {
+  ASSERT_TRUE(space_.translate_cached(0x1000'0000, Access::Read, 4).is_ok());
+  MemRegion extra;
+  extra.name = "extra";
+  extra.phys_start = kDramBase + 0x2000;
+  extra.virt_start = 0x4000'0000;
+  extra.size = 0x1000;
+  extra.flags = kMemRead;
+  ASSERT_TRUE(map_.add_region(extra).is_ok());
+
+  const std::uint64_t misses_before = space_.tlb_misses();
+  const auto walk = space_.translate_cached(0x1000'0000, Access::Read, 4);
+  ASSERT_TRUE(walk.is_ok());
+  EXPECT_EQ(walk.value().phys, kDramBase);
+  EXPECT_EQ(space_.tlb_misses(), misses_before + 1);  // generation moved
+}
+
+TEST_F(AddressSpaceTest, TlbInvalidatedByRemoveRegionsNamed) {
+  ASSERT_TRUE(space_.translate_cached(0x1000'0000, Access::Read, 4).is_ok());
+  EXPECT_EQ(map_.remove_regions_named("rw"), 1u);
+  // A stale hit would hand back the dead region; the generation bump
+  // forces a fresh walk, which faults.
+  EXPECT_EQ(space_.translate_cached(0x1000'0000, Access::Read, 4).status().code(),
+            util::Code::EFault);
+}
+
+TEST_F(AddressSpaceTest, TlbInvalidatedByCarveOut) {
+  ASSERT_TRUE(space_.translate_cached(0x1000'0800, Access::Write, 4).is_ok());
+  // Carve the physical back half of "rw" (Jailhouse root-cell shrink).
+  map_.carve_out_phys(kDramBase + 0x800, 0x800);
+  EXPECT_EQ(space_.translate_cached(0x1000'0800, Access::Write, 4).status().code(),
+            util::Code::EFault);
+  // The untouched front half still translates — through the split remnant.
+  const auto front = space_.translate_cached(0x1000'0000, Access::Write, 4);
+  ASSERT_TRUE(front.is_ok());
+  EXPECT_EQ(front.value().phys, kDramBase);
+}
+
+TEST_F(AddressSpaceTest, TlbInvalidatedBySnapshotRestore) {
+  MemoryMap::Snapshot snapshot;
+  map_.snapshot_to(snapshot);
+  ASSERT_TRUE(space_.translate_cached(0x1000'0000, Access::Read, 4).is_ok());
+
+  // Restore reassigns the region vector when it changed — the cached
+  // region pointer dangles and must never be consulted again.
+  EXPECT_EQ(map_.remove_regions_named("rw"), 1u);
+  map_.restore_from(snapshot);
+  const std::uint64_t misses_before = space_.tlb_misses();
+  const auto walk = space_.translate_cached(0x1000'0000, Access::Read, 4);
+  ASSERT_TRUE(walk.is_ok());
+  EXPECT_EQ(walk.value().phys, kDramBase);
+  EXPECT_EQ(space_.tlb_misses(), misses_before + 1);
+
+  // Even a no-op restore moves the map to a new generation: revalidate.
+  map_.snapshot_to(snapshot);
+  map_.restore_from(snapshot);
+  ASSERT_TRUE(space_.translate_cached(0x1000'0000, Access::Read, 4).is_ok());
+  EXPECT_EQ(space_.tlb_misses(), misses_before + 2);
+}
+
+TEST_F(AddressSpaceTest, ExplicitInvalidateForcesRewalk) {
+  ASSERT_TRUE(space_.translate_cached(0x1000'0000, Access::Read, 4).is_ok());
+  space_.invalidate_tlb();
+  const std::uint64_t misses_before = space_.tlb_misses();
+  ASSERT_TRUE(space_.translate_cached(0x1000'0000, Access::Read, 4).is_ok());
+  EXPECT_EQ(space_.tlb_misses(), misses_before + 1);
+}
+
 }  // namespace
 }  // namespace mcs::mem

@@ -1,0 +1,136 @@
+// Allocation pins for the guest-access hot paths.
+//
+// The perf contract is not just "fast" but "allocation-free in steady
+// state": once a page is resident+dirty and the TLB is warm, word
+// accesses, TLB hits *and* stage-2 faults must never touch the
+// general-purpose heap (fault statuses are lazy — a static prefix and an
+// argument, rendered only if someone reads the message). These tests pin
+// that with AllocationObserver windows around tight loops; a single
+// stray std::string or vector growth fails them deterministically.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "mem/address_space.hpp"
+#include "mem/memory_map.hpp"
+#include "mem/phys_mem.hpp"
+#include "platform/bus.hpp"
+#include "util/alloc_observer.hpp"
+
+namespace mcs::mem {
+namespace {
+
+constexpr PhysAddr kWinBase = 0x8000'0000;
+constexpr std::uint64_t kWinSize = 16 * kPageSize;
+constexpr int kIterations = 10'000;
+
+TEST(FastPathAlloc, SteadyStateWordAccessesAreAllocationFree) {
+  PhysicalMemory dram(kWinBase, kWinSize);
+  // Warm-up: materialise and dirty the pages the loop will hit.
+  ASSERT_TRUE(dram.write_u64(kWinBase, 1).is_ok());
+  ASSERT_TRUE(dram.write_u64(kWinBase + kPageSize, 2).is_ok());
+
+  const std::uint64_t fast_before = dram.fast_ops();
+  const util::AllocationObserver::Window window;
+  std::uint64_t checksum = 0;
+  for (int i = 0; i < kIterations; ++i) {
+    ASSERT_TRUE(dram.write_u32(kWinBase + 64, static_cast<std::uint32_t>(i)).is_ok());
+    ASSERT_TRUE(dram.write_u64(kWinBase + kPageSize, i).is_ok());
+    checksum += dram.read_u32(kWinBase + 64).value();
+    checksum += dram.read_u64(kWinBase + kPageSize).value();
+  }
+  EXPECT_EQ(window.allocations(), 0u) << "checksum " << checksum;
+  // Every access above took the aligned inline path.
+  EXPECT_EQ(dram.fast_ops() - fast_before, 4u * kIterations);
+}
+
+TEST(FastPathAlloc, OutOfRangeFaultPathIsAllocationFree) {
+  PhysicalMemory dram(kWinBase, kWinSize);
+  const util::AllocationObserver::Window window;
+  for (int i = 0; i < kIterations; ++i) {
+    EXPECT_EQ(dram.write_u32(kWinBase - 4, 1).code(), util::Code::EFault);
+    EXPECT_EQ(dram.read_u64(kWinBase + kWinSize).status().code(),
+              util::Code::EFault);
+  }
+  EXPECT_EQ(window.allocations(), 0u);
+}
+
+class SpaceAllocTest : public ::testing::Test {
+ protected:
+  SpaceAllocTest() : dram_(kWinBase, kWinSize), space_(map_, dram_) {
+    MemRegion ram;
+    ram.name = "ram";
+    ram.phys_start = kWinBase;
+    ram.virt_start = 0x1000'0000;
+    ram.size = 2 * kPageSize;
+    ram.flags = kMemRead | kMemWrite;
+    EXPECT_TRUE(map_.add_region(ram).is_ok());
+
+    MemRegion ro;
+    ro.name = "ro";
+    ro.phys_start = kWinBase + 2 * kPageSize;
+    ro.virt_start = 0x2000'0000;
+    ro.size = kPageSize;
+    ro.flags = kMemRead;
+    EXPECT_TRUE(map_.add_region(ro).is_ok());
+  }
+
+  PhysicalMemory dram_;
+  MemoryMap map_;
+  AddressSpace space_;
+};
+
+TEST_F(SpaceAllocTest, TlbHitPathIsAllocationFree) {
+  // Warm: first access fills the page and the read/write TLB entries.
+  ASSERT_TRUE(space_.write_u64(0x1000'0000, 42).is_ok());
+  ASSERT_EQ(space_.read_u64(0x1000'0000).value(), 42u);
+
+  const std::uint64_t hits_before = space_.tlb_hits();
+  const std::uint64_t misses_before = space_.tlb_misses();
+  const util::AllocationObserver::Window window;
+  std::uint64_t checksum = 0;
+  for (int i = 0; i < kIterations; ++i) {
+    ASSERT_TRUE(space_.write_u32(0x1000'0040, static_cast<std::uint32_t>(i)).is_ok());
+    checksum += space_.read_u32(0x1000'0040).value();
+  }
+  EXPECT_EQ(window.allocations(), 0u) << "checksum " << checksum;
+  EXPECT_EQ(space_.tlb_hits() - hits_before, 2u * kIterations);
+  EXPECT_EQ(space_.tlb_misses(), misses_before);  // never fell off the TLB
+}
+
+TEST_F(SpaceAllocTest, Stage2FaultPathIsAllocationFree) {
+  // One fault up front so the optional<Stage2Fault> is engaged and every
+  // container is at capacity before the window opens.
+  EXPECT_FALSE(space_.read_u32(0x3000'0000).is_ok());
+
+  const std::uint64_t faults_before = space_.fault_count();
+  const util::AllocationObserver::Window window;
+  for (int i = 0; i < kIterations; ++i) {
+    // Unmapped address: translation fault on the guarded accessors...
+    EXPECT_EQ(space_.read_u32(0x3000'0000).status().code(), util::Code::EFault);
+    EXPECT_EQ(space_.write_u64(0x3000'0000, 1).code(), util::Code::EFault);
+    // ...permission fault on the read-only window...
+    EXPECT_EQ(space_.write_u32(0x2000'0000, 1).code(), util::Code::EPerm);
+    // ...and the raw cached-walk miss the hypervisor MMIO path takes.
+    EXPECT_FALSE(space_.translate_cached(0x3000'0000, Access::Read, 4).is_ok());
+  }
+  EXPECT_EQ(window.allocations(), 0u);
+  EXPECT_EQ(space_.fault_count() - faults_before, 3u * kIterations);
+}
+
+TEST(FastPathAlloc, BusDramDispatchIsAllocationFree) {
+  PhysicalMemory dram(kWinBase, kWinSize);
+  platform::Bus bus(dram);
+  ASSERT_TRUE(bus.write_u32(kWinBase + 8, 1).is_ok());  // warm the page
+
+  const util::AllocationObserver::Window window;
+  std::uint64_t checksum = 0;
+  for (int i = 0; i < kIterations; ++i) {
+    ASSERT_TRUE(bus.write_u32(kWinBase + 8, static_cast<std::uint32_t>(i)).is_ok());
+    checksum += bus.read_u32(kWinBase + 8).value();
+  }
+  EXPECT_EQ(window.allocations(), 0u) << "checksum " << checksum;
+}
+
+}  // namespace
+}  // namespace mcs::mem

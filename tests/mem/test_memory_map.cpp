@@ -160,5 +160,68 @@ TEST(MemoryMap, RemoveRegionsNamed) {
   EXPECT_EQ(map.regions()[0].name, "b");
 }
 
+TEST(MemoryMap, GenerationStartsNonzeroAndBumpsOnEveryMutation) {
+  MemoryMap map;
+  // Never zero: an AddressSpace TLB entry with recorded generation 0 must
+  // never validate against a fresh map.
+  std::uint64_t generation = map.generation();
+  EXPECT_GE(generation, 1u);
+
+  ASSERT_TRUE(map.add_region(region(0x1000, 0x1000, 0x100, kMemRead, "a")).is_ok());
+  EXPECT_GT(map.generation(), generation);
+  generation = map.generation();
+
+  // Mutators bump unconditionally — even when they match nothing — so
+  // cached translations never survive a mutation attempt.
+  EXPECT_EQ(map.remove_regions_named("missing"), 0u);
+  EXPECT_GT(map.generation(), generation);
+  generation = map.generation();
+
+  EXPECT_TRUE(map.carve_out_phys(0x9000'0000, 0x100).empty());
+  EXPECT_GT(map.generation(), generation);
+  generation = map.generation();
+
+  MemoryMap::Snapshot snapshot;
+  map.snapshot_to(snapshot);
+  map.restore_from(snapshot);  // no-op restore still moves time
+  EXPECT_GT(map.generation(), generation);
+  generation = map.generation();
+
+  map.clear();
+  EXPECT_GT(map.generation(), generation);
+}
+
+TEST(MemoryMap, RejectedAddLeavesMapAndGenerationUntouched) {
+  MemoryMap map;
+  ASSERT_TRUE(map.add_region(region(0x1000, 0x1000, 0x100, kMemRead, "a")).is_ok());
+  const std::uint64_t generation = map.generation();
+
+  const util::Status clash =
+      map.add_region(region(0x5000, 0x1080, 0x100, kMemRead, "late"));
+  EXPECT_EQ(clash.code(), util::Code::EInval);
+  // Diagnostics name both parties, same as the pre-indexed linear check.
+  EXPECT_NE(clash.message().find("'late'"), std::string::npos);
+  EXPECT_NE(clash.message().find("'a'"), std::string::npos);
+  // A rejected add is not a mutation: nothing changed, nothing to
+  // invalidate.
+  EXPECT_EQ(map.generation(), generation);
+  EXPECT_EQ(map.regions().size(), 1u);
+  EXPECT_EQ(map.translate(0x1000, Access::Read).value().phys, 0x1000u);
+}
+
+TEST(MemoryMap, OverlapCheckCatchesBothSortedNeighbours) {
+  // The O(log n) check only consults the sorted neighbours of the
+  // insertion point; both directions must still be caught.
+  MemoryMap map;
+  ASSERT_TRUE(map.add_region(region(0x1000, 0x1000, 0x1000, kMemRead, "lo")).is_ok());
+  ASSERT_TRUE(map.add_region(region(0x4000, 0x4000, 0x1000, kMemRead, "hi")).is_ok());
+  // Tail collides with successor "hi".
+  EXPECT_FALSE(map.add_region(region(0, 0x3800, 0x1000, kMemRead, "mid")).is_ok());
+  // Head collides with predecessor "lo".
+  EXPECT_FALSE(map.add_region(region(0, 0x1800, 0x1000, kMemRead, "mid")).is_ok());
+  // The gap itself is fine.
+  EXPECT_TRUE(map.add_region(region(0, 0x2000, 0x1000, kMemRead, "mid")).is_ok());
+}
+
 }  // namespace
 }  // namespace mcs::mem

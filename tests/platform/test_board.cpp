@@ -190,6 +190,58 @@ TEST(Board, EventLogIsShared) {
 
 // --- the deadline scheduler -------------------------------------------------
 
+TEST(Board, DeadlineCacheRefreshesOncePerRearmNotPerQuery) {
+  BananaPiBoard board;
+  // Quiescent polling: the first query may compute, every later one is a
+  // cache hit.
+  const std::uint64_t idle_before = board.deadline_refreshes();
+  for (int i = 0; i < 1'000; ++i) {
+    EXPECT_EQ(board.next_device_deadline(), kNoDeadline);
+  }
+  EXPECT_LE(board.deadline_refreshes() - idle_before, 1u);
+
+  // Arming a timer invalidates the cache exactly once...
+  board.timer().start(0, 100);
+  const std::uint64_t armed_before = board.deadline_refreshes();
+  EXPECT_EQ(board.next_device_deadline().value, 100u);
+  for (int i = 0; i < 1'000; ++i) {
+    EXPECT_EQ(board.next_device_deadline().value, 100u);
+  }
+  EXPECT_EQ(board.deadline_refreshes() - armed_before, 1u);
+
+  // ...and a busy span refreshes once per re-arm (10 fires in 1000
+  // ticks), never once per tick: the cached value stays exact throughout.
+  const std::uint64_t busy_before = board.deadline_refreshes();
+  for (int tick = 0; tick < 1'000; ++tick) {
+    board.tick();
+    EXPECT_EQ(board.next_device_deadline().value,
+              (board.now().value / 100 + 1) * 100);
+  }
+  EXPECT_EQ(board.timer().fires(0), 10u);
+  const std::uint64_t busy_refreshes = board.deadline_refreshes() - busy_before;
+  EXPECT_GE(busy_refreshes, 10u);   // every re-arm was noticed
+  EXPECT_LE(busy_refreshes, 12u);   // but queries between re-arms were hits
+}
+
+TEST(Board, DeadlineCacheSurvivesResetAndRestore) {
+  BananaPiBoard board;
+  board.timer().start(0, 50);
+  EXPECT_EQ(board.next_device_deadline().value, 50u);
+
+  board.reset();  // timer disarmed: the cache must not echo the old 50
+  EXPECT_EQ(board.next_device_deadline(), kNoDeadline);
+
+  board.timer().start(1, 30);
+  util::Arena arena(1 << 20);
+  Board::Snapshot snapshot;
+  board.snapshot_to(snapshot, arena);
+  board.run_ticks(30);  // fire + re-arm: deadline now 60
+  EXPECT_EQ(board.next_device_deadline().value, 60u);
+
+  board.restore_from(snapshot);  // back to t=0, deadline 30 again
+  EXPECT_EQ(board.next_device_deadline().value, 30u);
+}
+
 TEST(Board, QuiescentBoardPublishesNoDeadline) {
   BananaPiBoard board;
   EXPECT_EQ(board.next_device_deadline(), kNoDeadline);

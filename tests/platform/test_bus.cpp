@@ -60,5 +60,56 @@ TEST_F(BusTest, DeviceErrorsPropagate) {
   EXPECT_FALSE(bus_.read_u32(kUart0Base + 0x3FC).is_ok());
 }
 
+TEST_F(BusTest, RejectsWindowOverlappingDram) {
+  // The DRAM pre-check in read/write dispatch is sound only if no device
+  // window can shadow RAM; attach() is where that invariant is enforced.
+  Uart shadow("shadow", mem::kDramBase + 0x1000, nullptr, 0);
+  const util::Status status = bus_.attach(shadow);
+  EXPECT_EQ(status.code(), util::Code::EInval);
+  EXPECT_NE(status.message().find("overlaps DRAM"), std::string::npos);
+  EXPECT_NE(status.message().find("shadow"), std::string::npos);
+  // RAM at that address still routes to DRAM, not to a phantom device.
+  ASSERT_TRUE(bus_.write_u32(mem::kDramBase + 0x1000, 7).is_ok());
+  EXPECT_EQ(dram_.read_u32(mem::kDramBase + 0x1000).value(), 7u);
+}
+
+TEST_F(BusTest, OverlapDiagnosticNamesTheExistingWindow) {
+  Uart clash("clash", kGpioBase, nullptr, 0);
+  const util::Status status = bus_.attach(clash);
+  EXPECT_EQ(status.code(), util::Code::EInval);
+  EXPECT_NE(status.message().find("'clash'"), std::string::npos);
+  EXPECT_NE(status.message().find("'gpio'"), std::string::npos);
+}
+
+TEST(BusDispatch, SortedLookupIsAttachOrderIndependent) {
+  // The window table is sorted by base while devices() keeps attach
+  // order; dispatch must resolve first/last bytes of every window no
+  // matter how the attach order relates to the address order.
+  mem::PhysicalMemory dram;
+  Bus bus(dram);
+  Gpio gpio("gpio", kGpioBase);
+  Uart uart0("uart0", kUart0Base, nullptr, 0);
+  Uart uart1("uart1", kUart1Base, nullptr, 0);
+  ASSERT_TRUE(bus.attach(uart1).is_ok());
+  ASSERT_TRUE(bus.attach(gpio).is_ok());
+  ASSERT_TRUE(bus.attach(uart0).is_ok());
+
+  for (Device* device : {static_cast<Device*>(&gpio),
+                         static_cast<Device*>(&uart0),
+                         static_cast<Device*>(&uart1)}) {
+    EXPECT_EQ(bus.find_device(device->base()), device) << device->name();
+    EXPECT_EQ(bus.find_device(device->base() + device->size() - 1), device)
+        << device->name();
+    EXPECT_NE(bus.find_device(device->base() + device->size()), device)
+        << device->name();
+  }
+  EXPECT_EQ(bus.find_device(0), nullptr);
+  EXPECT_EQ(bus.find_device(~std::uint64_t{0}), nullptr);
+
+  // Attach order stays the observable enumeration order.
+  const std::vector<Device*> expected{&uart1, &gpio, &uart0};
+  EXPECT_EQ(bus.devices(), expected);
+}
+
 }  // namespace
 }  // namespace mcs::platform
