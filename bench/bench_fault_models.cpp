@@ -7,16 +7,66 @@
 // flips (they rewrite all 32 bits), double-bit flips sit between.
 //
 //   $ ./bench_fault_models [runs_per_model]   (default 40)
+//   $ ./bench_fault_models --json [runs]      per-domain throughput JSON
+#include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <iomanip>
 #include <iostream>
+#include <string>
 
 #include "core/campaign.hpp"
 
+namespace {
+
+/// --json: the same medium campaign once per fault domain, reported as a
+/// machine-readable throughput artifact (injections/sec per domain) for
+/// the release-perf CI job to archive alongside the register benches.
+int run_json(std::uint32_t runs) {
+  using namespace mcs;
+  std::cout << "{\n  \"runs_per_domain\": " << runs << ",\n  \"domains\": [";
+  bool first = true;
+  for (std::size_t d = 0; d < fi::kNumFaultDomains; ++d) {
+    const auto domain = static_cast<fi::FaultDomain>(d);
+    fi::TestPlan plan = fi::paper_medium_trap_plan();
+    plan.fault_domain = domain;
+    plan.runs = runs;
+    plan.seed = 0xA4'40 + d;
+    fi::Campaign campaign(plan);
+    campaign.set_probe_recovery(false);
+    const auto start = std::chrono::steady_clock::now();
+    const fi::CampaignResult result = campaign.execute();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const std::uint64_t injections = result.total_injections();
+    std::cout << (first ? "" : ",") << "\n    {\"domain\": \""
+              << fi::fault_domain_name(domain) << "\", \"injections\": "
+              << injections << ", \"seconds\": " << std::fixed
+              << std::setprecision(4) << seconds
+              << ", \"injections_per_sec\": " << std::setprecision(1)
+              << (seconds > 0 ? static_cast<double>(injections) / seconds : 0.0)
+              << "}";
+    first = false;
+  }
+  std::cout << "\n  ]\n}\n";
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace mcs;
-  const auto runs =
-      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 40;
+  bool json = false;
+  std::uint32_t runs = 40;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      runs = static_cast<std::uint32_t>(std::atoi(argv[i]));
+    }
+  }
+  if (json) return run_json(runs);
 
   std::cout << "A4 — failure-mode mix per fault model (medium plan "
                "otherwise)\n";

@@ -12,7 +12,7 @@
 #include <iomanip>
 #include <iostream>
 
-#include "core/memory_injector.hpp"
+#include "core/injection_target.hpp"
 #include "core/testbed.hpp"
 #include "guests/freertos_image.hpp"
 #include "hypervisor/cell_config.hpp"
@@ -43,14 +43,13 @@ SweepResult sweep(std::uint32_t runs, bool targeted, std::uint64_t seed_base) {
                     guest::FreeRtosImage::kStateBase) +
                        guest::FreeRtosImage::kIntegerTasks * 4
                  : jh::kFreeRtosRamSize;
-    fi::MemoryFaultInjector injector(testbed.board().dram(), base, size,
-                                     seed_base + i);
+    util::Xoshiro256 rng(seed_base + i);
     // One flip per 500 ms of board time, 10 s run.
     for (int window = 0; window < 20; ++window) {
-      (void)injector.inject_one(testbed.board().now().value);
+      (void)fi::inject_dram_fault(rng, testbed.board().dram(), base, size);
       testbed.run(500);
+      ++out.flips;
     }
-    out.flips += injector.injections();
     const std::uint64_t errors = testbed.freertos().data_errors();
     out.detected_errors += errors;
     if (errors > 0) ++out.runs_with_detection;

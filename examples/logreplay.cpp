@@ -76,16 +76,22 @@ int parse_log(const std::string& path, mcs::analysis::ParsedRunLog& parsed) {
   parsed = mcs::analysis::parse_run_log(text);
   if (parsed.entries.empty()) {
     std::cerr << "logreplay: no run lines found in '" << path << "' ("
-              << parsed.malformed_lines
+              << parsed.skipped_lines
               << " non-run lines skipped) — is this a campaign log "
                  "(fault_campaign stdout)?\n";
     return 1;
   }
-  if (parsed.malformed_lines > 0) {
-    // Headers/footers are expected in a full campaign capture; still
-    // surface the count so truncated or mangled logs are noticed.
-    std::cerr << "logreplay: note: " << path << ": " << parsed.malformed_lines
+  if (parsed.skipped_lines > 0) {
+    // Headers/footers and record kinds from other writers are expected in
+    // a full campaign capture; surface the count so nothing hides.
+    std::cerr << "logreplay: note: " << path << ": " << parsed.skipped_lines
               << " non-run lines skipped\n";
+  }
+  if (parsed.malformed_lines > 0) {
+    // A run line that would not parse — truncation, corruption. Replay
+    // continues on what did parse, but the analytics are incomplete.
+    std::cerr << "logreplay: warning: " << path << ": "
+              << parsed.malformed_lines << " malformed run lines dropped\n";
   }
   return 0;
 }
@@ -139,7 +145,7 @@ int main(int argc, char** argv) {
   }
 
   std::cout << parsed.entries.size() << " runs replayed from " << path << " ("
-            << parsed.malformed_lines << " non-run lines skipped)\n\n";
+            << parsed.skipped_lines << " non-run lines skipped)\n\n";
   std::cout << analysis::render_distribution_table(aggregate.distribution)
             << "\n";
   std::cout << analysis::render_latency_summary(aggregate.detection_latency);

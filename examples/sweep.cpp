@@ -49,6 +49,8 @@ void usage(std::ostream& out) {
          "  --scenarios a,b,...   scenario axis (ScenarioRegistry keys)\n"
          "  --rates n,m,...       fault-intensity axis (inject 1/N calls)\n"
          "  --boards a,b,...      board axis (optional; default: scenario's)\n"
+         "  --domains a,b,...     fault-domain axis (register, gic,\n"
+         "                        irq-delivery, device-mmio, dram)\n"
          "  --runs N              runs per grid cell (default 8)\n"
          "  --seed S              base seed (decimal or 0x...)\n"
          "  --duration T          observation window ticks (default: plan's)\n"
@@ -442,6 +444,8 @@ int main(int argc, char** argv) {
       }
     } else if (flag == "--boards" && (arg = value()) != nullptr) {
       spec.boards = split_csv(arg);
+    } else if (flag == "--domains" && (arg = value()) != nullptr) {
+      spec.domains = split_csv(arg);
     } else if (flag == "--runs" && (arg = value()) != nullptr) {
       if (!parse_number("runs", arg, number)) return 1;
       spec.runs = static_cast<std::uint32_t>(number);

@@ -172,6 +172,11 @@ util::Expected<RunLogEntry> parse_run_log_line(std::string_view line) {
       !parse_u64(value, entry.uart_bytes)) {
     return util::invalid_argument("bad usart_bytes field");
   }
+  if (find_field(fields, "domain=", value)) {
+    if (!fi::fault_domain_from_name(value, entry.domain)) {
+      return util::invalid_argument("unknown domain field");
+    }
+  }
   if (find_field(fields, "detect_latency=", value)) {
     if (value.size() < 3 || !value.ends_with("ms") ||
         !parse_u64(value.substr(0, value.size() - 2), entry.detect_latency_ms)) {
@@ -199,6 +204,8 @@ CampaignAggregate aggregate_from_log(const ParsedRunLog& log) {
   for (const RunLogEntry& entry : log.entries) {
     aggregate.distribution.add(entry.outcome);
     aggregate.injections += entry.injections;
+    aggregate.injections_by_domain[static_cast<std::size_t>(entry.domain)] +=
+        entry.injections;
     if (entry.failure_detected) {
       aggregate.detection_latency.add(
           static_cast<double>(entry.detect_latency_ms));
@@ -214,8 +221,18 @@ CampaignAggregate aggregate_from_log(const ParsedRunLog& log) {
 ParsedRunLog parse_run_log(std::string_view text) {
   ParsedRunLog parsed;
   for (const std::string& line : util::split(text, '\n')) {
-    if (util::trim(line).empty()) continue;
-    auto entry = parse_run_log_line(line);
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty()) continue;
+    // Lines that aren't run records at all — record kinds from a newer (or
+    // older) writer — are skipped and counted, never fatal. Only a line
+    // that claims to be a run record and fails to parse is malformed: the
+    // distinction is what lets resume trust a log with foreign record
+    // kinds while still rejecting one with a truncated run line.
+    if (!trimmed.starts_with("run ")) {
+      ++parsed.skipped_lines;
+      continue;
+    }
+    auto entry = parse_run_log_line(trimmed);
     if (entry.is_ok()) {
       parsed.entries.push_back(std::move(entry).value());
     } else {

@@ -45,6 +45,9 @@ struct RunLogEntry {
   std::uint32_t index = 0;
   fi::Outcome outcome = fi::Outcome::Correct;
   std::string detail;
+  /// The `domain=` field; absent (pre-refactor logs, register campaigns)
+  /// parses as Register, matching what run_log_line() omits.
+  fi::FaultDomain domain = fi::FaultDomain::Register;
   std::uint64_t injections = 0;
   std::uint64_t uart_bytes = 0;
   /// The line carried a detect_latency field, i.e. the run's failure was
@@ -62,7 +65,14 @@ struct RunLogEntry {
 
 struct ParsedRunLog {
   std::vector<RunLogEntry> entries;
+  /// Lines that claimed to be run records ("run " prefix) but failed to
+  /// parse — truncation, corruption. A resumable log must have none.
   std::size_t malformed_lines = 0;
+  /// Non-run lines skipped wholesale: record kinds this parser does not
+  /// recognize (newer writers interleaving other records, annotations).
+  /// Counted, not fatal, so replay of a mixed log degrades gracefully in
+  /// both directions — old parser on new logs and vice versa.
+  std::size_t skipped_lines = 0;
 
   /// Rebuild the Figure-3 unit of aggregation from the parsed entries.
   [[nodiscard]] fi::OutcomeDistribution distribution() const;

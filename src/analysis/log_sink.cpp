@@ -42,6 +42,8 @@ double RunningStats::stddev() const noexcept {
 void CampaignAggregate::add(const fi::RunResult& run) {
   distribution.add(run.outcome);
   injections += run.injections;
+  injections_by_domain[static_cast<std::size_t>(run.fault_domain)] +=
+      run.injections;
   if (run.failure_detected()) {
     detection_latency.add(static_cast<double>(run.detection_latency()));
   }
@@ -55,6 +57,9 @@ void CampaignAggregate::merge(const CampaignAggregate& other) {
   distribution.merge(other.distribution);
   detection_latency.merge(other.detection_latency);
   injections += other.injections;
+  for (std::size_t i = 0; i < injections_by_domain.size(); ++i) {
+    injections_by_domain[i] += other.injections_by_domain[i];
+  }
   cell_failures += other.cell_failures;
   reclaimed += other.reclaimed;
 }

@@ -8,6 +8,7 @@
 // analytics never need the full RunResult vector.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -47,6 +48,10 @@ struct CampaignAggregate {
   fi::OutcomeDistribution distribution;
   RunningStats detection_latency;  ///< ms, over detected failures only
   std::uint64_t injections = 0;
+  /// injections split by the fault domain that delivered them, indexed by
+  /// fi::FaultDomain. Register-only campaigns put everything in slot 0, so
+  /// the breakdown is free for legacy logs too.
+  std::array<std::uint64_t, fi::kNumFaultDomains> injections_by_domain{};
   std::uint64_t cell_failures = 0;  ///< fi::is_cell_failure() runs
   std::uint64_t reclaimed = 0;      ///< …of those, recovered by shutdown
 

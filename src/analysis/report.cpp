@@ -159,6 +159,21 @@ std::string render_comparison_report(
   footer_row("injections", [](const ComparisonColumn& c) {
     return compare_number_cell(c.aggregate.injections);
   });
+  // Per-domain injection rows, one per non-register domain that delivered
+  // anything in any column. Register-only reports render byte-identically
+  // to the pre-domain format: slot 0 is the total already printed above.
+  for (std::size_t d = 1; d < fi::kNumFaultDomains; ++d) {
+    bool occurred = false;
+    for (const ComparisonColumn& column : columns) {
+      occurred = occurred || column.aggregate.injections_by_domain[d] > 0;
+    }
+    if (!occurred) continue;
+    const auto domain = static_cast<fi::FaultDomain>(d);
+    footer_row("inj " + std::string(fi::fault_domain_name(domain)),
+               [d](const ComparisonColumn& c) {
+                 return compare_number_cell(c.aggregate.injections_by_domain[d]);
+               });
+  }
   footer_row("cell failures", [](const ComparisonColumn& c) {
     return compare_number_cell(c.aggregate.cell_failures);
   });

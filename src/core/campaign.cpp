@@ -46,6 +46,12 @@ std::string run_log_line(std::uint32_t index, const RunResult& run) {
   out << "run " << index << ": " << outcome_name(run.outcome) << " — "
       << run.detail << " (injections=" << run.injections
       << ", usart_bytes=" << run.uart1_bytes;
+  // Register-domain lines keep the historical format byte-for-byte, so
+  // pre-refactor logdirs still parse and resume; other domains tag their
+  // lines (and the parser treats a missing tag as register).
+  if (run.fault_domain != FaultDomain::Register) {
+    out << ", domain=" << fault_domain_name(run.fault_domain);
+  }
   if (run.failure_detected()) {
     out << ", detect_latency=" << run.detection_latency() << "ms";
   }

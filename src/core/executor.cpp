@@ -34,6 +34,16 @@ CampaignExecutor::CampaignExecutor(TestPlan plan, ExecutorConfig config)
       tuning_status_ = tuning.status();
     }
   }
+  // The tuning's fault-domain key (if any) overrides the plan's, like the
+  // board key below. Plans built via ScenarioRegistry::make arrive with
+  // the override already applied; this re-resolution covers plans whose
+  // tuning was attached directly (the sweep expand path). An unknown name
+  // is a HarnessError on every run, like a malformed tuning.
+  if (tuning_status_.is_ok() && !tuning_.fault_domain.empty() &&
+      !fault_domain_from_name(tuning_.fault_domain, plan_.fault_domain)) {
+    tuning_status_ = util::invalid_argument("unknown fault domain '" +
+                                            tuning_.fault_domain + "'");
+  }
   // Board resolution, once per campaign instead of once per run: the
   // tuning's `board` key (if any) overrides the plan's, and the registry
   // entry is cached so runs construct boards without re-locking the
@@ -156,6 +166,7 @@ RunResult CampaignExecutor::run_with(const Scenario* scenario,
   scenario->epilogue(*testbed);
 
   RunResult result = monitor.finish(*testbed);
+  result.fault_domain = plan_.fault_domain;
   result.injections = injector.injections();
   result.first_injection_tick = injector.first_injection_tick();
   for (const InjectionRecord& record : injector.records()) {

@@ -4,6 +4,28 @@
 
 namespace mcs::fi {
 
+std::string_view fault_domain_name(FaultDomain domain) noexcept {
+  switch (domain) {
+    case FaultDomain::Register: return "register";
+    case FaultDomain::Gic: return "gic";
+    case FaultDomain::IrqDelivery: return "irq-delivery";
+    case FaultDomain::DeviceMmio: return "device-mmio";
+    case FaultDomain::Dram: return "dram";
+  }
+  return "?";
+}
+
+bool fault_domain_from_name(std::string_view name, FaultDomain& out) noexcept {
+  for (std::size_t i = 0; i < kNumFaultDomains; ++i) {
+    const auto domain = static_cast<FaultDomain>(i);
+    if (name == fault_domain_name(domain)) {
+      out = domain;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::vector<arch::Reg> all_registers() {
   std::vector<arch::Reg> regs;
   regs.reserve(arch::kNumGeneralRegs);
@@ -26,7 +48,7 @@ FlipRecord flip_one_bit(util::Xoshiro256& rng, arch::RegisterBank& bank,
   record.bit = static_cast<unsigned>(rng.below(arch::kWordBits));
   record.before = bank[reg];
   record.after = util::flip_bit(record.before, record.bit);
-  bank.set(reg, record.after);
+  bank.set(reg, static_cast<arch::Word>(record.after));
   return record;
 }
 
@@ -67,7 +89,7 @@ std::vector<FlipRecord> StuckAtModel::apply(util::Xoshiro256& rng,
   record.bit = kWholeRegister;
   record.before = bank[reg];
   record.after = stuck_high_ ? ~arch::Word{0} : arch::Word{0};
-  bank.set(reg, record.after);
+  bank.set(reg, static_cast<arch::Word>(record.after));
   return {record};
 }
 
@@ -106,7 +128,7 @@ std::vector<FlipRecord> DoubleBitFlip::apply(util::Xoshiro256& rng,
   record.bit = first;  // the second bit is recoverable from before/after
   record.before = bank[reg];
   record.after = util::flip_bit(util::flip_bit(record.before, first), second);
-  bank.set(reg, record.after);
+  bank.set(reg, static_cast<arch::Word>(record.after));
   return {record};
 }
 

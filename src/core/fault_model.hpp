@@ -18,13 +18,42 @@
 
 namespace mcs::fi {
 
-/// One register mutation, recorded for the campaign log.
-struct FlipRecord {
+/// Where an injection lands. Register faults are the paper's baseline;
+/// the other domains are the §V "wider fault model set" — GIC-distributor
+/// corruption, lost/spurious IRQ delivery, device MMIO-state faults, and
+/// guest-DRAM bit flips.
+enum class FaultDomain : std::uint8_t {
+  Register = 0,
+  Gic,
+  IrqDelivery,
+  DeviceMmio,
+  Dram,
+};
+
+inline constexpr std::size_t kNumFaultDomains = 5;
+
+[[nodiscard]] std::string_view fault_domain_name(FaultDomain domain) noexcept;
+
+/// Parse a domain vocabulary word ("register", "gic", "irq-delivery",
+/// "device-mmio", "dram"). Returns false on an unknown name.
+[[nodiscard]] bool fault_domain_from_name(std::string_view name,
+                                          FaultDomain& out) noexcept;
+
+/// One recorded mutation, tagged with the domain it landed in. The `addr`
+/// field is domain-dependent: the physical address for Dram/DeviceMmio
+/// faults, the IRQ line id for Gic/IrqDelivery faults, unused (0) for
+/// Register faults — where `reg`/`bit` carry the flip instead.
+struct FaultRecord {
+  FaultDomain domain = FaultDomain::Register;
   arch::Reg reg = arch::Reg::R0;
   unsigned bit = 0;  ///< for stuck-at/zero models: 32 means "whole register"
-  arch::Word before = 0;
-  arch::Word after = 0;
+  std::uint64_t addr = 0;
+  std::uint64_t before = 0;
+  std::uint64_t after = 0;
 };
+
+/// Historical name for the register-only record; the struct is shared now.
+using FlipRecord = FaultRecord;
 
 inline constexpr unsigned kWholeRegister = 32;
 

@@ -5,17 +5,21 @@ namespace mcs::fi {
 Injector::Injector(const TestPlan& plan, std::uint64_t seed,
                    const util::SimClock& clock)
     : plan_(plan),
-      model_(make_fault_model(plan.fault, plan.fault_registers, plan.fault_count)),
+      target_(make_injection_target(plan)),
       rng_(seed),
       clock_(&clock) {}
 
 void Injector::attach(jh::Hypervisor& hv) {
+  hv_ = &hv;
   hv.set_entry_hook([this](jh::HookPoint point, arch::EntryFrame& frame) {
     on_entry(point, frame);
   });
 }
 
-void Injector::detach(jh::Hypervisor& hv) { hv.clear_entry_hook(); }
+void Injector::detach(jh::Hypervisor& hv) {
+  hv.clear_entry_hook();
+  hv_ = nullptr;
+}
 
 void Injector::on_entry(jh::HookPoint point, arch::EntryFrame& frame) {
   if (point != plan_.target) return;
@@ -32,7 +36,7 @@ void Injector::on_entry(jh::HookPoint point, arch::EntryFrame& frame) {
   record.call_index = calls_;
   record.point = point;
   record.cpu = frame.cpu;
-  record.flips = model_->apply(rng_, frame.bank);
+  record.flips = target_->inject(rng_, frame, hv_);
   records_.push_back(std::move(record));
 }
 

@@ -13,6 +13,7 @@
 
 #include "arch/cpu.hpp"
 #include "core/fault_model.hpp"
+#include "core/injection_target.hpp"
 #include "core/plan.hpp"
 #include "hypervisor/hypervisor.hpp"
 #include "util/clock.hpp"
@@ -20,13 +21,15 @@
 
 namespace mcs::fi {
 
-/// One injection event, as written to the campaign log.
+/// One injection event, as written to the campaign log. `flips` holds
+/// the domain-tagged mutations (register flips for the register domain,
+/// GIC/device/DRAM records otherwise).
 struct InjectionRecord {
   std::uint64_t tick = 0;       ///< board time of the injection
   std::uint64_t call_index = 0; ///< filtered-call counter value
   jh::HookPoint point = jh::HookPoint::ArchHandleTrap;
   int cpu = 0;
-  std::vector<FlipRecord> flips;
+  std::vector<FaultRecord> flips;
 };
 
 class Injector {
@@ -64,9 +67,13 @@ class Injector {
 
  private:
   TestPlan plan_;
-  std::unique_ptr<FaultModel> model_;
+  std::unique_ptr<InjectionTarget> target_;
   util::Xoshiro256 rng_;
   const util::SimClock* clock_;
+  /// The machine under attack; set by attach() so non-register domains
+  /// can reach the board. Null until attached (register-domain tests
+  /// drive on_entry() bare; other domains then inject nothing).
+  jh::Hypervisor* hv_ = nullptr;
   bool armed_ = true;
   std::uint64_t calls_ = 0;
   std::vector<InjectionRecord> records_;

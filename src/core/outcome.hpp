@@ -7,6 +7,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/fault_model.hpp"
 #include "hypervisor/hypercall.hpp"
 
 namespace mcs::fi {
@@ -68,6 +69,8 @@ struct RunResult {
   Outcome outcome = Outcome::Correct;
   std::string detail;  ///< human-readable cause (panic reason, park class…)
 
+  /// Which fault domain the run's injections attacked (the plan's).
+  FaultDomain fault_domain = FaultDomain::Register;
   std::uint64_t injections = 0;
   std::uint64_t flipped_bits = 0;
   std::uint64_t first_injection_tick = 0;

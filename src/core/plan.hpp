@@ -38,6 +38,10 @@ struct TestPlan {
   /// each run is built on ("bananapi", "quad-a7", …).
   std::string board = "bananapi";
   jh::HookPoint target = jh::HookPoint::ArchHandleTrap;
+  /// Which layer of the machine the injections corrupt. Register is the
+  /// paper's baseline; the fault model fields below only apply there.
+  /// Config-text vocabulary: "fault domain gic", "fault domain dram", …
+  FaultDomain fault_domain = FaultDomain::Register;
   FaultModelKind fault = FaultModelKind::SingleBitFlip;
   std::vector<arch::Reg> fault_registers;  ///< empty → model default
   unsigned fault_count = 2;  ///< registers per injection (RandomMultiFlip)

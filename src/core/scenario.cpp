@@ -321,6 +321,8 @@ util::Expected<TestPlan> ScenarioRegistry::make(std::string_view name,
   // Validate the tuning up front: a bad knob should fail plan
   // construction, not surface as per-run harness errors later.
   std::string tuned_board;
+  std::string tuned_domain;
+  FaultDomain tuned_domain_value = FaultDomain::Register;
   if (!options.cell_tuning.empty()) {
     auto tuning = jh::parse_cell_tuning(options.cell_tuning);
     if (!tuning.is_ok()) {
@@ -332,12 +334,20 @@ util::Expected<TestPlan> ScenarioRegistry::make(std::string_view name,
         platform::find_board_spec(tuned_board) == nullptr) {
       return util::invalid_argument("unknown board '" + tuned_board + "'");
     }
+    tuned_domain = tuning.value().fault_domain;
+    if (!tuned_domain.empty() &&
+        !fault_domain_from_name(tuned_domain, tuned_domain_value)) {
+      return util::invalid_argument("unknown fault domain '" + tuned_domain +
+                                    "'");
+    }
   }
   TestPlan plan = options.base != nullptr ? scenario->make_plan(*options.base)
                                           : scenario->make_plan();
   plan.cell_tuning = options.cell_tuning;
-  // The tuning's board key overrides the scenario/base default.
+  // The tuning's board and fault-domain keys override the scenario/base
+  // defaults.
   if (!tuned_board.empty()) plan.board = tuned_board;
+  if (!tuned_domain.empty()) plan.fault_domain = tuned_domain_value;
   return plan;
 }
 

@@ -17,12 +17,15 @@ namespace mcs::fi {
 
 namespace {
 
-/// "scenario_rN[_board]": unique per grid cell (the spec parser rejects
-/// duplicated axis values), filesystem-safe for registry-style keys.
+/// "scenario_rN[_board][_domain]": unique per grid cell (the spec parser
+/// rejects duplicated axis values), filesystem-safe for registry-style
+/// keys. Cells without a board/domain axis keep the historical id, so
+/// pre-refactor logdirs still resume.
 std::string cell_id(const std::string& scenario, std::uint32_t rate,
-                    const std::string& board) {
+                    const std::string& board, const std::string& domain) {
   std::string id = scenario + "_r" + std::to_string(rate);
   if (!board.empty()) id += "_" + board;
+  if (!domain.empty()) id += "_" + domain;
   return id;
 }
 
@@ -59,6 +62,9 @@ util::Status validate_grid(const SweepSpec& spec) {
   if (has_duplicates(spec.boards)) {
     return util::invalid_argument("duplicate board in sweep spec");
   }
+  if (has_duplicates(spec.domains)) {
+    return util::invalid_argument("duplicate domain in sweep spec");
+  }
   return util::ok_status();
 }
 
@@ -86,6 +92,13 @@ std::string plan_fingerprint(const TestPlan& plan) {
       << "seed " << plan.seed << "\n"
       << "inject_during_boot " << (plan.inject_during_boot ? 1 : 0) << "\n"
       << "tuning " << tuning << "\n";
+  // Appended (not inline above) and only for non-register plans: a
+  // register-domain plan's fingerprint is byte-identical to the
+  // pre-refactor format, so existing logdirs resume instead of
+  // re-executing.
+  if (plan.fault_domain != FaultDomain::Register) {
+    out << "domain " << fault_domain_name(plan.fault_domain) << "\n";
+  }
   return out.str();
 }
 
@@ -228,6 +241,11 @@ std::string render_sweep_spec(const SweepSpec& spec) {
     for (const std::string& board : spec.boards) out << ' ' << board;
     out << "\n";
   }
+  if (!spec.domains.empty()) {
+    out << "domain";
+    for (const std::string& domain : spec.domains) out << ' ' << domain;
+    out << "\n";
+  }
   out << "runs " << spec.runs << "\n"
       << "seed " << spec.seed << "\n";
   if (spec.duration_ticks != 0) out << "duration " << spec.duration_ticks << "\n";
@@ -267,9 +285,12 @@ util::Expected<SweepSpec> parse_sweep_spec(std::string_view text) {
         return fail("sweep name must be quoted");
       }
       spec.name = std::string(rest.substr(open + 1, close - open - 1));
-    } else if (keyword == "scenario" || keyword == "board") {
+    } else if (keyword == "scenario" || keyword == "board" ||
+               keyword == "domain") {
       if (rest.empty()) return fail(std::string(keyword) + " needs a key");
-      auto& axis = keyword == "scenario" ? spec.scenarios : spec.boards;
+      auto& axis = keyword == "scenario" ? spec.scenarios
+                   : keyword == "board"  ? spec.boards
+                                         : spec.domains;
       for (const std::string& token : util::split(rest, ' ')) {
         if (!util::trim(token).empty()) {
           axis.emplace_back(util::trim(token));
@@ -331,9 +352,11 @@ util::Expected<std::vector<TestPlan>> SweepDriver::expand() const {
   const util::Status valid = validate_grid(spec_);
   if (!valid.is_ok()) return valid;
 
-  // No board axis → one pass with the scenario/tuning default board.
+  // No board/domain axis → one pass with the scenario/tuning default.
   const std::vector<std::string> boards =
       spec_.boards.empty() ? std::vector<std::string>{""} : spec_.boards;
+  const std::vector<std::string> domains =
+      spec_.domains.empty() ? std::vector<std::string>{""} : spec_.domains;
 
   ScenarioRegistry& registry = ScenarioRegistry::instance();
   std::vector<TestPlan> plans;
@@ -344,29 +367,36 @@ util::Expected<std::vector<TestPlan>> SweepDriver::expand() const {
   for (const std::string& scenario : spec_.scenarios) {
     for (const std::uint32_t rate : spec_.rates) {
       for (const std::string& board : boards) {
-        ScenarioRegistry::MakeOptions options;
-        options.cell_tuning = spec_.cell_tuning;
-        if (!board.empty()) {
-          // The board axis rides the tuning vocabulary; appended last so
-          // it overrides any `board` line in the shared tuning.
-          if (!options.cell_tuning.empty()) options.cell_tuning += '\n';
-          options.cell_tuning += "board " + board;
+        for (const std::string& domain : domains) {
+          ScenarioRegistry::MakeOptions options;
+          options.cell_tuning = spec_.cell_tuning;
+          if (!board.empty()) {
+            // The board axis rides the tuning vocabulary; appended last
+            // so it overrides any `board` line in the shared tuning.
+            if (!options.cell_tuning.empty()) options.cell_tuning += '\n';
+            options.cell_tuning += "board " + board;
+          }
+          if (!domain.empty()) {
+            // The fault-domain axis rides the same vocabulary.
+            if (!options.cell_tuning.empty()) options.cell_tuning += '\n';
+            options.cell_tuning += "fault domain " + domain;
+          }
+          auto made = registry.make(scenario, options);
+          if (!made.is_ok()) {
+            return util::invalid_argument(
+                "cell " + cell_id(scenario, rate, board, domain) + ": " +
+                made.status().message());
+          }
+          TestPlan plan = std::move(made).value();
+          plan.name = cell_id(scenario, rate, board, domain);
+          plan.rate = rate;
+          plan.runs = spec_.runs;
+          plan.seed = seeder.next();
+          if (spec_.duration_ticks != 0) {
+            plan.duration_ticks = spec_.duration_ticks;
+          }
+          plans.push_back(std::move(plan));
         }
-        auto made = registry.make(scenario, options);
-        if (!made.is_ok()) {
-          return util::invalid_argument(
-              "cell " + cell_id(scenario, rate, board) + ": " +
-              made.status().message());
-        }
-        TestPlan plan = std::move(made).value();
-        plan.name = cell_id(scenario, rate, board);
-        plan.rate = rate;
-        plan.runs = spec_.runs;
-        plan.seed = seeder.next();
-        if (spec_.duration_ticks != 0) {
-          plan.duration_ticks = spec_.duration_ticks;
-        }
-        plans.push_back(std::move(plan));
       }
     }
   }

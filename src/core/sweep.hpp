@@ -43,6 +43,8 @@ struct SweepSpec {
   std::vector<std::uint32_t> rates;      ///< inject-every-Nth-call levels (≥ 1)
   std::vector<std::string> boards;       ///< BoardRegistry keys; empty → the
                                          ///< scenario default, no board axis
+  std::vector<std::string> domains;      ///< fi::FaultDomain names; empty →
+                                         ///< the scenario default, no axis
   std::uint32_t runs = 8;                ///< runs per grid cell
   std::uint64_t seed = 0xC0FFEE;         ///< base seed; cells derive from it
   std::uint64_t duration_ticks = 0;      ///< 0 → the scenario/plan default
@@ -51,7 +53,8 @@ struct SweepSpec {
 
   [[nodiscard]] std::size_t cell_count() const noexcept {
     return scenarios.size() * rates.size() *
-           (boards.empty() ? 1 : boards.size());
+           (boards.empty() ? 1 : boards.size()) *
+           (domains.empty() ? 1 : domains.size());
   }
 };
 
@@ -62,6 +65,7 @@ struct SweepSpec {
 ///   scenario freertos-steady dual-cell # or one per line, accumulating
 ///   rate 100 50
 ///   board bananapi quad-a7             # optional axis
+///   domain register gic dram           # optional fault-domain axis
 ///   runs 8
 ///   seed 0xC0FFEE
 ///   duration 60000

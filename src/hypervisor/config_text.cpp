@@ -232,6 +232,11 @@ util::Expected<CellTuning> parse_cell_tuning(std::string_view text) {
     } else if (keyword == "board") {
       if (tokens.size() != 2) return fail("board needs one registry key");
       tuning.board = tokens[1];
+    } else if (keyword == "fault") {
+      if (tokens.size() != 3 || tokens[1] != "domain") {
+        return fail("fault tuning needs: fault domain <name>");
+      }
+      tuning.fault_domain = tokens[2];
     } else {
       return fail("unknown tuning keyword '" + keyword + "'");
     }

@@ -53,6 +53,7 @@ namespace mcs::jh {
 //   ram 0x00200000        # resize the cell's "ram" region (bytes)
 //   console trapped       # none | passthrough | trapped (base preserved)
 //   board quad-a7         # testbed board variant (BoardRegistry key)
+//   fault domain gic      # injection fault domain (fi::FaultDomain name)
 // ---------------------------------------------------------------------------
 
 struct CellTuning {
@@ -63,9 +64,15 @@ struct CellTuning {
   /// plan/scenario default. Plan-level (consumed by the executor), not
   /// applied to cell configs by apply_cell_tuning().
   std::string board;
+  /// Injection fault-domain name ("register", "gic", "irq-delivery",
+  /// "device-mmio", "dram"); empty → the plan default. Plan-level like
+  /// `board`: validated against fi::fault_domain_from_name by the
+  /// consumers (scenario registry / executor), opaque here.
+  std::string fault_domain;
 
   [[nodiscard]] bool empty() const noexcept {
-    return ram_size == 0 && !has_console_kind && board.empty();
+    return ram_size == 0 && !has_console_kind && board.empty() &&
+           fault_domain.empty();
   }
 };
 

@@ -84,6 +84,21 @@ class Gic {
   /// True iff `cpu` has any deliverable interrupt (drives the vIRQ wire).
   [[nodiscard]] bool irq_line(int cpu) const noexcept { return peek(cpu) != kSpuriousIrq; }
 
+  // --- fault injection --------------------------------------------------
+  /// Assert `irq` pending on `cpu` regardless of line type or routing
+  /// (spurious-delivery fault). Out-of-range arguments are ignored. Keeps
+  /// the pending-bitmap mirror coherent, so peek()/acknowledge() see the
+  /// corruption immediately and snapshots restore it faithfully.
+  void force_pending(int cpu, IrqId irq) noexcept {
+    if (irq < kNumIrqs && cpu >= 0 && cpu < num_cpus_) mark_pending(cpu, irq);
+  }
+
+  /// Drop a pending assertion of `irq` on `cpu` (lost-interrupt fault).
+  /// Out-of-range arguments are ignored; the mirror stays coherent.
+  void squash_pending(int cpu, IrqId irq) noexcept {
+    if (irq < kNumIrqs && cpu >= 0 && cpu < num_cpus_) clear_pending(cpu, irq);
+  }
+
   /// Drop all pending/active state for a CPU (cell destruction reclaim).
   void reset_cpu(int cpu) noexcept;
 

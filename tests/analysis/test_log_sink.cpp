@@ -262,8 +262,13 @@ TEST(RunLogParser, RejectsMalformedLines) {
   EXPECT_FALSE(parse_run_log_line("run x: correct — d (injections=1, "
                                   "usart_bytes=2)")
                    .is_ok());
-  const ParsedRunLog parsed = parse_run_log("nonsense\n\nrun 0: correct — ok "
-                                            "(injections=1, usart_bytes=9)\n");
+  // A foreign record kind is skipped (counted, not fatal); a line that
+  // claims to be a run record but is truncated is malformed — resume
+  // tolerates the former and rejects the latter.
+  const ParsedRunLog parsed = parse_run_log(
+      "nonsense\n\nrun 0: correct — ok (injections=1, usart_bytes=9)\n"
+      "run 1: correct — truncated (inject\n");
+  EXPECT_EQ(parsed.skipped_lines, 1u);
   EXPECT_EQ(parsed.malformed_lines, 1u);
   ASSERT_EQ(parsed.entries.size(), 1u);
   EXPECT_EQ(parsed.entries[0].uart_bytes, 9u);

@@ -58,8 +58,17 @@ TEST(Trace, InjectionsCsvListsEveryFlip) {
   record.call_index = 100;
   record.point = jh::HookPoint::ArchHandleTrap;
   record.cpu = 1;
-  record.flips.push_back({arch::Reg::R12, 17, 0x7c020000, 0x7c000000});
-  record.flips.push_back({arch::Reg::R3, 4, 0x10, 0x0});
+  fi::FaultRecord flip;
+  flip.reg = arch::Reg::R12;
+  flip.bit = 17;
+  flip.before = 0x7c020000;
+  flip.after = 0x7c000000;
+  record.flips.push_back(flip);
+  flip.reg = arch::Reg::R3;
+  flip.bit = 4;
+  flip.before = 0x10;
+  flip.after = 0x0;
+  record.flips.push_back(flip);
   records.push_back(record);
   const std::string csv = injections_to_csv(records);
   EXPECT_NE(csv.find("123,100,arch_handle_trap,1,r12,17"), std::string::npos);

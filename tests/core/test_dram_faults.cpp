@@ -1,7 +1,6 @@
-#include "core/memory_injector.hpp"
-
 #include <gtest/gtest.h>
 
+#include "core/injection_target.hpp"
 #include "core/testbed.hpp"
 #include "guests/freertos_image.hpp"
 #include "hypervisor/cell_config.hpp"
@@ -9,48 +8,51 @@
 namespace mcs::fi {
 namespace {
 
-TEST(MemoryFaultInjector, FlipsExactlyOneBitInWindow) {
+TEST(DramFault, FlipsExactlyOneBitInWindow) {
   mem::PhysicalMemory dram;
-  MemoryFaultInjector injector(dram, mem::kDramBase, 0x1000, 7);
+  util::Xoshiro256 rng(7);
   for (int i = 0; i < 100; ++i) {
-    const MemoryFaultRecord record = injector.inject_one(42);
+    const FaultRecord record =
+        inject_dram_fault(rng, dram, mem::kDramBase, 0x1000);
+    EXPECT_EQ(record.domain, FaultDomain::Dram);
     EXPECT_GE(record.addr, mem::kDramBase);
     EXPECT_LT(record.addr, mem::kDramBase + 0x1000);
     EXPECT_EQ(record.after, record.before ^ (1u << record.bit));
     EXPECT_EQ(dram.read_u8(record.addr).value(), record.after);
-    EXPECT_EQ(record.tick, 42u);
   }
-  EXPECT_EQ(injector.injections(), 100u);
 }
 
-TEST(MemoryFaultInjector, DoubleFlipOfSameBitRestores) {
+TEST(DramFault, DoubleFlipOfSameBitRestores) {
   mem::PhysicalMemory dram;
   (void)dram.write_u8(mem::kDramBase, 0xA5);
-  MemoryFaultInjector injector(dram, mem::kDramBase, 1, 1);
-  const MemoryFaultRecord first = injector.inject_one(0);
-  // Window is a single byte; flip the same bit back by injecting until the
-  // same bit is chosen again... deterministic check instead: flip manually.
-  (void)dram.write_u8(first.addr, first.before);
+  util::Xoshiro256 rng(1);
+  const FaultRecord first = inject_dram_fault(rng, dram, mem::kDramBase, 1);
+  // Window is a single byte; undo by writing the recorded before-value.
+  (void)dram.write_u8(first.addr, static_cast<std::uint8_t>(first.before));
   EXPECT_EQ(dram.read_u8(mem::kDramBase).value(), 0xA5);
 }
 
-TEST(MemoryFaultInjector, BurstInjectsCount) {
-  mem::PhysicalMemory dram;
-  MemoryFaultInjector injector(dram, mem::kDramBase, 0x100, 2);
-  injector.inject_burst(5, 8);
-  EXPECT_EQ(injector.injections(), 8u);
-}
-
-TEST(MemoryFaultInjector, DeterministicForSeed) {
+TEST(DramFault, DeterministicForSeed) {
   mem::PhysicalMemory dram_a, dram_b;
-  MemoryFaultInjector a(dram_a, mem::kDramBase, 0x10000, 99);
-  MemoryFaultInjector b(dram_b, mem::kDramBase, 0x10000, 99);
+  util::Xoshiro256 rng_a(99), rng_b(99);
   for (int i = 0; i < 50; ++i) {
-    const auto ra = a.inject_one(0);
-    const auto rb = b.inject_one(0);
+    const FaultRecord ra =
+        inject_dram_fault(rng_a, dram_a, mem::kDramBase, 0x10000);
+    const FaultRecord rb =
+        inject_dram_fault(rng_b, dram_b, mem::kDramBase, 0x10000);
     EXPECT_EQ(ra.addr, rb.addr);
     EXPECT_EQ(ra.bit, rb.bit);
   }
+}
+
+TEST(DramFault, WritesMarkPagesDirty) {
+  mem::PhysicalMemory dram;
+  const std::uint64_t dirty_before = dram.dirty_pages();
+  util::Xoshiro256 rng(3);
+  (void)inject_dram_fault(rng, dram, mem::kDramBase, 0x1000);
+  // The flip went through write_u8, so the touched page is dirty — the
+  // property snapshot restore relies on to revert injected DRAM state.
+  EXPECT_GT(dram.dirty_pages(), dirty_before);
 }
 
 TEST(MemoryFaultCampaign, TargetedFlipIsDetectedByDualStorage) {
@@ -82,9 +84,11 @@ TEST(MemoryFaultCampaign, ColdMemoryFlipsAreAbsorbed) {
   testbed.boot_freertos_cell();
   testbed.run(500);
   // Flip bits far away from any live state.
-  MemoryFaultInjector injector(testbed.board().dram(),
-                               jh::kFreeRtosRamBase + 0x80'0000, 0x10'0000, 5);
-  injector.inject_burst(0, 50);
+  util::Xoshiro256 rng(5);
+  for (int i = 0; i < 50; ++i) {
+    (void)inject_dram_fault(rng, testbed.board().dram(),
+                            jh::kFreeRtosRamBase + 0x80'0000, 0x10'0000);
+  }
   testbed.run(2'000);
   EXPECT_EQ(testbed.freertos().data_errors(), 0u);
   EXPECT_TRUE(testbed.board().cpu(1).is_online());

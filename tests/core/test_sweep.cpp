@@ -275,5 +275,166 @@ TEST(CellPersistence, MetaPathIsTheLogPathPlusMeta) {
   EXPECT_EQ(cell_meta_path("logs/a_r100.runlog"), "logs/a_r100.runlog.meta");
 }
 
+// Byte-for-byte regression pin: a register-domain plan must hash to the
+// exact pre-domain-refactor fingerprint, so logdirs written before the
+// unified injection layer resume instead of silently re-executing. Any
+// edit that changes these bytes invalidates every existing sweep logdir
+// — treat a failure here as an on-disk-format break, not a test to
+// update casually.
+TEST(CellPersistence, RegisterPlanFingerprintIsThePreDomainFormat) {
+  TestPlan plan;
+  plan.scenario = "freertos-steady";
+  plan.board = "bananapi";
+  plan.target = jh::HookPoint::ArchHandleTrap;
+  plan.fault = FaultModelKind::SingleBitFlip;
+  plan.fault_registers.clear();
+  plan.fault_count = 2;
+  plan.rate = 100;
+  plan.phase = 0;
+  plan.cpu_filter = -1;
+  plan.duration_ticks = 2'000;
+  plan.runs = 4;
+  plan.seed = 7;
+  plan.inject_during_boot = false;
+  plan.cell_tuning.clear();
+  EXPECT_EQ(plan_fingerprint(plan),
+            "scenario freertos-steady\n"
+            "board bananapi\n"
+            "target 1\n"
+            "fault 0\n"
+            "fault_registers\n"
+            "fault_count 2\n"
+            "rate 100\n"
+            "phase 0\n"
+            "cpu_filter -1\n"
+            "duration 2000\n"
+            "runs 4\n"
+            "seed 7\n"
+            "inject_during_boot 0\n"
+            "tuning \n");
+
+  // A non-register domain appends exactly one line at the end — nothing
+  // in the legacy prefix moves.
+  plan.fault_domain = FaultDomain::Gic;
+  EXPECT_EQ(plan_fingerprint(plan),
+            "scenario freertos-steady\n"
+            "board bananapi\n"
+            "target 1\n"
+            "fault 0\n"
+            "fault_registers\n"
+            "fault_count 2\n"
+            "rate 100\n"
+            "phase 0\n"
+            "cpu_filter -1\n"
+            "duration 2000\n"
+            "runs 4\n"
+            "seed 7\n"
+            "inject_during_boot 0\n"
+            "tuning \n"
+            "domain gic\n");
+}
+
+// --- fault-domain axis -------------------------------------------------------
+
+TEST(SweepSpec, ParsesTheDomainAxis) {
+  auto parsed = parse_sweep_spec(
+      "scenario freertos-steady\n"
+      "rate 100\n"
+      "domain register gic dram\n");
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value().domains,
+            (std::vector<std::string>{"register", "gic", "dram"}));
+  EXPECT_EQ(parsed.value().cell_count(), 3u);
+  // Duplicated domain values would alias per-cell log files.
+  EXPECT_FALSE(
+      parse_sweep_spec("scenario a\nrate 100\ndomain gic gic\n").is_ok());
+}
+
+TEST(SweepSpec, DomainAxisRoundTripsThroughRender) {
+  SweepSpec spec = small_spec();
+  spec.domains = {"gic", "irq-delivery"};
+  auto parsed = parse_sweep_spec(render_sweep_spec(spec));
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value().domains, spec.domains);
+  EXPECT_EQ(parsed.value().cell_count(), spec.cell_count());
+}
+
+TEST(SweepDriver, DomainAxisOverridesThePlanDefault) {
+  SweepSpec spec = small_spec();
+  spec.scenarios = {"freertos-steady"};
+  spec.rates = {100};
+  spec.domains = {"register", "gic", "dram"};
+  auto plans = SweepDriver(spec).expand();
+  ASSERT_TRUE(plans.is_ok()) << plans.status().to_string();
+  ASSERT_EQ(plans.value().size(), 3u);
+  EXPECT_EQ(plans.value()[0].name, "freertos-steady_r100_register");
+  EXPECT_EQ(plans.value()[0].fault_domain, FaultDomain::Register);
+  EXPECT_EQ(plans.value()[1].name, "freertos-steady_r100_gic");
+  EXPECT_EQ(plans.value()[1].fault_domain, FaultDomain::Gic);
+  EXPECT_EQ(plans.value()[2].name, "freertos-steady_r100_dram");
+  EXPECT_EQ(plans.value()[2].fault_domain, FaultDomain::Dram);
+  // The domain rides the tuning vocabulary like the board axis, so it
+  // survives the executor's tuning-overrides-plan precedence.
+  EXPECT_NE(plans.value()[1].cell_tuning.find("fault domain gic"),
+            std::string::npos);
+}
+
+TEST(SweepDriver, EmptyDomainAxisKeepsLegacyCellIdsAndSeeds) {
+  // No domain axis → cell ids and per-cell seeds are exactly what the
+  // pre-domain driver dealt: old logdirs keep resuming.
+  auto legacy = SweepDriver(small_spec()).expand();
+  ASSERT_TRUE(legacy.is_ok());
+  EXPECT_EQ(legacy.value()[0].name, "freertos-steady_r100");
+  for (const TestPlan& plan : legacy.value()) {
+    EXPECT_EQ(plan.fault_domain, FaultDomain::Register);
+    EXPECT_EQ(plan.cell_tuning.find("fault domain"), std::string::npos);
+  }
+}
+
+TEST(SweepDriver, RejectsUnknownDomainNames) {
+  SweepSpec spec = small_spec();
+  spec.domains = {"no-such-domain"};
+  const auto expanded = SweepDriver(spec).expand();
+  ASSERT_FALSE(expanded.is_ok());
+  EXPECT_NE(expanded.status().message().find("no-such-domain"),
+            std::string::npos);
+}
+
+TEST(SweepDriver, DomainCellAggregatesAreBitIdenticalAcrossThreadCounts) {
+  SweepSpec spec;
+  spec.scenarios = {"freertos-steady"};
+  spec.rates = {100};
+  spec.domains = {"gic", "irq-delivery", "device-mmio", "dram"};
+  spec.runs = 3;
+  spec.seed = 0xD0;
+  spec.duration_ticks = 2'000;
+  auto one = SweepDriver(spec, {1, true}).execute();
+  auto four = SweepDriver(spec, {4, true}).execute();
+  auto eight = SweepDriver(spec, {8, true}).execute();
+  ASSERT_TRUE(one.is_ok() && four.is_ok() && eight.is_ok());
+  for (const auto* other : {&four.value(), &eight.value()}) {
+    ASSERT_EQ(one.value().cells.size(), other->cells.size());
+    for (std::size_t i = 0; i < one.value().cells.size(); ++i) {
+      const analysis::CampaignAggregate& a = one.value().cells[i].aggregate;
+      const analysis::CampaignAggregate& b = other->cells[i].aggregate;
+      for (std::size_t o = 0; o < kNumOutcomes; ++o) {
+        EXPECT_EQ(a.distribution.count(static_cast<Outcome>(o)),
+                  b.distribution.count(static_cast<Outcome>(o)));
+      }
+      EXPECT_EQ(a.injections, b.injections);
+      EXPECT_EQ(a.injections_by_domain, b.injections_by_domain);
+      EXPECT_EQ(a.detection_latency.mean(), b.detection_latency.mean());
+    }
+  }
+  // Every non-register cell attributed its injections to its own domain.
+  for (std::size_t i = 0; i < spec.domains.size(); ++i) {
+    const analysis::CampaignAggregate& agg = one.value().cells[i].aggregate;
+    FaultDomain domain;
+    ASSERT_TRUE(fault_domain_from_name(spec.domains[i], domain));
+    EXPECT_EQ(agg.injections_by_domain[static_cast<std::size_t>(domain)],
+              agg.injections);
+  }
+}
+
 }  // namespace
 }  // namespace mcs::fi

@@ -20,8 +20,10 @@
 #include "analysis/log_sink.hpp"
 #include "analysis/report.hpp"
 #include "core/executor.hpp"
+#include "core/injection_target.hpp"
 #include "core/sweep.hpp"
 #include "core/testbed_pool.hpp"
+#include "hypervisor/cell_config.hpp"
 
 namespace mcs::fi {
 namespace {
@@ -165,6 +167,84 @@ TEST(SnapshotEquivalence, SnapshotCampaignsExerciseFailingRuns) {
   const OutcomeDistribution dist = warm.result.distribution();
   EXPECT_GT(dist.total() - dist.count(Outcome::Correct), 0u)
       << "plan produced no failures; tighten rate/phase";
+}
+
+TEST(SnapshotEquivalence, DomainFaultCampaignsRestoreIdentically) {
+  // The unified injection layer: every non-register fault domain, fresh
+  // build-per-run baseline vs snapshot restore at {1, 4, 8} threads. A
+  // restore that leaked injected GIC/device/DRAM state into the next run
+  // breaks the bit-identity here.
+  for (const auto domain : {FaultDomain::Gic, FaultDomain::IrqDelivery,
+                            FaultDomain::DeviceMmio, FaultDomain::Dram}) {
+    TestPlan plan = snapshot_plan("freertos-steady", "bananapi");
+    plan.fault_domain = domain;
+    const std::string label(fault_domain_name(domain));
+    const CampaignCapture fresh = run_campaign(plan, Mode::Fresh, 1);
+    for (const unsigned threads : {1u, 4u, 8u}) {
+      const CampaignCapture warm = run_campaign(plan, Mode::Snapshot, threads);
+      expect_identical(fresh, warm,
+                       label + " domain, " + std::to_string(threads) +
+                           " threads");
+    }
+  }
+}
+
+TEST(SnapshotEquivalence, DomainTuningSelectsTheDomainThroughTheExecutor) {
+  // The config-text path: `fault domain gic` in the cell tuning must be
+  // equivalent to setting the plan field directly — same runs, same
+  // domain-tagged log lines.
+  TestPlan direct = snapshot_plan("freertos-steady", "bananapi");
+  direct.fault_domain = FaultDomain::Gic;
+  TestPlan tuned = snapshot_plan("freertos-steady", "bananapi");
+  tuned.cell_tuning = "fault domain gic";
+  const CampaignCapture a = run_campaign(direct, Mode::Fresh, 1);
+  const CampaignCapture b = run_campaign(tuned, Mode::Fresh, 1);
+  EXPECT_EQ(a.log_text, b.log_text);
+  EXPECT_NE(a.log_text.find("domain=gic"), std::string::npos);
+
+  // An unknown domain name in the tuning is a HarnessError, not UB.
+  TestPlan bad = snapshot_plan("freertos-steady", "bananapi");
+  bad.cell_tuning = "fault domain warp-core";
+  const CampaignCapture broken = run_campaign(bad, Mode::Fresh, 1);
+  EXPECT_EQ(broken.result.distribution().count(Outcome::HarnessError),
+            broken.result.runs.size());
+}
+
+TEST(SnapshotEquivalence, DramFaultsNeverSurviveRestore) {
+  // Satellite of the DRAM domain: injected bits go through
+  // PhysicalMemory::write_u8, so they dirty-mark their pages and
+  // Testbed::restore_snapshot() reverts every one of them.
+  Testbed testbed;
+  ASSERT_TRUE(testbed.enable_hypervisor().is_ok());
+  testbed.boot_freertos_cell();
+  testbed.run(500);
+  testbed.capture_snapshot("dram-domain-revert");
+
+  util::Xoshiro256 rng(9);
+  std::vector<FaultRecord> flips;
+  for (int i = 0; i < 32; ++i) {
+    flips.push_back(inject_dram_fault(rng, testbed.board().dram(),
+                                      jh::kFreeRtosRamBase, 0x10'0000));
+  }
+  // Every flip is visible pre-restore (walk in reverse: the last write
+  // to an address wins).
+  for (auto it = flips.rbegin(); it != flips.rend(); ++it) {
+    EXPECT_EQ(testbed.board().dram().read_u8(it->addr).value(), it->after);
+    break;
+  }
+
+  ASSERT_TRUE(testbed.restore_snapshot());
+  // The first flip at each address recorded the pristine byte; after
+  // restore, that is exactly what must be there again.
+  std::vector<std::uint64_t> seen;
+  for (const FaultRecord& flip : flips) {
+    bool first = true;
+    for (const std::uint64_t addr : seen) first = first && addr != flip.addr;
+    if (!first) continue;
+    seen.push_back(flip.addr);
+    EXPECT_EQ(testbed.board().dram().read_u8(flip.addr).value(), flip.before)
+        << std::hex << flip.addr;
+  }
 }
 
 // --- sweep resume byte-identity with snapshots on and off -------------------
