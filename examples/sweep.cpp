@@ -39,6 +39,8 @@
 #include "core/sweep_worker.hpp"
 #include "core/testbed_pool.hpp"
 #include "hypervisor/config_text.hpp"
+#include "util/logpipe_counters.hpp"
+#include "util/mapped_file.hpp"
 #include "util/strings.hpp"
 
 namespace {
@@ -59,6 +61,8 @@ void usage(std::ostream& out) {
          "  --threads N           executor threads per cell (default: auto)\n"
          "  --no-snapshots        reset + reboot pooled testbeds per run\n"
          "                        instead of restoring post-boot snapshots\n"
+         "  --no-parallel-resume  rebuild completed cells from their logs\n"
+         "                        one by one instead of on a thread pool\n"
          "distributed execution (multi-process cell leasing over --logdir):\n"
          "  --workers N           fork N worker processes over the logdir,\n"
          "                        wait, and render the merged report\n"
@@ -177,6 +181,19 @@ void print_pool_stats(std::ostream& err) {
       << pool.dirty_pages << " dirty pages)\n";
 }
 
+/// The log-pipeline epilogue: what the write path rendered, what the
+/// read path mapped and scanned, what resume rebuilt without executing.
+void print_logpipe_stats(std::ostream& err) {
+  const mcs::util::LogPipeCounters::Stats log =
+      mcs::util::LogPipeCounters::instance().stats();
+  err << "logpipe: " << log.sink_lines << " lines sunk ("
+      << log.sink_contention << " contended, " << log.sink_flushes
+      << " flushes); " << log.parse_lines << " lines / " << log.parse_bytes
+      << " B scanned, " << log.bytes_mapped << " B mapped ("
+      << log.map_fallbacks << " read fallbacks); " << log.resumed_cells
+      << " cells resumed from logs\n";
+}
+
 std::string report_of(const mcs::fi::SweepResult& result) {
   std::vector<mcs::analysis::ComparisonColumn> columns;
   columns.reserve(result.cells.size());
@@ -235,11 +252,9 @@ bool run_sweepd_job(const SweepdOptions& options,
     return false;
   };
 
-  std::ifstream in(job_path);
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (!in || in.bad()) return fail("cannot read job spec");
-  auto parsed = fi::parse_sweep_spec(buffer.str());
+  const auto body = util::read_file(job_path.string());
+  if (!body.is_ok()) return fail("cannot read job spec");
+  auto parsed = fi::parse_sweep_spec(body.value());
   if (!parsed.is_ok()) return fail("spec: " + parsed.status().to_string());
   fi::SweepSpec spec = std::move(parsed).value();
   if (spec.log_dir.empty()) {
@@ -399,18 +414,16 @@ int main(int argc, char** argv) {
       }
       text = buffer.str();
     } else {
-      std::ifstream file(path);
-      if (!file) {
-        std::cerr << "sweep: cannot open spec '" << path << "'\n";
+      auto body = util::read_file(path);
+      if (!body.is_ok()) {
+        if (body.status().code() == util::Code::ENoEnt) {
+          std::cerr << "sweep: cannot open spec '" << path << "'\n";
+        } else {
+          std::cerr << "sweep: error reading spec '" << path << "'\n";
+        }
         return 2;
       }
-      std::ostringstream buffer;
-      buffer << file.rdbuf();
-      if (file.bad()) {
-        std::cerr << "sweep: error reading spec '" << path << "'\n";
-        return 2;
-      }
-      text = buffer.str();
+      text = std::move(body).value();
     }
     auto parsed = fi::parse_sweep_spec(text);
     if (!parsed.is_ok()) {
@@ -466,6 +479,8 @@ int main(int argc, char** argv) {
       config.threads = static_cast<unsigned>(number);
     } else if (flag == "--no-snapshots") {
       config.use_snapshots = false;
+    } else if (flag == "--no-parallel-resume") {
+      config.parallel_resume = false;
     } else if (flag == "--workers" && (arg = value()) != nullptr) {
       if (!parse_number("workers", arg, number) || number == 0) {
         std::cerr << "sweep: --workers needs a count ≥ 1\n";
@@ -603,6 +618,7 @@ int main(int argc, char** argv) {
   std::cerr << result.executed << " cells executed, " << result.resumed
             << " resumed\n";
   print_pool_stats(std::cerr);
+  print_logpipe_stats(std::cerr);
 
   // The report — and only the report — on stdout, so an interrupted+
   // resumed sweep can be diffed byte-for-byte against a fresh one.

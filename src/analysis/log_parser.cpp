@@ -1,7 +1,11 @@
 #include "analysis/log_parser.hpp"
 
+#include <cctype>
 #include <charconv>
+#include <cstring>
 
+#include "util/line_scanner.hpp"
+#include "util/logpipe_counters.hpp"
 #include "util/strings.hpp"
 
 namespace mcs::analysis {
@@ -73,15 +77,15 @@ util::Expected<util::LogRecord> parse_log_line(std::string_view line) {
 
 ParsedLog parse_log_text(std::string_view text) {
   ParsedLog parsed;
-  for (const std::string& line : util::split(text, '\n')) {
-    if (util::trim(line).empty()) continue;
+  util::for_each_line(text, [&parsed](std::string_view line) {
+    if (util::trim(line).empty()) return;
     auto record = parse_log_line(line);
     if (record.is_ok()) {
       parsed.records.push_back(std::move(record).value());
     } else {
       ++parsed.malformed_lines;
     }
-  }
+  });
   return parsed;
 }
 
@@ -105,88 +109,271 @@ const util::LogRecord* ParsedLog::find_first(std::string_view needle) const {
 
 namespace {
 
-bool parse_u64(std::string_view digits, std::uint64_t& out) {
-  const auto [ptr, ec] =
-      std::from_chars(digits.data(), digits.data() + digits.size(), out);
-  return ec == std::errc{} && ptr == digits.data() + digits.size();
+/// Single-compare outcome lookup: every outcome name has a distinct
+/// (size, spelling) pair, so dispatching on size leaves exactly one
+/// candidate to memcmp (two for size 17). Falls back to the generic
+/// table walk so a newly added outcome can never silently stop parsing.
+bool fast_outcome(std::string_view name, fi::Outcome& out) {
+  switch (name.size()) {
+    case 7:
+      if (name == "correct") return out = fi::Outcome::Correct, true;
+      break;
+    case 8:
+      if (name == "cpu-park") return out = fi::Outcome::CpuPark, true;
+      break;
+    case 10:
+      if (name == "panic-park") return out = fi::Outcome::PanicPark, true;
+      break;
+    case 11:
+      if (name == "silent-hang") return out = fi::Outcome::SilentHang, true;
+      break;
+    case 13:
+      if (name == "harness-error") {
+        return out = fi::Outcome::HarnessError, true;
+      }
+      break;
+    case 17:
+      if (name == "invalid-arguments") {
+        return out = fi::Outcome::InvalidArguments, true;
+      }
+      if (name == "inconsistent-cell") {
+        return out = fi::Outcome::InconsistentCell, true;
+      }
+      break;
+    case 21:
+      if (name == "cross-cell-corruption") {
+        return out = fi::Outcome::CrossCellCorruption, true;
+      }
+      break;
+    default:
+      break;
+  }
+  return fi::outcome_from_name(name, out);
 }
 
-/// "key=<digits>" field inside the trailing "(...)" group; false when the
-/// key is absent (optional fields), error left to the caller when present
-/// but malformed.
-bool find_field(std::string_view fields, std::string_view key,
-                std::string_view& value) {
-  const std::size_t at = fields.find(key);
-  if (at == std::string_view::npos) return false;
-  std::string_view rest = fields.substr(at + key.size());
-  std::size_t end = 0;
-  while (end < rest.size() && rest[end] != ',' && rest[end] != ')') ++end;
-  value = rest.substr(0, end);
-  return true;
+/// Same shape for fault domains (all five names have distinct sizes).
+bool fast_domain(std::string_view name, fi::FaultDomain& out) {
+  switch (name.size()) {
+    case 3:
+      if (name == "gic") return out = fi::FaultDomain::Gic, true;
+      break;
+    case 4:
+      if (name == "dram") return out = fi::FaultDomain::Dram, true;
+      break;
+    case 8:
+      if (name == "register") return out = fi::FaultDomain::Register, true;
+      break;
+    case 11:
+      if (name == "device-mmio") {
+        return out = fi::FaultDomain::DeviceMmio, true;
+      }
+      break;
+    case 12:
+      if (name == "irq-delivery") {
+        return out = fi::FaultDomain::IrqDelivery, true;
+      }
+      break;
+    default:
+      break;
+  }
+  return fi::fault_domain_from_name(name, out);
+}
+
+/// Fold one entry the way CampaignAggregate::add folds a live run —
+/// field for field, in this order. Shared by the materialising and the
+/// zero-copy tier so the two can never drift apart.
+template <typename Entry>
+void fold_entry(CampaignAggregate& aggregate, const Entry& entry) {
+  aggregate.distribution.add(entry.outcome);
+  aggregate.injections += entry.injections;
+  aggregate.injections_by_domain[static_cast<std::size_t>(entry.domain)] +=
+      entry.injections;
+  if (entry.failure_detected) {
+    aggregate.detection_latency.add(
+        static_cast<double>(entry.detect_latency_ms));
+  }
+  if (fi::is_cell_failure(entry.outcome)) {
+    ++aggregate.cell_failures;
+    if (entry.shutdown_reclaimed) ++aggregate.reclaimed;
+  }
+}
+
+/// C-locale whitespace without the per-byte libc call util::trim pays;
+/// the run-log hot loop trims every line.
+inline bool is_ws(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' ||
+         c == '\r';
+}
+
+inline std::string_view trim_fast(std::string_view text) {
+  while (!text.empty() && is_ws(text.front())) text.remove_prefix(1);
+  while (!text.empty() && is_ws(text.back())) text.remove_suffix(1);
+  return text;
+}
+
+/// Last '(' in [begin, begin+len): one vectorised libc call where the
+/// glibc extension exists, a plain backward loop elsewhere.
+inline const char* last_open_paren(const char* begin, std::size_t len) {
+#if defined(__GLIBC__)
+  return static_cast<const char*>(memrchr(begin, '(', len));
+#else
+  for (const char* q = begin + len; q-- > begin;) {
+    if (*q == '(') return q;
+  }
+  return nullptr;
+#endif
+}
+
+/// The run-line grammar, pointer-at-a-time:
+///   "run <N>: <outcome> — <detail> (injections=…, usart_bytes=…[, …])"
+/// This is THE hot loop of resume and replay — millions of lines stream
+/// through it — so it avoids generic substring searches in favour of
+/// from_chars runs and length-dispatched key memcmps: the field group
+/// starts at the LAST "(injections=" (the detail may contain parens of
+/// its own), and every field key has a distinct length, so each token
+/// costs one compare. False on any shape mismatch; the same verdicts and
+/// values as the original find-based parser (the differential suite and
+/// the adversarial-line tests pin both).
+/// `line` must already be trimmed (both call sites trim once, up front).
+bool parse_line_into(std::string_view line, RunLogEntryView& entry) {
+  const char* p = line.data();
+  const char* end = p + line.size();
+  if (end - p < 4 || std::memcmp(p, "run ", 4) != 0) return false;
+
+  const char* cursor = p + 4;
+  {
+    std::uint64_t index = 0;
+    const auto [q, ec] = std::from_chars(cursor, end, index);
+    if (ec != std::errc{} || q == cursor || q + 2 > end || q[0] != ':' ||
+        q[1] != ' ') {
+      return false;
+    }
+    entry.index = static_cast<std::uint32_t>(index);
+    cursor = q + 2;
+  }
+
+  // The first " — " ends the outcome name (em dash: 3 UTF-8 bytes).
+  const char* dash = nullptr;
+  for (const char* q = cursor; q + 5 <= end; ++q) {
+    if (q[0] == ' ' && q[1] == '\xe2' && q[2] == '\x80' && q[3] == '\x94' &&
+        q[4] == ' ') {
+      dash = q;
+      break;
+    }
+  }
+  if (dash == nullptr) return false;
+  if (!fast_outcome(
+          std::string_view(cursor, static_cast<std::size_t>(dash - cursor)),
+          entry.outcome)) {
+    return false;
+  }
+  const char* rest = dash + 5;
+  if (rest >= end || end[-1] != ')') return false;
+
+  const char* open = nullptr;
+  for (const char* hi = end; hi > rest;) {
+    const char* q = last_open_paren(rest, static_cast<std::size_t>(hi - rest));
+    if (q == nullptr) break;
+    if (q > rest && q[-1] == ' ' && end - q >= 13 &&
+        std::memcmp(q, "(injections=", 12) == 0) {
+      open = q;
+      break;
+    }
+    hi = q;
+  }
+  if (open == nullptr) return false;
+  entry.detail =
+      std::string_view(rest, static_cast<std::size_t>(open - 1 - rest));
+
+  // Fields: "(injections=…" is guaranteed first by the search above; the
+  // rest dispatch in any order. Unknown keys (a newer writer's
+  // extensions) are skipped, like the find-based parser skipped them.
+  const char* q = open + 12;
+  {
+    const auto [r, ec] = std::from_chars(q, end, entry.injections);
+    if (ec != std::errc{} || r == q) return false;
+    q = r;
+  }
+  bool saw_usart = false;
+  for (;;) {
+    if (q >= end) return false;
+    if (*q == ')') {
+      if (q + 1 != end) return false;
+      break;
+    }
+    if (*q != ',') return false;
+    ++q;
+    while (q < end && *q == ' ') ++q;
+    const std::size_t left = static_cast<std::size_t>(end - q);
+    if (left >= 12 && std::memcmp(q, "usart_bytes=", 12) == 0) {
+      q += 12;
+      const auto [r, ec] = std::from_chars(q, end, entry.uart_bytes);
+      if (ec != std::errc{} || r == q) return false;
+      q = r;
+      saw_usart = true;
+      continue;
+    }
+    if (left >= 7 && std::memcmp(q, "domain=", 7) == 0) {
+      q += 7;
+      const char* value = q;
+      while (q < end && *q != ',' && *q != ')') ++q;
+      if (!fast_domain(
+              std::string_view(value, static_cast<std::size_t>(q - value)),
+              entry.domain)) {
+        return false;
+      }
+      continue;
+    }
+    if (left >= 15 && std::memcmp(q, "detect_latency=", 15) == 0) {
+      q += 15;
+      const char* value = q;
+      const auto [r, ec] = std::from_chars(q, end, entry.detect_latency_ms);
+      if (ec != std::errc{} || r == value || end - r < 2 || r[0] != 'm' ||
+          r[1] != 's') {
+        return false;
+      }
+      q = r + 2;
+      if (q < end && *q != ',' && *q != ')') return false;
+      entry.failure_detected = true;
+      continue;
+    }
+    if (left >= 19 && std::memcmp(q, "shutdown_reclaimed=", 19) == 0) {
+      q += 19;
+      const char* value = q;
+      while (q < end && *q != ',' && *q != ')') ++q;
+      entry.shutdown_reclaimed = static_cast<std::size_t>(q - value) == 3 &&
+                                 std::memcmp(value, "yes", 3) == 0;
+      continue;
+    }
+    while (q < end && *q != ',' && *q != ')') ++q;  // unknown key: skip token
+  }
+  return saw_usart;
 }
 
 }  // namespace
 
+util::Expected<RunLogEntryView> parse_run_log_line_view(std::string_view line) {
+  RunLogEntryView entry;
+  if (!parse_line_into(trim_fast(line), entry)) {
+    return util::invalid_argument("malformed run log line");
+  }
+  return entry;
+}
+
 util::Expected<RunLogEntry> parse_run_log_line(std::string_view line) {
-  // "run <N>: <outcome> — <detail> (injections=…, usart_bytes=…[, …])"
-  line = util::trim(line);
-  if (!line.starts_with("run ")) {
-    return util::invalid_argument("missing 'run ' prefix");
-  }
+  auto view = parse_run_log_line_view(line);
+  if (!view.is_ok()) return view.status();
+  const RunLogEntryView& v = view.value();
   RunLogEntry entry;
-  const std::size_t colon = line.find(": ");
-  if (colon == std::string_view::npos) {
-    return util::invalid_argument("missing run-index separator");
-  }
-  {
-    std::uint64_t index = 0;
-    if (!parse_u64(line.substr(4, colon - 4), index)) {
-      return util::invalid_argument("bad run index");
-    }
-    entry.index = static_cast<std::uint32_t>(index);
-  }
-  std::string_view rest = line.substr(colon + 2);
-
-  const std::size_t dash = rest.find(" — ");  // " — "
-  if (dash == std::string_view::npos) {
-    return util::invalid_argument("missing outcome separator");
-  }
-  if (!fi::outcome_from_name(rest.substr(0, dash), entry.outcome)) {
-    return util::invalid_argument("unknown outcome name");
-  }
-  rest = rest.substr(dash + 5);  // em dash is 3 bytes in UTF-8
-
-  const std::size_t fields_at = rest.rfind(" (injections=");
-  if (fields_at == std::string_view::npos || rest.back() != ')') {
-    return util::invalid_argument("missing field group");
-  }
-  entry.detail = std::string(rest.substr(0, fields_at));
-  const std::string_view fields = rest.substr(fields_at + 2);
-
-  std::string_view value;
-  if (!find_field(fields, "injections=", value) ||
-      !parse_u64(value, entry.injections)) {
-    return util::invalid_argument("bad injections field");
-  }
-  if (!find_field(fields, "usart_bytes=", value) ||
-      !parse_u64(value, entry.uart_bytes)) {
-    return util::invalid_argument("bad usart_bytes field");
-  }
-  if (find_field(fields, "domain=", value)) {
-    if (!fi::fault_domain_from_name(value, entry.domain)) {
-      return util::invalid_argument("unknown domain field");
-    }
-  }
-  if (find_field(fields, "detect_latency=", value)) {
-    if (value.size() < 3 || !value.ends_with("ms") ||
-        !parse_u64(value.substr(0, value.size() - 2), entry.detect_latency_ms)) {
-      return util::invalid_argument("bad detect_latency field");
-    }
-    entry.failure_detected = true;
-  }
-  if (find_field(fields, "shutdown_reclaimed=", value)) {
-    entry.shutdown_reclaimed = value == "yes";
-  }
+  entry.index = v.index;
+  entry.outcome = v.outcome;
+  entry.detail = std::string(v.detail);
+  entry.domain = v.domain;
+  entry.injections = v.injections;
+  entry.uart_bytes = v.uart_bytes;
+  entry.failure_detected = v.failure_detected;
+  entry.detect_latency_ms = v.detect_latency_ms;
+  entry.shutdown_reclaimed = v.shutdown_reclaimed;
   return entry;
 }
 
@@ -201,28 +388,15 @@ CampaignAggregate aggregate_from_log(const ParsedRunLog& log) {
   // everything the aggregate consumes (the outcome, the injection count,
   // the detection flag + latency, the reclaim verdict).
   CampaignAggregate aggregate;
-  for (const RunLogEntry& entry : log.entries) {
-    aggregate.distribution.add(entry.outcome);
-    aggregate.injections += entry.injections;
-    aggregate.injections_by_domain[static_cast<std::size_t>(entry.domain)] +=
-        entry.injections;
-    if (entry.failure_detected) {
-      aggregate.detection_latency.add(
-          static_cast<double>(entry.detect_latency_ms));
-    }
-    if (fi::is_cell_failure(entry.outcome)) {
-      ++aggregate.cell_failures;
-      if (entry.shutdown_reclaimed) ++aggregate.reclaimed;
-    }
-  }
+  for (const RunLogEntry& entry : log.entries) fold_entry(aggregate, entry);
   return aggregate;
 }
 
 ParsedRunLog parse_run_log(std::string_view text) {
   ParsedRunLog parsed;
-  for (const std::string& line : util::split(text, '\n')) {
-    const std::string_view trimmed = util::trim(line);
-    if (trimmed.empty()) continue;
+  util::for_each_line(text, [&parsed](std::string_view raw) {
+    const std::string_view trimmed = trim_fast(raw);
+    if (trimmed.empty()) return;
     // Lines that aren't run records at all — record kinds from a newer (or
     // older) writer — are skipped and counted, never fatal. Only a line
     // that claims to be a run record and fails to parse is malformed: the
@@ -230,7 +404,7 @@ ParsedRunLog parse_run_log(std::string_view text) {
     // kinds while still rejecting one with a truncated run line.
     if (!trimmed.starts_with("run ")) {
       ++parsed.skipped_lines;
-      continue;
+      return;
     }
     auto entry = parse_run_log_line(trimmed);
     if (entry.is_ok()) {
@@ -238,8 +412,46 @@ ParsedRunLog parse_run_log(std::string_view text) {
     } else {
       ++parsed.malformed_lines;
     }
-  }
+  });
   return parsed;
+}
+
+RunLogScan scan_run_log(std::string_view text) {
+  RunLogScan scan;
+  // One fused pointer walk — line split, trim and record dispatch in the
+  // same loop. Same line boundaries as util::for_each_line (every
+  // '\n'-separated segment, no phantom segment after a trailing '\n')
+  // and the same skip/malformed split as parse_run_log — the
+  // differential suite pins the counts equal on every input.
+  const char* p = text.data();
+  const char* const end = p + text.size();
+  while (p < end) {
+    const char* nl = static_cast<const char*>(
+        memchr(p, '\n', static_cast<std::size_t>(end - p)));
+    const char* const line_end = nl != nullptr ? nl : end;
+    const char* b = p;
+    p = nl != nullptr ? nl + 1 : end;
+    while (b < line_end && is_ws(*b)) ++b;
+    const char* e = line_end;
+    while (e > b && is_ws(e[-1])) --e;
+    if (b == e) continue;
+    const std::string_view trimmed(b, static_cast<std::size_t>(e - b));
+    if (!trimmed.starts_with("run ")) {
+      ++scan.skipped_lines;
+      continue;
+    }
+    RunLogEntryView entry;
+    if (!parse_line_into(trimmed, entry)) {
+      ++scan.malformed_lines;
+      continue;
+    }
+    if (entry.index != scan.entries) scan.indices_sequential = false;
+    fold_entry(scan.aggregate, entry);
+    ++scan.entries;
+  }
+  util::LogPipeCounters::instance().record_parse(
+      scan.entries + scan.skipped_lines + scan.malformed_lines, text.size());
+  return scan;
 }
 
 }  // namespace mcs::analysis

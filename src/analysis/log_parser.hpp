@@ -39,12 +39,26 @@ struct ParsedLog {
 // ("run N: outcome — detail (injections=…, usart_bytes=…)") parsed back,
 // so the analytics (distributions, recovery counts) can be rebuilt from
 // the log file alone, detached from the live campaign.
+//
+// Two tiers share one line grammar:
+//   · the *materialising* tier (RunLogEntry / parse_run_log) copies each
+//     entry out of the text — what offline tooling that inspects
+//     individual runs wants;
+//   · the *zero-copy* tier (RunLogEntryView / scan_run_log) keeps
+//     string_views into the caller's buffer and folds straight into a
+//     CampaignAggregate — no per-line copy, no per-line allocation. The
+//     resume and replay hot paths (cell_log_complete, logreplay, the
+//     sweepd merge) run on this tier over util::MappedFile views.
+// A differential property suite pins the two tiers entry-for-entry and
+// bit-for-bit on the folded aggregates.
 // ---------------------------------------------------------------------------
 
-struct RunLogEntry {
+/// One parsed run line, zero-copy: `detail` points into the parsed
+/// buffer and is valid only as long as that buffer.
+struct RunLogEntryView {
   std::uint32_t index = 0;
   fi::Outcome outcome = fi::Outcome::Correct;
-  std::string detail;
+  std::string_view detail;
   /// The `domain=` field; absent (pre-refactor logs, register campaigns)
   /// parses as Register, matching what run_log_line() omits.
   fi::FaultDomain domain = fi::FaultDomain::Register;
@@ -59,6 +73,24 @@ struct RunLogEntry {
   std::uint64_t detect_latency_ms = 0;  ///< 0 when the line carries none
   bool shutdown_reclaimed = false;
 };
+
+/// The materialised form of RunLogEntryView (detail copied out).
+struct RunLogEntry {
+  std::uint32_t index = 0;
+  fi::Outcome outcome = fi::Outcome::Correct;
+  std::string detail;
+  fi::FaultDomain domain = fi::FaultDomain::Register;
+  std::uint64_t injections = 0;
+  std::uint64_t uart_bytes = 0;
+  bool failure_detected = false;
+  std::uint64_t detect_latency_ms = 0;
+  bool shutdown_reclaimed = false;
+};
+
+/// Parse one run_log_line() without copying; error status on shape
+/// mismatch. Allocation-free on the success path.
+[[nodiscard]] util::Expected<RunLogEntryView> parse_run_log_line_view(
+    std::string_view line);
 
 /// Parse one run_log_line(); error status on shape mismatch.
 [[nodiscard]] util::Expected<RunLogEntry> parse_run_log_line(std::string_view line);
@@ -87,5 +119,26 @@ struct ParsedRunLog {
 /// for any executor thread count. This is the campaign-resume primitive:
 /// a completed cell's aggregate can be recovered from its log file alone.
 [[nodiscard]] CampaignAggregate aggregate_from_log(const ParsedRunLog& log);
+
+/// Everything the resume path needs from one pass over a run log,
+/// without materialising a single entry.
+struct RunLogScan {
+  /// Entries folded in file order — bit-identical to
+  /// aggregate_from_log(parse_run_log(text)), and therefore to the live
+  /// sink's aggregate for a complete log.
+  CampaignAggregate aggregate;
+  std::uint64_t entries = 0;          ///< well-formed run lines folded
+  std::size_t malformed_lines = 0;    ///< like ParsedRunLog
+  std::size_t skipped_lines = 0;      ///< like ParsedRunLog
+  /// Every entry's index equalled its position (0, 1, 2, …): the
+  /// completeness shape cell resume requires, checked inline so the
+  /// indices never need storing.
+  bool indices_sequential = true;
+};
+
+/// One zero-copy pass over a whole run log: parse each line in place and
+/// fold it straight into the aggregate. No per-line copies or heap
+/// allocations — safe to point at a multi-GB util::MappedFile view.
+[[nodiscard]] RunLogScan scan_run_log(std::string_view text);
 
 }  // namespace mcs::analysis

@@ -1,6 +1,6 @@
 #include "core/campaign.hpp"
 
-#include <sstream>
+#include <charconv>
 
 #include "core/executor.hpp"
 
@@ -41,25 +41,53 @@ CampaignResult Campaign::execute() {
   return executor.execute();
 }
 
-std::string run_log_line(std::uint32_t index, const RunResult& run) {
-  std::ostringstream out;
-  out << "run " << index << ": " << outcome_name(run.outcome) << " — "
-      << run.detail << " (injections=" << run.injections
-      << ", usart_bytes=" << run.uart1_bytes;
+namespace {
+
+/// Append a decimal integer without iostreams (and without allocating).
+void append_u64(std::string& out, std::uint64_t value) {
+  char digits[20];  // 2^64 has 20 decimal digits
+  const auto [ptr, ec] = std::to_chars(digits, digits + sizeof digits, value);
+  (void)ec;  // unsigned into 20 chars cannot fail
+  out.append(digits, static_cast<std::size_t>(ptr - digits));
+}
+
+}  // namespace
+
+void append_run_log_line(std::string& out, std::uint32_t index,
+                         const RunResult& run) {
+  out.append("run ");
+  append_u64(out, index);
+  out.append(": ");
+  out.append(outcome_name(run.outcome));
+  out.append(" — ");
+  out.append(run.detail);
+  out.append(" (injections=");
+  append_u64(out, run.injections);
+  out.append(", usart_bytes=");
+  append_u64(out, run.uart1_bytes);
   // Register-domain lines keep the historical format byte-for-byte, so
   // pre-refactor logdirs still parse and resume; other domains tag their
   // lines (and the parser treats a missing tag as register).
   if (run.fault_domain != FaultDomain::Register) {
-    out << ", domain=" << fault_domain_name(run.fault_domain);
+    out.append(", domain=");
+    out.append(fault_domain_name(run.fault_domain));
   }
   if (run.failure_detected()) {
-    out << ", detect_latency=" << run.detection_latency() << "ms";
+    out.append(", detect_latency=");
+    append_u64(out, run.detection_latency());
+    out.append("ms");
   }
   if (run.outcome != Outcome::Correct) {
-    out << ", shutdown_reclaimed=" << (run.shutdown_reclaimed ? "yes" : "no");
+    out.append(", shutdown_reclaimed=");
+    out.append(run.shutdown_reclaimed ? "yes" : "no");
   }
-  out << ")";
-  return out.str();
+  out.push_back(')');
+}
+
+std::string run_log_line(std::uint32_t index, const RunResult& run) {
+  std::string out;
+  append_run_log_line(out, index, run);
+  return out;
 }
 
 }  // namespace mcs::fi

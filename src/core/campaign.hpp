@@ -62,4 +62,12 @@ class Campaign {
 /// Render one run's key facts as a log line (the campaign log file body).
 [[nodiscard]] std::string run_log_line(std::uint32_t index, const RunResult& run);
 
+/// Append run_log_line(index, run) — same bytes, no trailing newline — to
+/// `out` without allocating once `out`'s capacity is warm: all numerics
+/// render via std::to_chars into stack scratch. The LogSink's release
+/// path calls this into one reusable buffer per sink, so a campaign's
+/// steady-state logging never touches the heap.
+void append_run_log_line(std::string& out, std::uint32_t index,
+                         const RunResult& run);
+
 }  // namespace mcs::fi

@@ -62,6 +62,14 @@ struct ExecutorConfig {
   /// asserts it); false exists for those golden comparisons and for the
   /// snapshot-vs-pooled benchmark.
   bool use_snapshots = true;
+
+  /// Rebuild completed sweep cells from their persisted logs in parallel
+  /// (one zero-copy scan per cell on a util::ThreadPool) instead of one
+  /// by one. Pure-read phase; the aggregates still fold serially in grid
+  /// order, so sweep reports are byte-identical either way (the resume
+  /// suite asserts it) — false exists for that comparison and for the
+  /// cold-resume benchmark baseline.
+  bool parallel_resume = true;
 };
 
 class CampaignExecutor {

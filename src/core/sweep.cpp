@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -10,8 +11,11 @@
 #include "analysis/log_parser.hpp"
 #include "core/scenario.hpp"
 #include "hypervisor/config_text.hpp"
+#include "util/logpipe_counters.hpp"
+#include "util/mapped_file.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
+#include "util/thread_pool.hpp"
 
 namespace mcs::fi {
 
@@ -138,31 +142,25 @@ bool cell_log_complete(const TestPlan& plan, const std::string& log_path,
   // logdir was reused with a different spec) → the log is not this
   // cell's data, however complete it looks.
   {
-    std::ifstream meta(cell_meta_path(log_path));
-    if (!meta) return false;
-    std::ostringstream buffer;
-    buffer << meta.rdbuf();
-    if (meta.bad() || buffer.str() != plan_fingerprint(plan)) {
-      return false;
-    }
+    const auto meta = util::read_file(cell_meta_path(log_path));
+    if (!meta.is_ok() || meta.value() != plan_fingerprint(plan)) return false;
   }
 
-  std::ifstream file(log_path);
-  if (!file) return false;
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  if (file.bad()) return false;
+  // One zero-copy pass: the log is mapped, scanned in place and folded
+  // straight into the aggregate. (The historical path slurped the file
+  // into a stringstream and copied it out again before parsing — two
+  // full copies per cell, per resume attempt.)
+  const auto mapped = util::MappedFile::open(log_path);
+  if (!mapped.is_ok()) return false;
+  const analysis::RunLogScan scan = analysis::scan_run_log(mapped.value().view());
 
   // Complete ⇔ every run index 0..runs-1 exactly once, in order, and not
   // a single malformed line — anything else (truncated tail from an
   // interrupt, foreign content) re-executes the cell from scratch.
-  const analysis::ParsedRunLog parsed = analysis::parse_run_log(buffer.str());
-  if (parsed.malformed_lines != 0) return false;
-  if (parsed.entries.size() != plan.runs) return false;
-  for (std::size_t i = 0; i < parsed.entries.size(); ++i) {
-    if (parsed.entries[i].index != i) return false;
-  }
-  aggregate = analysis::aggregate_from_log(parsed);
+  if (scan.malformed_lines != 0) return false;
+  if (scan.entries != plan.runs) return false;
+  if (!scan.indices_sequential) return false;
+  aggregate = scan.aggregate;
   return true;
 }
 
@@ -206,7 +204,7 @@ util::Expected<analysis::CampaignAggregate> execute_cell(
   (void)campaign;  // every run already reached the sink, in order
 
   if (persist) {
-    log_file.flush();
+    sink.flush();
     if (!log_file) {
       std::error_code ec;
       std::filesystem::remove(tmp, ec);
@@ -403,14 +401,6 @@ util::Expected<std::vector<TestPlan>> SweepDriver::expand() const {
   return plans;
 }
 
-bool SweepDriver::try_resume(SweepCellResult& cell) const {
-  if (!cell_log_complete(cell.plan, cell.log_path, cell.aggregate)) {
-    return false;
-  }
-  cell.resumed = true;
-  return true;
-}
-
 util::Expected<SweepResult> SweepDriver::execute() {
   auto plans = expand();
   if (!plans.is_ok()) return plans.status();
@@ -426,17 +416,57 @@ util::Expected<SweepResult> SweepDriver::execute() {
     }
   }
 
+  std::vector<TestPlan>& grid = plans.value();
+
+  // Resume pre-scan. Rebuilding a completed cell from its persisted log
+  // is a pure read — mmap + one zero-copy scan, no shared state — so a
+  // cold start over a populated logdir validates cells in parallel. Only
+  // the *scan* is parallel: the fold below stays serial and in grid
+  // order, so the report is byte-identical for any thread count and with
+  // parallel_resume off (the resume suite asserts it).
+  std::vector<char> resumed(grid.size(), 0);
+  std::vector<analysis::CampaignAggregate> recovered(grid.size());
+  if (persist) {
+    const auto scan_cell = [&](std::size_t i) {
+      const std::string path = cell_log_path(spec_.log_dir, grid[i].name);
+      if (cell_log_complete(grid[i], path, recovered[i])) {
+        resumed[i] = 1;
+        util::LogPipeCounters::instance().record_resumed_cell();
+      }
+    };
+    if (config_.parallel_resume && grid.size() > 1) {
+      util::LogPipeCounters::instance().record_parallel_resume();
+      util::ThreadPool pool(config_.threads);
+      std::atomic<std::size_t> next{0};
+      for (unsigned t = 0; t < pool.size(); ++t) {
+        pool.submit([&grid, &next, &scan_cell] {
+          for (std::size_t i = next.fetch_add(1); i < grid.size();
+               i = next.fetch_add(1)) {
+            scan_cell(i);
+          }
+        });
+      }
+      pool.wait_idle();
+    } else {
+      for (std::size_t i = 0; i < grid.size(); ++i) scan_cell(i);
+    }
+  }
+
   SweepResult result;
   result.spec = spec_;
-  result.cells.reserve(plans.value().size());
-  for (TestPlan& plan : plans.value()) {
+  result.cells.reserve(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
     SweepCellResult cell;
-    cell.id = plan.name;
-    cell.plan = std::move(plan);
+    cell.id = grid[i].name;
+    cell.plan = std::move(grid[i]);
 
     if (persist) {
       cell.log_path = cell_log_path(spec_.log_dir, cell.id);
-      if (try_resume(cell)) ++result.resumed;
+      if (resumed[i] != 0) {
+        cell.aggregate = recovered[i];
+        cell.resumed = true;
+        ++result.resumed;
+      }
     }
 
     if (!cell.resumed) {

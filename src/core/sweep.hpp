@@ -165,7 +165,10 @@ class SweepDriver {
   /// Execute the sweep: resume completed cells from their persisted logs
   /// (when spec.log_dir is set), execute the rest, fold everything into a
   /// SweepResult. Deterministic in the spec for any thread count and any
-  /// executed/resumed split.
+  /// executed/resumed split. The resume scan — a pure read per cell —
+  /// runs on a util::ThreadPool when config.parallel_resume is set; the
+  /// fold stays serial in grid order, so results are byte-identical
+  /// either way.
   [[nodiscard]] util::Expected<SweepResult> execute();
 
   [[nodiscard]] const SweepSpec& spec() const noexcept { return spec_; }
@@ -176,13 +179,6 @@ class SweepDriver {
                                                  const std::string& cell_id);
 
  private:
-  /// True when `cell.log_path` holds a complete run log written by
-  /// exactly `cell.plan`: the sidecar fingerprint (`<id>.runlog.meta`,
-  /// written only after a cell completes) matches the plan, and the log
-  /// has every index 0..runs-1 exactly once with no malformed lines.
-  /// Fills cell.aggregate from the log.
-  [[nodiscard]] bool try_resume(SweepCellResult& cell) const;
-
   SweepSpec spec_;
   ExecutorConfig config_;
   CellProgressFn cell_progress_;

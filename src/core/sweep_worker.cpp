@@ -16,6 +16,7 @@
 #include <sstream>
 #include <thread>
 
+#include "util/mapped_file.hpp"
 #include "util/strings.hpp"
 
 namespace mcs::fi {
@@ -113,16 +114,13 @@ std::optional<LeaseInfo> CellLease::read(const std::string& log_dir,
   std::error_code ec;
   const double age = age_of(path, ec);
   if (ec) return std::nullopt;
-  std::ifstream in(path);
-  if (!in) return std::nullopt;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (in.bad()) return std::nullopt;
+  const auto body = util::read_file(path);
+  if (!body.is_ok()) return std::nullopt;
 
   LeaseInfo info;
   info.cell_id = cell_id;
   info.age_seconds = age;
-  for (const std::string& raw : util::split(buffer.str(), '\n')) {
+  for (const std::string& raw : util::split(body.value(), '\n')) {
     const std::string_view line = util::trim(raw);
     const std::size_t space = line.find(' ');
     if (space == std::string_view::npos) continue;
@@ -279,18 +277,16 @@ util::Status write_spec_file(const SweepSpec& spec) {
 
 util::Expected<SweepSpec> read_spec_file(const std::string& log_dir) {
   const std::string path = (fs::path(log_dir) / kSweepSpecFileName).string();
-  std::ifstream in(path);
-  if (!in) {
-    return util::not_found("no sweep spec at '" + path +
-                           "' — was this logdir started by a sweep "
-                           "coordinator?");
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  if (in.bad()) {
+  auto body = util::read_file(path);
+  if (!body.is_ok()) {
+    if (body.status().code() == util::Code::ENoEnt) {
+      return util::not_found("no sweep spec at '" + path +
+                             "' — was this logdir started by a sweep "
+                             "coordinator?");
+    }
     return util::Status(util::Code::EIo, "error reading '" + path + "'");
   }
-  auto parsed = parse_sweep_spec(buffer.str());
+  auto parsed = parse_sweep_spec(body.value());
   if (!parsed.is_ok()) return parsed.status();
   SweepSpec spec = std::move(parsed).value();
   // The joining host may mount the share at a different path; the

@@ -1,0 +1,34 @@
+// Zero-copy line iteration over an in-memory text buffer.
+//
+// util::split(text, '\n') materialises a std::string per line — one heap
+// allocation per log line, twice the bytes of the file. The parsers that
+// walk multi-million-line run logs iterate string_views into the original
+// buffer instead: no copies, no allocations, same line boundaries split()
+// produced (every '\n'-separated segment; the callers skip blanks, and
+// util::trim strips the '\r' of CRLF logs exactly as before).
+#pragma once
+
+#include <string_view>
+#include <utility>
+
+namespace mcs::util {
+
+/// Call `fn(std::string_view line)` for each '\n'-separated segment of
+/// `text`, in order. Interior empty segments are visited (callers decide
+/// what a blank line means); the empty segment after a trailing '\n' is
+/// not, matching how every split()-based caller skipped it.
+template <typename Fn>
+void for_each_line(std::string_view text, Fn&& fn) {
+  std::size_t begin = 0;
+  while (begin < text.size()) {
+    const std::size_t end = text.find('\n', begin);
+    if (end == std::string_view::npos) {
+      fn(text.substr(begin));
+      return;
+    }
+    fn(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+}
+
+}  // namespace mcs::util

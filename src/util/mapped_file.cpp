@@ -1,0 +1,122 @@
+#include "util/mapped_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/logpipe_counters.hpp"
+
+namespace mcs::util {
+
+namespace {
+
+/// RAII fd so every early return below closes it.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+}  // namespace
+
+Expected<MappedFile> MappedFile::open(const std::string& path,
+                                      bool allow_mmap) {
+  Fd file;
+  file.fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (file.fd < 0) {
+    const int err = errno;
+    if (err == ENOENT) {
+      return not_found("no such file '" + path + "'");
+    }
+    return Status(Code::EIo,
+                  "cannot open '" + path + "': " + std::strerror(err));
+  }
+
+  struct stat st{};
+  if (::fstat(file.fd, &st) != 0) {
+    return Status(Code::EIo,
+                  "cannot stat '" + path + "': " + std::strerror(errno));
+  }
+  if (S_ISDIR(st.st_mode)) {
+    return Status(Code::EIo, "'" + path + "' is a directory");
+  }
+
+  MappedFile out;
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size == 0 && S_ISREG(st.st_mode)) {
+    return out;  // empty view; mmap(0) would fail
+  }
+
+  if (allow_mmap && S_ISREG(st.st_mode)) {
+    void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, file.fd, 0);
+    if (mapped != MAP_FAILED) {
+      out.mapped_ = mapped;
+      out.size_ = size;
+      // The fd can close immediately — the mapping keeps the pages.
+      LogPipeCounters::instance().record_map(size);
+      return out;
+    }
+  }
+
+  // Fallback: one read(2) loop into an owned buffer (non-regular files,
+  // mmap refusals). Still a single copy — never the double-buffer idiom.
+  std::string buffer;
+  if (S_ISREG(st.st_mode)) buffer.reserve(size);
+  char chunk[1 << 16];
+  for (;;) {
+    const ssize_t got = ::read(file.fd, chunk, sizeof chunk);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status(Code::EIo,
+                    "error reading '" + path + "': " + std::strerror(errno));
+    }
+    if (got == 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(got));
+  }
+  out.fallback_ = std::move(buffer);
+  LogPipeCounters::instance().record_map_fallback(out.fallback_.size());
+  return out;
+}
+
+MappedFile::~MappedFile() { reset(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : mapped_(std::exchange(other.mapped_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      fallback_(std::move(other.fallback_)) {
+  other.fallback_.clear();
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    mapped_ = std::exchange(other.mapped_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    fallback_ = std::move(other.fallback_);
+    other.fallback_.clear();
+  }
+  return *this;
+}
+
+void MappedFile::reset() noexcept {
+  if (mapped_ != nullptr) {
+    ::munmap(mapped_, size_);
+    mapped_ = nullptr;
+    size_ = 0;
+  }
+  fallback_.clear();
+}
+
+Expected<std::string> read_file(const std::string& path) {
+  auto mapped = MappedFile::open(path);
+  if (!mapped.is_ok()) return mapped.status();
+  return std::string(mapped.value().view());
+}
+
+}  // namespace mcs::util

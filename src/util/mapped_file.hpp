@@ -1,0 +1,66 @@
+// MappedFile: read-only, zero-copy access to a whole file.
+//
+// The log pipeline reads the same bytes it wrote — per-cell run logs,
+// fingerprint sidecars, sweep specs — and the historical idiom was
+// ifstream → ostringstream::rdbuf → .str(): two full copies of the file
+// before a single line is parsed. MappedFile replaces that with mmap(2)
+// (one view, no copies, the page cache is the buffer) and degrades to a
+// single read(2) into an owned buffer when mmap is unavailable for the
+// fd (pipes, some filesystems) — callers see a std::string_view either
+// way and never know which path served them.
+//
+// Lifetime: the view is valid exactly as long as the MappedFile object.
+// Parsers that keep string_views into the file (the zero-copy run-log
+// scanner) must finish — or copy out — before the object dies.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace mcs::util {
+
+class MappedFile {
+ public:
+  /// Map `path` read-only. ENoEnt when the file does not exist, EIo for
+  /// directories and read errors. An empty file maps to an empty view.
+  /// `allow_mmap = false` forces the read(2) fallback (tests pin that the
+  /// two paths serve identical bytes).
+  [[nodiscard]] static Expected<MappedFile> open(const std::string& path,
+                                                 bool allow_mmap = true);
+
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// The whole file. Valid for this object's lifetime only.
+  [[nodiscard]] std::string_view view() const noexcept {
+    return mapped_ != nullptr
+               ? std::string_view(static_cast<const char*>(mapped_), size_)
+               : std::string_view(fallback_);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return view().size(); }
+
+  /// True when the bytes are served by mmap (vs the read fallback).
+  [[nodiscard]] bool is_mapped() const noexcept { return mapped_ != nullptr; }
+
+ private:
+  void reset() noexcept;
+
+  void* mapped_ = nullptr;   ///< non-null ⇔ mmap path
+  std::size_t size_ = 0;     ///< mapped length (mmap path only)
+  std::string fallback_;     ///< owned bytes (read path)
+};
+
+/// Read a whole file into a string (one read, no double buffer). The
+/// convenience form for small metadata files where a copy is fine.
+[[nodiscard]] Expected<std::string> read_file(const std::string& path);
+
+}  // namespace mcs::util

@@ -1,0 +1,260 @@
+// Differential property suite for the log pipeline's two parser tiers
+// and the sharded LogSink.
+//
+// The zero-copy scanner (scan_run_log) exists for speed; its license to
+// exist is equivalence: on ANY input — seeded random logs, truncated
+// tails, CRLF endings, foreign record kinds, empty files — it must count
+// and fold exactly what the materialising parser (parse_run_log +
+// aggregate_from_log) does, bit for bit on the floating-point stats. And
+// the sharded sink must stay bit-identical to a sequential one under
+// concurrent completion storms, because the sweep's resume/diff
+// determinism sits on top of both.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <streambuf>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/log_parser.hpp"
+#include "analysis/log_sink.hpp"
+#include "core/campaign.hpp"
+#include "util/alloc_observer.hpp"
+#include "util/line_scanner.hpp"
+#include "util/rng.hpp"
+
+namespace mcs::analysis {
+namespace {
+
+/// Exact equality, doubles included: the scanner claims bit identity.
+void expect_same_aggregate(const CampaignAggregate& a,
+                           const CampaignAggregate& b) {
+  ASSERT_EQ(a.distribution.total(), b.distribution.total());
+  for (std::size_t i = 0; i < fi::kNumOutcomes; ++i) {
+    EXPECT_EQ(a.distribution.count(static_cast<fi::Outcome>(i)),
+              b.distribution.count(static_cast<fi::Outcome>(i)));
+  }
+  EXPECT_EQ(a.injections, b.injections);
+  for (std::size_t i = 0; i < fi::kNumFaultDomains; ++i) {
+    EXPECT_EQ(a.injections_by_domain[i], b.injections_by_domain[i]) << i;
+  }
+  EXPECT_EQ(a.cell_failures, b.cell_failures);
+  EXPECT_EQ(a.reclaimed, b.reclaimed);
+  EXPECT_EQ(a.detection_latency.n(), b.detection_latency.n());
+  EXPECT_EQ(a.detection_latency.mean(), b.detection_latency.mean());
+  EXPECT_EQ(a.detection_latency.stddev(), b.detection_latency.stddev());
+  EXPECT_EQ(a.detection_latency.min(), b.detection_latency.min());
+  EXPECT_EQ(a.detection_latency.max(), b.detection_latency.max());
+}
+
+fi::RunResult random_run(util::SplitMix64& rng) {
+  static constexpr const char* kDetails[] = {
+      "ok",
+      "HYP stack pointer corrupted",
+      "park (code 0x24)",
+      "doorbell lost — ring stalled",  // an em dash INSIDE the detail
+      "invalid arguments (0x16)",
+  };
+  fi::RunResult run;
+  run.outcome = static_cast<fi::Outcome>(rng.next() % fi::kNumOutcomes);
+  run.detail = kDetails[rng.next() % 5];
+  run.fault_domain =
+      static_cast<fi::FaultDomain>(rng.next() % fi::kNumFaultDomains);
+  run.injections = rng.next() % 1'000;
+  run.uart1_bytes = rng.next() % 100'000;
+  if (rng.next() % 2 == 0) {
+    run.first_injection_tick = 1 + rng.next() % 100;
+    run.failure_tick = run.first_injection_tick + rng.next() % 5'000;
+  }
+  run.shutdown_reclaimed = rng.next() % 2 == 0;
+  return run;
+}
+
+/// A seeded random log: well-formed run lines interleaved with foreign
+/// record kinds, comments, blanks, CRLF endings, malformed run lines and
+/// (sometimes) a truncated tail — everything a real logdir can contain.
+std::string random_log(std::uint64_t seed) {
+  util::SplitMix64 rng(seed);
+  std::string text;
+  std::uint32_t index = 0;
+  const std::size_t lines = 20 + rng.next() % 60;
+  for (std::size_t i = 0; i < lines; ++i) {
+    switch (rng.next() % 10) {
+      case 0:
+        text += "# resumed by worker w42\n";
+        break;
+      case 1:
+        text += "running total: 5 cells\n";  // "run" prefix without "run "
+        break;
+      case 2:
+        text += "\n";
+        break;
+      case 3:
+        // A run line that lies about its shape: truncated mid-field.
+        text += "run " + std::to_string(index) +
+                ": correct — truncated (injec\n";
+        break;
+      default: {
+        std::string line = fi::run_log_line(index++, random_run(rng));
+        if (rng.next() % 4 == 0) line += '\r';  // CRLF log
+        text += line;
+        text += '\n';
+        break;
+      }
+    }
+  }
+  if (rng.next() % 3 == 0 && text.size() > 10) {
+    // Interrupted writer: the final line stops mid-byte, no newline.
+    text += "run " + std::to_string(index) + ": cpu-park — park (inj";
+  }
+  return text;
+}
+
+TEST(LogPipeDifferential, ScannerMatchesParserOnSeededRandomLogs) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    const std::string text = random_log(seed);
+
+    const ParsedRunLog parsed = parse_run_log(text);
+    const RunLogScan scan = scan_run_log(text);
+
+    EXPECT_EQ(scan.entries, parsed.entries.size());
+    EXPECT_EQ(scan.malformed_lines, parsed.malformed_lines);
+    EXPECT_EQ(scan.skipped_lines, parsed.skipped_lines);
+    expect_same_aggregate(scan.aggregate, aggregate_from_log(parsed));
+
+    bool sequential = true;
+    for (std::size_t i = 0; i < parsed.entries.size(); ++i) {
+      if (parsed.entries[i].index != i) sequential = false;
+    }
+    EXPECT_EQ(scan.indices_sequential, sequential);
+  }
+}
+
+TEST(LogPipeDifferential, ViewParseMatchesMaterialisingParsePerLine) {
+  const std::string text = random_log(0xD1FFu);
+  util::for_each_line(text, [](std::string_view line) {
+    const auto view = parse_run_log_line_view(line);
+    const auto owned = parse_run_log_line(line);
+    ASSERT_EQ(view.is_ok(), owned.is_ok()) << line;
+    if (!view.is_ok()) return;
+    EXPECT_EQ(view.value().index, owned.value().index);
+    EXPECT_EQ(view.value().outcome, owned.value().outcome);
+    EXPECT_EQ(view.value().detail, owned.value().detail);
+    EXPECT_EQ(view.value().domain, owned.value().domain);
+    EXPECT_EQ(view.value().injections, owned.value().injections);
+    EXPECT_EQ(view.value().uart_bytes, owned.value().uart_bytes);
+    EXPECT_EQ(view.value().failure_detected, owned.value().failure_detected);
+    EXPECT_EQ(view.value().detect_latency_ms, owned.value().detect_latency_ms);
+    EXPECT_EQ(view.value().shutdown_reclaimed,
+              owned.value().shutdown_reclaimed);
+  });
+}
+
+TEST(LogPipeDifferential, EmptyAndForeignOnlyInputsAgree) {
+  for (const std::string_view text :
+       {std::string_view{}, std::string_view{"\n\n\n"},
+        std::string_view{"# nothing here\npool: 3 built\n"}}) {
+    const ParsedRunLog parsed = parse_run_log(text);
+    const RunLogScan scan = scan_run_log(text);
+    EXPECT_EQ(scan.entries, 0u);
+    EXPECT_EQ(parsed.entries.size(), 0u);
+    EXPECT_EQ(scan.skipped_lines, parsed.skipped_lines);
+    EXPECT_EQ(scan.malformed_lines, 0u);
+    EXPECT_TRUE(scan.indices_sequential);
+  }
+}
+
+TEST(LogPipeStress, ConcurrentSinkIsBitIdenticalToSequential) {
+  constexpr std::uint32_t kRuns = 96;
+  util::SplitMix64 rng(0xBEEF);
+  std::vector<fi::RunResult> runs;
+  runs.reserve(kRuns);
+  for (std::uint32_t i = 0; i < kRuns; ++i) runs.push_back(random_run(rng));
+
+  LogSink sequential;
+  for (std::uint32_t i = 0; i < kRuns; ++i) sequential.record(i, runs[i]);
+  const std::string expected_text = sequential.text();
+  const CampaignAggregate expected = sequential.aggregate();
+
+  for (const unsigned threads : {1u, 4u, 8u}) {
+    SCOPED_TRACE(std::to_string(threads) + " threads");
+    LogSink sink;
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) {
+      pool.emplace_back([&sink, &runs, t, threads] {
+        // Each worker walks its stride backwards: the sink sees a
+        // completion storm arriving far out of order, every index twice
+        // (the duplicate a resume replay would deliver).
+        for (std::uint32_t i = kRuns; i-- > 0;) {
+          if (i % threads != t) continue;
+          sink.record(i, runs[i]);
+          sink.record(i, runs[i]);
+        }
+      });
+    }
+    for (std::thread& worker : pool) worker.join();
+
+    EXPECT_EQ(sink.records(), kRuns);
+    EXPECT_EQ(sink.duplicates(), kRuns);
+    EXPECT_EQ(sink.text(), expected_text);
+    expect_same_aggregate(sink.aggregate(), expected);
+  }
+}
+
+/// A put-area-only streambuf over a fixed buffer: stream writes never
+/// touch the heap, so the allocation pin below measures the sink alone.
+class FixedStreambuf : public std::streambuf {
+ public:
+  FixedStreambuf() { setp(buffer_, buffer_ + sizeof buffer_); }
+  [[nodiscard]] std::string_view written() const {
+    return std::string_view(pbase(), static_cast<std::size_t>(pptr() - pbase()));
+  }
+
+ private:
+  char buffer_[1 << 20];
+};
+
+TEST(LogPipeAllocations, SteadyStateSinkReleasePathIsAllocationFree) {
+  util::SplitMix64 rng(0xA110C);
+  std::vector<fi::RunResult> runs;
+  for (std::uint32_t i = 0; i < 64; ++i) runs.push_back(random_run(rng));
+
+  FixedStreambuf buf;
+  std::ostream stream(&buf);
+  LogSink sink(stream);
+  // Warm-up: the first releases size line_buf_ (and first-touch any
+  // lazy statics); after that, an in-order campaign must never allocate.
+  for (std::uint32_t i = 0; i < 8; ++i) sink.record(i, runs[i]);
+
+  const util::AllocationObserver::Window window;
+  for (std::uint32_t i = 8; i < 64; ++i) sink.record(i, runs[i]);
+  EXPECT_EQ(window.allocations(), 0u);
+  EXPECT_EQ(sink.records(), 64u);
+  EXPECT_NE(buf.written().find("run 63: "), std::string_view::npos);
+}
+
+TEST(LogPipeAllocations, ZeroCopyScanIsAllocationFree) {
+  // Well-formed lines only: a malformed line allocates its Status
+  // message, which is the error path, not the steady state under pin.
+  util::SplitMix64 rng(0x5CA4);
+  std::string text;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    text += fi::run_log_line(i, random_run(rng));
+    text += '\n';
+  }
+
+  const util::AllocationObserver::Window window;
+  const RunLogScan scan = scan_run_log(text);
+  EXPECT_EQ(window.allocations(), 0u);
+  EXPECT_EQ(scan.entries, 256u);
+  EXPECT_EQ(scan.malformed_lines, 0u);
+  EXPECT_TRUE(scan.indices_sequential);
+}
+
+}  // namespace
+}  // namespace mcs::analysis

@@ -233,6 +233,44 @@ TEST(SweepResume, TornMetaSidecarReExecutesInsteadOfBlockingResume) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(SweepResume, ParallelResumeIsByteIdenticalToSerialResume) {
+  // The parallel resume pre-scan is a pure read; only its *scan* runs on
+  // a thread pool, the fold stays serial in grid order. So resuming the
+  // same populated logdir with the scan parallel or serial, at any
+  // executor thread count, must render byte-identical reports — the
+  // property the examples-smoke CI step diffs end to end.
+  const std::filesystem::path dir =
+      std::filesystem::path(testing::TempDir()) / "mcs_sweep_par_resume";
+  std::filesystem::remove_all(dir);
+
+  auto fresh = fi::SweepDriver(resume_spec(dir.string()), {4, true}).execute();
+  ASSERT_TRUE(fresh.is_ok()) << fresh.status().to_string();
+  ASSERT_EQ(fresh.value().executed, 4u);
+  const std::string fresh_report = report_of(fresh.value());
+
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    for (const bool parallel : {true, false}) {
+      SCOPED_TRACE(std::to_string(threads) + " threads, parallel_resume=" +
+                   (parallel ? "on" : "off"));
+      fi::ExecutorConfig config;
+      config.threads = threads;
+      config.parallel_resume = parallel;
+      auto resumed =
+          fi::SweepDriver(resume_spec(dir.string()), config).execute();
+      ASSERT_TRUE(resumed.is_ok()) << resumed.status().to_string();
+      EXPECT_EQ(resumed.value().resumed, 4u);
+      EXPECT_EQ(resumed.value().executed, 0u);
+      EXPECT_EQ(report_of(resumed.value()), fresh_report);
+      for (std::size_t i = 0; i < fresh.value().cells.size(); ++i) {
+        expect_same_aggregate(fresh.value().cells[i].aggregate,
+                              resumed.value().cells[i].aggregate,
+                              "cell " + fresh.value().cells[i].id);
+      }
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
 TEST(SweepResume, InMemorySweepMatchesPersistedSweep) {
   const std::filesystem::path dir =
       std::filesystem::path(testing::TempDir()) / "mcs_sweep_inmem";
